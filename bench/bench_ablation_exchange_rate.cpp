@@ -1,0 +1,76 @@
+// Ablation: cooperative exchange rate vs channel load (§IV-G).
+//
+// The paper settles on 1 frame per second ("excessive exchanging of
+// frequencies only leads to unnecessary data, hence needlessly congesting
+// the communication channels").  This sweep quantifies that choice: channel
+// utilisation across exchange rates and ROI categories on a 6 Mbps DSRC
+// service channel.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/cooper.h"
+#include "eval/experiment.h"
+#include "net/dsrc.h"
+#include "net/serialize.h"
+#include "sim/lidar.h"
+#include "sim/scenario.h"
+
+using namespace cooper;
+
+namespace {
+
+std::size_t FrameWireBytes(core::RoiCategory roi) {
+  static const auto sc = sim::MakeTjScenario(1);
+  static const auto cloud = [] {
+    Rng rng(31);
+    return sim::LidarSimulator(sc.lidar).Scan(sc.scene,
+                                              sc.viewpoints[0].ToPose(), rng);
+  }();
+  const core::CooperPipeline pipeline(eval::MakeCooperConfig(sc.lidar));
+  const core::NavMetadata nav{sc.viewpoints[0].position,
+                              sc.viewpoints[0].attitude,
+                              {0, 0, sc.lidar.sensor_height}};
+  return net::SerializePackage(pipeline.MakePackage(1, 0.0, roi, nav, cloud))
+      .size();
+}
+
+void BM_PackageBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto bytes = FrameWireBytes(core::RoiCategory::kFullFrame);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_PackageBuild)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Cooper ablation — exchange rate vs DSRC channel utilisation "
+              "(two cars, 16-beam)\n\n");
+  const net::DsrcChannel channel;
+  Table table({"rate (Hz)", "ROI", "Mbit/s per pair", "utilisation (%)",
+               "verdict"});
+  for (const double hz : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+    for (const auto roi :
+         {core::RoiCategory::kFullFrame, core::RoiCategory::kFrontSector,
+          core::RoiCategory::kForwardLead}) {
+      const double per_message_mbit = FrameWireBytes(roi) * 8.0 / 1e6;
+      const int directions = roi == core::RoiCategory::kForwardLead ? 1 : 2;
+      const double mbps = per_message_mbit * hz * directions;
+      const double util = 100.0 * mbps / channel.EffectiveMbps();
+      table.AddRow({FormatFixed(hz, 1), core::RoiCategoryName(roi),
+                    FormatFixed(mbps, 2), FormatFixed(util, 1),
+                    util < 50.0 ? "comfortable"
+                                : (util < 100.0 ? "tight" : "infeasible")});
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("the paper's 1 Hz full-frame exchange sits comfortably inside "
+              "the channel; 10 Hz full-frame (the sensor's native rate) "
+              "saturates it — hence the 1 Hz design point.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Extension: motion skew in exchanged frames.
+//
+// The paper stamps each exchanged frame with a single GPS/IMU reading
+// (§II-D), which is only exact for a stationary sender.  A transmitter
+// moving at urban speed smears its own scan by over a metre across the
+// sweep; this bench measures what that does to cooperative detection and
+// how much scan deskewing (pc::DeskewScan) recovers.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/cooper.h"
+#include "eval/experiment.h"
+#include "eval/matching.h"
+#include "sim/lidar.h"
+#include "sim/scenario.h"
+
+using namespace cooper;
+
+namespace {
+
+struct DeskewOutcome {
+  int matched = 0;
+  int spurious = 0;
+};
+
+DeskewOutcome Run(double tx_speed_mps, bool deskew) {
+  const auto sc = sim::MakeTjScenario(1);
+  const auto& cc = sc.cases[1];
+  const auto& va = sc.viewpoints[cc.a];
+  const auto& vb = sc.viewpoints[cc.b];
+  const sim::LidarSimulator lidar(sc.lidar);
+  Rng rng(808);
+
+  const auto cloud_a = lidar.Scan(sc.scene, va.ToPose(), rng);
+  // The transmitter is driving: its frame carries motion skew.
+  const pc::EgoMotion motion{tx_speed_mps, 0.0};
+  pc::PointCloud cloud_b = lidar.ScanMoving(sc.scene, vb.ToPose(), motion, rng);
+  if (deskew) cloud_b = pc::DeskewScan(cloud_b, motion);
+
+  const core::CooperPipeline pipeline(eval::MakeCooperConfig(sc.lidar));
+  const geom::Vec3 mount{0, 0, sc.lidar.sensor_height};
+  const core::NavMetadata nav_a{va.position, va.attitude, mount};
+  const core::NavMetadata nav_b{vb.position, vb.attitude, mount};
+  const auto package = pipeline.MakePackage(2, 0.0, core::RoiCategory::kFullFrame,
+                                            nav_b, cloud_b);
+  const auto coop = pipeline.DetectCooperative(cloud_a, nav_a, package);
+  COOPER_CHECK(coop.ok());
+
+  const geom::Pose sensor_a =
+      va.ToPose() * geom::Pose(geom::Mat3::Identity(), mount);
+  std::vector<geom::Box3> gt;
+  for (const auto& obj : sc.scene.objects()) {
+    if (obj.cls == sim::ObjectClass::kCar) {
+      gt.push_back(obj.box.Transformed(sensor_a.Inverse()));
+    }
+  }
+  std::vector<spod::Detection> confident;
+  for (const auto& d : coop->fused.detections) {
+    if (d.score >= eval::kScoreThreshold) confident.push_back(d);
+  }
+  DeskewOutcome out;
+  for (const auto& m : eval::MatchDetections(confident, gt)) out.matched += m.matched;
+  out.spurious = static_cast<int>(confident.size()) - out.matched;
+  return out;
+}
+
+void BM_DeskewPipeline(benchmark::State& state) {
+  for (auto _ : state) {
+    auto out = Run(15.0, state.range(0) == 1);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_DeskewPipeline)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Cooper extension — transmitter motion skew vs scan deskewing "
+              "(tj-scenario-1, case car1+car3)\n\n");
+  Table table({"transmitter speed (m/s)", "skewed: cars / ghosts",
+               "deskewed: cars / ghosts"});
+  for (const double v : {0.0, 5.0, 10.0, 15.0, 20.0}) {
+    const auto raw = Run(v, false);
+    const auto fixed = Run(v, true);
+    table.AddRow({FormatFixed(v, 0),
+                  std::to_string(raw.matched) + " / " + std::to_string(raw.spurious),
+                  std::to_string(fixed.matched) + " / " +
+                      std::to_string(fixed.spurious)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("a moving sender's skew behaves like GPS drift that varies "
+              "across the frame; deskewing before packaging restores the "
+              "stationary-sender fusion quality.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

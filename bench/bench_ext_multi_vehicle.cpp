@@ -1,0 +1,113 @@
+// Extension: cooperative-perception scaling with the number of cooperators.
+//
+// The paper fuses pairs; its vision is a CAV network.  Using the
+// `CooperativeSession`, this bench adds cooperators one at a time in the
+// dense parking lot and tracks detections, fused-cloud size and detection
+// latency — the marginal value (and marginal cost) of each extra vehicle.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/session.h"
+#include "eval/experiment.h"
+#include "eval/matching.h"
+#include "sim/lidar.h"
+#include "sim/scenario.h"
+
+using namespace cooper;
+
+namespace {
+
+struct Fleet {
+  sim::Scenario scenario;
+  std::vector<pc::PointCloud> clouds;
+  std::vector<core::NavMetadata> navs;
+  std::vector<geom::Box3> gt;  // receiver frame
+};
+
+const Fleet& MakeFleet() {
+  static const Fleet fleet = [] {
+    Fleet f;
+    f.scenario = sim::MakeTjScenario(2);
+    const sim::LidarSimulator lidar(f.scenario.lidar);
+    Rng rng(909);
+    const geom::Vec3 mount{0, 0, f.scenario.lidar.sensor_height};
+    for (const auto& vp : f.scenario.viewpoints) {
+      f.clouds.push_back(lidar.Scan(f.scenario.scene, vp.ToPose(), rng));
+      f.navs.push_back(core::NavMetadata{vp.position, vp.attitude, mount});
+    }
+    const geom::Pose sensor0 = f.scenario.viewpoints[0].ToPose() *
+                               geom::Pose(geom::Mat3::Identity(), mount);
+    for (const auto& obj : f.scenario.scene.objects()) {
+      if (obj.cls == sim::ObjectClass::kCar) {
+        f.gt.push_back(obj.box.Transformed(sensor0.Inverse()));
+      }
+    }
+    return f;
+  }();
+  return fleet;
+}
+
+int MatchedCount(const spod::SpodResult& result, const std::vector<geom::Box3>& gt) {
+  std::vector<spod::Detection> confident;
+  for (const auto& d : result.detections) {
+    if (d.score >= eval::kScoreThreshold) confident.push_back(d);
+  }
+  int n = 0;
+  for (const auto& m : eval::MatchDetections(confident, gt)) n += m.matched;
+  return n;
+}
+
+void BM_FleetDetect(benchmark::State& state) {
+  const Fleet& f = MakeFleet();
+  const std::size_t cooperators = static_cast<std::size_t>(state.range(0));
+  core::CooperativeSession session(eval::MakeCooperConfig(f.scenario.lidar));
+  for (std::size_t k = 1; k <= cooperators; ++k) {
+    (void)session.ReceivePackage(
+        session.pipeline().MakePackage(static_cast<std::uint32_t>(k), 0.0,
+                                       core::RoiCategory::kFullFrame,
+                                       f.navs[k], f.clouds[k]),
+        0.0);
+  }
+  for (auto _ : state) {
+    auto out = session.DetectCooperative(f.clouds[0], f.navs[0], 0.0);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FleetDetect)->DenseRange(0, 4)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Cooper extension — detection vs number of cooperators "
+              "(tj-scenario-2, %zu ground-truth cars)\n\n",
+              MakeFleet().gt.size());
+  const Fleet& f = MakeFleet();
+  Table table({"cooperators", "fused points", "cars detected", "latency (ms)",
+               "exchange volume (Mbit)"});
+  core::CooperativeSession session(eval::MakeCooperConfig(f.scenario.lidar));
+  double volume_mbit = 0.0;
+  for (std::size_t k = 0; k < f.clouds.size(); ++k) {
+    if (k > 0) {
+      const auto package = session.pipeline().MakePackage(
+          static_cast<std::uint32_t>(k), 0.0, core::RoiCategory::kFullFrame,
+          f.navs[k], f.clouds[k]);
+      volume_mbit += package.PayloadMbit();
+      COOPER_CHECK(session.ReceivePackage(package, 0.0).ok());
+    }
+    const auto out = session.DetectCooperative(f.clouds[0], f.navs[0], 0.0);
+    table.AddRow({std::to_string(k), std::to_string(out.fused_cloud.size()),
+                  std::to_string(MatchedCount(out.fused, f.gt)),
+                  FormatFixed(out.fused.timings.TotalUs() / 1e3, 1),
+                  FormatFixed(volume_mbit, 2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("detections rise with each viewpoint but saturate once the lot "
+              "is covered, while cost keeps growing — supporting a selective "
+              "cooperator policy rather than fuse-everything.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Extension: cooperative perception feeding multi-object tracking.
+//
+// The paper's motivating incidents (§I) are temporal: the Uber pedestrian
+// was *detected late*, not never.  This bench quantifies that dimension — a
+// target car drives through an occlusion shadow; the ego vehicle tracks it
+// from single-shot detections vs Cooper detections.  Metrics: frames with a
+// confirmed track on the target, track fragmentation (identity switches),
+// and final velocity-estimate error.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/cooper.h"
+#include "eval/experiment.h"
+#include "sim/lidar.h"
+#include "sim/scene.h"
+#include "track/tracker.h"
+
+using namespace cooper;
+
+namespace {
+
+constexpr int kFrames = 16;
+constexpr double kDt = 0.2;           // 5 Hz tracking
+constexpr double kTargetSpeed = 4.0;  // m/s along +y
+
+// The target drives up the cross street at x = 22, passing behind a long
+// box truck that shadows it from the ego at the origin.
+geom::Vec3 TargetPositionAt(int frame) {
+  return {22.0, -10.0 + kTargetSpeed * kDt * frame, 0.0};
+}
+
+struct FrameData {
+  std::vector<spod::Detection> single;
+  std::vector<spod::Detection> coop;
+};
+
+std::vector<FrameData> SimulateSequence() {
+  sim::LidarConfig lidar_cfg = sim::Hdl64Config();
+  lidar_cfg.azimuth_steps = 720;
+  const sim::LidarSimulator lidar(lidar_cfg);
+  const core::CooperPipeline pipeline(eval::MakeCooperConfig(lidar_cfg));
+  const geom::Vec3 mount{0, 0, lidar_cfg.sensor_height};
+
+  const sim::VehicleState ego{"ego", {0, 0, 0}, {0, 0, 0}};
+  // Cooperator parked up the cross street with a clear view of the shadow.
+  const sim::VehicleState helper{"helper", {22.0, 14.0, 0.0},
+                                 {geom::DegToRad(-90), 0, 0}};
+  const core::NavMetadata nav_ego{ego.position, ego.attitude, mount};
+  const core::NavMetadata nav_helper{helper.position, helper.attitude, mount};
+
+  std::vector<FrameData> frames;
+  Rng rng(606);
+  for (int f = 0; f < kFrames; ++f) {
+    sim::Scene scene;
+    // The occluder: a truck parked between the ego and the target's path.
+    scene.AddObject(sim::ObjectClass::kTruck,
+                    sim::MakeTruckBox({14.0, -1.0, 0.0}, 35.0), 0.6);
+    scene.AddObject(sim::ObjectClass::kCar,
+                    sim::MakeCarBox(TargetPositionAt(f), 90.0), 0.6);
+
+    const auto cloud_ego = lidar.Scan(scene, ego.ToPose(), rng);
+    const auto cloud_helper = lidar.Scan(scene, helper.ToPose(), rng);
+
+    FrameData data;
+    data.single = pipeline.DetectSingleShot(cloud_ego).detections;
+    const auto package = pipeline.MakePackage(
+        2, f * kDt, core::RoiCategory::kFullFrame, nav_helper, cloud_helper);
+    auto coop = pipeline.DetectCooperative(cloud_ego, nav_ego, package);
+    COOPER_CHECK(coop.ok());
+    data.coop = std::move(coop).value().fused.detections;
+    frames.push_back(std::move(data));
+  }
+  return frames;
+}
+
+struct TrackingOutcome {
+  int frames_tracked = 0;
+  std::size_t fragments = 0;
+  double velocity_error = 0.0;  // at the final frame
+};
+
+TrackingOutcome RunTracking(const std::vector<FrameData>& frames, bool coop) {
+  track::Tracker tracker;
+  TrackingOutcome out;
+  for (int f = 0; f < kFrames; ++f) {
+    tracker.Step(coop ? frames[static_cast<std::size_t>(f)].coop
+                      : frames[static_cast<std::size_t>(f)].single,
+                 kDt);
+    const geom::Vec3 truth = TargetPositionAt(f);
+    for (const auto* t : tracker.ConfirmedTracks()) {
+      if ((t->filter.position() - geom::Vec3{truth.x, truth.y, 0}).NormXY() < 2.5) {
+        ++out.frames_tracked;
+        out.velocity_error =
+            (t->filter.velocity() - geom::Vec3{0, kTargetSpeed, 0}).Norm();
+        break;
+      }
+    }
+  }
+  out.fragments = tracker.total_confirmed();
+  return out;
+}
+
+void BM_TrackSequence(benchmark::State& state) {
+  static const auto frames = SimulateSequence();
+  for (auto _ : state) {
+    auto out = RunTracking(frames, state.range(0) == 1);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TrackSequence)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Cooper extension — tracking a car through an occlusion shadow "
+              "(%d frames at %.0f Hz, target at %.0f m/s)\n\n",
+              kFrames, 1.0 / kDt, kTargetSpeed);
+  const auto frames = SimulateSequence();
+  const auto single = RunTracking(frames, false);
+  const auto coop = RunTracking(frames, true);
+  Table table({"input", "frames with confirmed track", "track fragments",
+               "final velocity error (m/s)"});
+  table.AddRow({"single shot", std::to_string(single.frames_tracked),
+                std::to_string(single.fragments),
+                FormatFixed(single.velocity_error, 2)});
+  table.AddRow({"Cooper", std::to_string(coop.frames_tracked),
+                std::to_string(coop.fragments),
+                FormatFixed(coop.velocity_error, 2)});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("the cooperator's viewpoint covers the shadow, so the fused "
+              "track holds identity and velocity through the occlusion the "
+              "single-vehicle tracker loses.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Fig. 10 reproduction: cooperative-perception detection scores under GPS
+// reading drift.  The paper procedurally skews the GPS readings three ways
+// (both axes at the max-drift bound, one axis at the bound, and double the
+// bound) and compares per-car detection scores against the unskewed
+// baseline; fusion should be robust, with only isolated failures.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "eval/experiment.h"
+#include "eval/stats.h"
+
+using namespace cooper;
+
+namespace {
+
+struct DriftRow {
+  int car_id = 0;
+  double baseline = 0.0;
+  double both_axes = 0.0;
+  double one_axis = 0.0;
+  double double_max = 0.0;
+};
+
+std::vector<DriftRow> RunDriftStudy() {
+  // The paper runs this on the T&J data; use one case from each scenario.
+  std::vector<DriftRow> rows;
+  for (int idx = 1; idx <= 4; ++idx) {
+    const auto sc = sim::MakeTjScenario(idx);
+    const auto& cc = sc.cases[0];
+    eval::ExperimentOptions opt;
+    const auto base = eval::RunCoopCase(sc, cc, opt);
+    opt.skew = sim::GpsSkewMode::kBothAxesMax;
+    const auto both = eval::RunCoopCase(sc, cc, opt);
+    opt.skew = sim::GpsSkewMode::kOneAxisMax;
+    const auto one = eval::RunCoopCase(sc, cc, opt);
+    opt.skew = sim::GpsSkewMode::kDoubleMax;
+    const auto dbl = eval::RunCoopCase(sc, cc, opt);
+    for (std::size_t i = 0; i < base.targets.size(); ++i) {
+      const auto& t = base.targets[i];
+      if (!t.in_range_a && !t.in_range_b) continue;
+      if (!t.detected_coop) continue;  // paper plots the detected cars
+      rows.push_back(DriftRow{static_cast<int>(rows.size() + 1), t.score_coop,
+                              both.targets[i].score_coop,
+                              one.targets[i].score_coop,
+                              dbl.targets[i].score_coop});
+    }
+  }
+  return rows;
+}
+
+void BM_GpsDriftCase(benchmark::State& state) {
+  const auto sc = sim::MakeTjScenario(1);
+  eval::ExperimentOptions opt;
+  opt.skew = static_cast<sim::GpsSkewMode>(state.range(0));
+  for (auto _ : state) {
+    auto outcome = eval::RunCoopCase(sc, sc.cases[0], opt);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_GpsDriftCase)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Cooper reproduction — Fig. 10: cooperative perception under "
+              "GPS reading drift (max drift bound = %.2f m)\n\n",
+              sim::kMaxGpsDrift);
+  const auto rows = RunDriftStudy();
+  Table table({"car ID", "baseline", "both-axes-max", "one-axis-max",
+               "double-max"});
+  int failures = 0, improvements = 0;
+  for (const auto& r : rows) {
+    table.AddRow({std::to_string(r.car_id), FormatFixed(r.baseline, 2),
+                  FormatScoreCell(r.both_axes, true, eval::kScoreThreshold),
+                  FormatScoreCell(r.one_axis, true, eval::kScoreThreshold),
+                  FormatScoreCell(r.double_max, true, eval::kScoreThreshold)});
+    for (const double s : {r.both_axes, r.one_axis, r.double_max}) {
+      if (s < eval::kScoreThreshold) ++failures;
+      if (s > r.baseline) ++improvements;
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("cars tracked: %zu; skewed detections below threshold: %d of %zu; "
+              "skewed scores above baseline: %d\n",
+              rows.size(), failures, rows.size() * 3, improvements);
+  std::printf("paper observation: clustering similar to baseline, a couple of "
+              "failures, and some skews that *improve* the score.\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 4 reproduction: number of detected cars and detection accuracy in the
+// four KITTI scenarios — single shot i, single shot j, and Cooper.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "eval/experiment.h"
+#include "eval/stats.h"
+
+using namespace cooper;
+
+namespace {
+
+void BM_Fig4Pipeline(benchmark::State& state) {
+  const auto scenarios = sim::AllKittiScenarios();
+  for (auto _ : state) {
+    auto s = eval::Summarize(
+        eval::RunCoopCase(scenarios[static_cast<std::size_t>(state.range(0))],
+                          scenarios[static_cast<std::size_t>(state.range(0))].cases[0]));
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Fig4Pipeline)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Cooper reproduction — Fig. 4: cars detected and detection "
+              "accuracy, KITTI scenarios\n\n");
+  Table counts({"case", "scenario", "single shot i", "single shot j", "Cooper"});
+  Table accuracy({"case", "scenario", "single shot i (%)", "single shot j (%)",
+                  "Cooper (%)"});
+  int case_no = 0;
+  for (const auto& sc : sim::AllKittiScenarios()) {
+    const auto summary = eval::Summarize(eval::RunCoopCase(sc, sc.cases[0]));
+    ++case_no;
+    counts.AddRow({std::to_string(case_no), sc.name,
+                   std::to_string(summary.detected_a),
+                   std::to_string(summary.detected_b),
+                   std::to_string(summary.detected_coop)});
+    accuracy.AddRow({std::to_string(case_no), sc.name,
+                     FormatFixed(summary.accuracy_a, 1),
+                     FormatFixed(summary.accuracy_b, 1),
+                     FormatFixed(summary.accuracy_coop, 1)});
+  }
+  std::printf("Number of detected cars:\n%s\n", counts.ToString().c_str());
+  std::printf("Detection accuracy (detected / in-range):\n%s\n",
+              accuracy.ToString().c_str());
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

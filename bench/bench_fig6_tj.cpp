@@ -1,0 +1,75 @@
+// Fig. 6 reproduction: per-car detection scores in the four T&J parking-lot
+// scenarios (16-beam VLP-16-class sensor), each with several cooperator
+// distances.  Cell grammar as in Fig. 3: score / "X" missed / empty out of
+// detection area; N/M/F marks the paper's near/medium/far colour bands.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+#include "eval/experiment.h"
+#include "eval/stats.h"
+
+using namespace cooper;
+
+namespace {
+
+std::string Band(double range) {
+  if (range < 10.0) return "N";
+  if (range <= 25.0) return "M";
+  return "F";
+}
+
+std::string Cell(double score, bool in_range, double range) {
+  const std::string s = FormatScoreCell(score, in_range, eval::kScoreThreshold);
+  if (s.empty()) return s;
+  return s + "/" + Band(range);
+}
+
+void PrintCase(const eval::CaseOutcome& outcome) {
+  std::printf("\n--- %s: %s (delta-d = %.2f m) ---\n",
+              outcome.scenario_name.c_str(), outcome.case_name.c_str(),
+              outcome.delta_d);
+  Table table({"car", outcome.single_a, outcome.single_b, outcome.case_name});
+  int row = 0;
+  for (const auto& t : outcome.targets) {
+    if (!t.in_range_a && !t.in_range_b) continue;
+    table.AddRow({std::to_string(++row),
+                  Cell(t.score_a, t.in_range_a, t.range_a),
+                  Cell(t.score_b, t.in_range_b, t.range_b),
+                  Cell(t.score_coop, t.in_range_a || t.in_range_b,
+                       std::min(t.range_a, t.range_b))});
+  }
+  std::printf("%s", table.ToString().c_str());
+  const auto s = eval::Summarize(outcome);
+  std::printf("detected: %s=%d %s=%d Cooper=%d of %d in range\n",
+              outcome.single_a.c_str(), s.detected_a, outcome.single_b.c_str(),
+              s.detected_b, s.detected_coop, s.in_range_total);
+}
+
+void BM_TjScenarioCase(benchmark::State& state) {
+  const auto sc = sim::MakeTjScenario(static_cast<int>(state.range(0)) + 1);
+  for (auto _ : state) {
+    auto outcome = eval::RunCoopCase(sc, sc.cases[0]);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_TjScenarioCase)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Cooper reproduction — Fig. 6: vehicle detection in the four "
+              "T&J parking-lot scenarios (16-beam)\n");
+  for (const auto& sc : sim::AllTjScenarios()) {
+    for (const auto& cc : sc.cases) {
+      PrintCase(eval::RunCoopCase(sc, cc));
+    }
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 7 reproduction: number of detected cars and detection accuracy for
+// every cooperative case of the four T&J scenarios.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "eval/experiment.h"
+#include "eval/stats.h"
+
+using namespace cooper;
+
+namespace {
+
+void BM_Fig7Pipeline(benchmark::State& state) {
+  const auto sc = sim::MakeTjScenario(static_cast<int>(state.range(0)) + 1);
+  for (auto _ : state) {
+    auto s = eval::Summarize(eval::RunCoopCase(sc, sc.cases[0]));
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Fig7Pipeline)->DenseRange(0, 3)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Cooper reproduction — Fig. 7: cars detected and detection "
+              "accuracy, T&J scenarios\n");
+  for (const auto& sc : sim::AllTjScenarios()) {
+    std::printf("\n=== %s ===\n", sc.name.c_str());
+    Table counts({"case", "single shot on car a", "single shot on car b",
+                  "Cooper"});
+    Table accuracy({"case", "car a (%)", "car b (%)", "Cooper (%)"});
+    int case_no = 0;
+    for (const auto& cc : sc.cases) {
+      const auto summary = eval::Summarize(eval::RunCoopCase(sc, cc));
+      ++case_no;
+      counts.AddRow({std::to_string(case_no) + " (" + summary.case_name + ")",
+                     std::to_string(summary.detected_a),
+                     std::to_string(summary.detected_b),
+                     std::to_string(summary.detected_coop)});
+      accuracy.AddRow({std::to_string(case_no) + " (" + summary.case_name + ")",
+                       FormatFixed(summary.accuracy_a, 1),
+                       FormatFixed(summary.accuracy_b, 1),
+                       FormatFixed(summary.accuracy_coop, 1)});
+    }
+    std::printf("Number of detected cars:\n%s", counts.ToString().c_str());
+    std::printf("Detection accuracy:\n%s", accuracy.ToString().c_str());
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 8 reproduction: CDF of the detection-score improvement brought by
+// cooperative perception, split by difficulty class (easy = both single
+// shots detect, moderate = one, hard = neither; §IV-E).
+//
+// Paper claims to verify: easy/moderate improvements are marginal but
+// consistent (mostly within ~10 points); hard objects detected by Cooper
+// gain at least ~50 points raw score ("a flat increase of 50% in raw
+// detection score at worst").
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "eval/experiment.h"
+#include "eval/stats.h"
+
+using namespace cooper;
+
+namespace {
+
+std::vector<eval::CaseOutcome> RunAllScenarios() {
+  auto scenarios = sim::AllKittiScenarios();
+  for (auto& s : sim::AllTjScenarios()) scenarios.push_back(s);
+  return eval::RunAllCases(scenarios);
+}
+
+void PrintCdf(const char* name, const std::vector<double>& improvements) {
+  const auto cdf = eval::EmpiricalCdf(improvements);
+  std::printf("%-9s (n=%3zu): ", name, improvements.size());
+  if (cdf.empty()) {
+    std::printf("no samples\n");
+    return;
+  }
+  // Print deciles of the CDF like the Fig. 8 curves.
+  for (double q = 0.1; q <= 1.0001; q += 0.1) {
+    const std::size_t idx =
+        std::min(cdf.size() - 1,
+                 static_cast<std::size_t>(q * static_cast<double>(cdf.size())));
+    std::printf("p%.0f=%+5.1f ", q * 100.0, cdf[idx].first);
+  }
+  std::printf("\n");
+}
+
+void BM_Fig8FullSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    auto cases = RunAllScenarios();
+    benchmark::DoNotOptimize(cases);
+  }
+}
+BENCHMARK(BM_Fig8FullSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Cooper reproduction — Fig. 8: improvement of detection "
+              "performance by cooperative perception\n\n");
+  const auto cases = RunAllScenarios();
+  std::printf("pooled over %zu cooperative cases (KITTI + T&J)\n\n",
+              cases.size());
+
+  const auto easy = eval::ImprovementsByDifficulty(cases, eval::Difficulty::kEasy);
+  const auto moderate =
+      eval::ImprovementsByDifficulty(cases, eval::Difficulty::kModerate);
+  const auto hard = eval::ImprovementsByDifficulty(cases, eval::Difficulty::kHard);
+
+  std::printf("Score-improvement CDF by difficulty (percentage points):\n");
+  PrintCdf("easy", easy);
+  PrintCdf("moderate", moderate);
+  PrintCdf("hard", hard);
+
+  auto min_of = [](const std::vector<double>& v) {
+    double m = 1e9;
+    for (const auto x : v) m = std::min(m, x);
+    return v.empty() ? 0.0 : m;
+  };
+  std::printf("\npaper check: hard objects detected by Cooper gain >= ~50 "
+              "points; measured minimum = %+.1f\n",
+              min_of(hard));
+
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

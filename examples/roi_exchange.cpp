@@ -1,0 +1,93 @@
+// Region-of-interest exchange over a simulated DSRC channel (§IV-G).
+//
+// Two cars stream cooperative-perception packages at 1 Hz for eight seconds.
+// The demo picks the ROI category per the relative geometry (Fig. 11): the
+// full frame while passing with no physical buffer, the 120-degree front
+// sector once they are at junction distance, and the one-way forward sector
+// while following — and accounts for bandwidth, latency and losses.
+#include <cstdio>
+
+#include "core/cooper.h"
+#include "eval/experiment.h"
+#include "net/dsrc.h"
+#include "net/serialize.h"
+#include "sim/lidar.h"
+#include "sim/scenario.h"
+
+using namespace cooper;
+
+namespace {
+
+core::RoiCategory PickRoi(const geom::Vec3& p1, double yaw1,
+                          const geom::Vec3& p2, double yaw2) {
+  const double lateral = std::abs(p1.y - p2.y);
+  const bool opposite =
+      std::abs(geom::WrapAngle(yaw1 - yaw2)) > geom::DegToRad(120);
+  if (opposite && lateral < 4.0) return core::RoiCategory::kFullFrame;
+  if (opposite) return core::RoiCategory::kFrontSector;
+  return core::RoiCategory::kForwardLead;
+}
+
+}  // namespace
+
+int main() {
+  auto scenario = sim::MakeTjScenario(2);
+  const sim::LidarSimulator lidar(scenario.lidar);
+  const core::CooperPipeline pipeline(eval::MakeCooperConfig(scenario.lidar));
+
+  net::DsrcChannel channel(net::DsrcConfig{6.0, 2.0, /*loss=*/0.05, 0.9});
+  Rng rng(2026);
+  const geom::Vec3 mount{0, 0, scenario.lidar.sensor_height};
+
+  std::printf("sec | ROI choice                  | wire Mbit | latency ms | "
+              "delivered | fused detections\n");
+  for (int second = 0; second < 9; ++second) {
+    // Three phases matching Fig. 11: (1) passing in the adjacent opposite
+    // lane, (2) opposite directions with a wide separation, (3) car 2
+    // leading car 1 in the same lane.
+    const sim::VehicleState v1{"car1", {2.5 * second, 0.0, 0.0}, {0, 0, 0}};
+    sim::VehicleState v2{"car2",
+                         {40.0 - 3.0 * second, -3.2, 0.0},
+                         {geom::DegToRad(180), 0, 0}};
+    if (second >= 3 && second < 6) {
+      v2.position.y = -9.0;  // separated carriageways
+    } else if (second >= 6) {
+      v2 = sim::VehicleState{"car2",
+                             {2.5 * second + 12.0, 0.0, 0.0},
+                             {0, 0, 0}};  // leading in the same lane
+    }
+    const auto cloud1 = lidar.Scan(scenario.scene, v1.ToPose(), rng);
+    const auto cloud2 = lidar.Scan(scenario.scene, v2.ToPose(), rng);
+
+    const auto roi = PickRoi(v1.position, 0.0, v2.position, v2.attitude.yaw);
+    const core::NavMetadata nav2{v2.position, v2.attitude, mount};
+    const auto package = pipeline.MakePackage(2, second, roi, nav2, cloud2);
+    const auto wire = net::SerializePackage(package);
+    const auto report = channel.Transmit(wire.size(), rng);
+
+    int fused_detections = -1;
+    if (report.delivered) {
+      const core::NavMetadata nav1{v1.position, v1.attitude, mount};
+      const auto parsed = net::DeserializePackage(wire);
+      if (parsed.ok()) {
+        const auto coop = pipeline.DetectCooperative(cloud1, nav1, *parsed);
+        if (coop.ok()) {
+          fused_detections = 0;
+          for (const auto& d : coop->fused.detections) {
+            fused_detections += d.score >= eval::kScoreThreshold ? 1 : 0;
+          }
+        }
+      }
+    }
+    std::printf("%3d | %-27s | %9.2f | %10.1f | %-9s | %d\n", second + 1,
+                core::RoiCategoryName(roi), wire.size() * 8.0 / 1e6,
+                report.delivered ? report.latency_ms : 0.0,
+                report.delivered ? "yes" : "LOST", fused_detections);
+  }
+
+  std::printf("\nchannel totals: %zu messages, %zu dropped, %.2f Mbit sent, "
+              "effective rate %.1f Mbit/s\n",
+              channel.total_messages(), channel.total_dropped(),
+              channel.total_bytes_sent() * 8.0 / 1e6, channel.EffectiveMbps());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Minimal leveled logger.
+//
+// Experiments print structured tables to stdout; the logger is for
+// diagnostics on stderr only, so table output stays machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cooper {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) { return *this; }
+};
+
+}  // namespace internal
+}  // namespace cooper
+
+// `if/else` form so the streamed expression is evaluated only when enabled.
+#define COOPER_LOG(level)                                              \
+  if (static_cast<int>(::cooper::LogLevel::k##level) <                 \
+      static_cast<int>(::cooper::GetLogLevel())) {                     \
+  } else /* NOLINT */                                                  \
+    ::cooper::internal::LogMessage(::cooper::LogLevel::k##level,       \
+                                   __FILE__, __LINE__)

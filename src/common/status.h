@@ -1,0 +1,162 @@
+// Lightweight error-handling primitives used across the Cooper libraries.
+//
+// Recoverable failures (malformed packets, truncated files, channel drops)
+// are reported through `Status` / `Result<T>` rather than exceptions so that
+// the hot fusion/detection paths stay allocation- and throw-free.  Programming
+// errors are handled with assertions (see COOPER_CHECK below).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cooper {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kDataLoss,        // corrupt / truncated serialized data
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,     // e.g. channel down, message dropped
+  kInternal,
+};
+
+/// Human-readable name of a status code ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Value-type status: either OK or a code plus a diagnostic message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "DATA_LOSS: truncated header".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status DataLossError(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+/// Either a value of T or an error Status.  Minimal `expected`-style type.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}              // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {        // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(v_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(v_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(v_) : std::move(fallback); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result accessed without value: %s\n",
+                   std::get<Status>(v_).ToString().c_str());
+      std::abort();
+    }
+  }
+  std::variant<T, Status> v_;
+};
+
+}  // namespace cooper
+
+/// Assertion for invariants/programming errors; active in all build types.
+#define COOPER_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "COOPER_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Propagate a non-OK Status from an expression returning Status.
+#define COOPER_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::cooper::Status cooper_status__ = (expr);   \
+    if (!cooper_status__.ok()) return cooper_status__; \
+  } while (0)
+
+/// Assign from a Result<T> or propagate its error.
+#define COOPER_ASSIGN_OR_RETURN(lhs, expr)       \
+  COOPER_ASSIGN_OR_RETURN_IMPL_(                 \
+      COOPER_CONCAT_(cooper_result__, __LINE__), lhs, expr)
+#define COOPER_CONCAT_INNER_(a, b) a##b
+#define COOPER_CONCAT_(a, b) COOPER_CONCAT_INNER_(a, b)
+#define COOPER_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()

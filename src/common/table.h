@@ -1,0 +1,34 @@
+// Fixed-width ASCII table formatter used by the benchmark harnesses to print
+// paper-style tables (Fig. 3 / Fig. 6 score grids, summary tables).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cooper {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; pads/truncates to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and a header separator.
+  std::string ToString() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals ("0.76").
+std::string FormatFixed(double v, int digits);
+
+/// Formats a detection score cell per the paper's figures: two decimals, "X"
+/// for a missed detection (score below threshold), "" for out-of-range.
+std::string FormatScoreCell(double score, bool in_range, double threshold);
+
+}  // namespace cooper

@@ -1,0 +1,42 @@
+#include "core/background_map.h"
+
+#include <unordered_set>
+
+namespace cooper::core {
+
+void BackgroundMap::AddTraversal(const pc::PointCloud& cloud,
+                                 const geom::Pose& sensor_pose) {
+  std::unordered_set<pc::VoxelCoord, pc::VoxelCoordHash> seen;
+  seen.reserve(cloud.size());
+  for (const auto& p : cloud) {
+    seen.insert(CoordOf(sensor_pose * p.position));
+  }
+  for (const auto& c : seen) ++counts_[c];
+  ++traversals_;
+}
+
+bool BackgroundMap::IsBackground(const geom::Vec3& world_point) const {
+  const auto it = counts_.find(CoordOf(world_point));
+  return it != counts_.end() &&
+         it->second >= static_cast<std::uint32_t>(config_.min_traversals);
+}
+
+pc::PointCloud BackgroundMap::SubtractKnownBackground(
+    const pc::PointCloud& cloud, const geom::Pose& sensor_pose) const {
+  pc::PointCloud out;
+  out.reserve(cloud.size());
+  for (const auto& p : cloud) {
+    if (!IsBackground(sensor_pose * p.position)) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t BackgroundMap::num_background_voxels() const {
+  std::size_t n = 0;
+  for (const auto& [coord, count] : counts_) {
+    n += count >= static_cast<std::uint32_t>(config_.min_traversals) ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace cooper::core

@@ -1,0 +1,65 @@
+// Persistent background map (§IV-G).
+//
+// "Background data like buildings, trees are subtract[ed] because these
+//  information can be constructed by each vehicle after several times
+//  mapping measurement.  This allows for retention of valuable information
+//  of immobile objects while keeping the size of the ROI data small."
+//
+// The map accumulates, in world-frame voxels, how many *distinct traversals*
+// produced a return in each voxel.  A voxel seen in enough traversals is
+// static background; points landing in such voxels can be dropped from
+// exchange packages, shrinking them further than the geometric ROI alone.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "geom/pose.h"
+#include "pointcloud/point_cloud.h"
+#include "pointcloud/voxel_grid.h"
+
+namespace cooper::core {
+
+struct BackgroundMapConfig {
+  double voxel_size = 0.5;      // metres; coarse is fine for static structure
+  int min_traversals = 3;       // sessions a voxel must appear in to be static
+};
+
+class BackgroundMap {
+ public:
+  explicit BackgroundMap(const BackgroundMapConfig& config = {})
+      : config_(config) {}
+
+  /// Integrates one traversal's scan (sensor frame) taken from `sensor_pose`.
+  /// Each voxel is counted at most once per call, so repeated returns within
+  /// one scan do not inflate the traversal count.
+  void AddTraversal(const pc::PointCloud& cloud, const geom::Pose& sensor_pose);
+
+  /// True if the world-frame point lies in a voxel observed in at least
+  /// `min_traversals` traversals.
+  bool IsBackground(const geom::Vec3& world_point) const;
+
+  /// Removes points (sensor frame) that fall on known background.
+  pc::PointCloud SubtractKnownBackground(const pc::PointCloud& cloud,
+                                         const geom::Pose& sensor_pose) const;
+
+  std::size_t num_voxels() const { return counts_.size(); }
+  std::size_t num_background_voxels() const;
+  int num_traversals() const { return traversals_; }
+
+  const BackgroundMapConfig& config() const { return config_; }
+
+ private:
+  pc::VoxelCoord CoordOf(const geom::Vec3& p) const {
+    const double s = config_.voxel_size;
+    return {static_cast<std::int32_t>(std::floor(p.x / s)),
+            static_cast<std::int32_t>(std::floor(p.y / s)),
+            static_cast<std::int32_t>(std::floor(p.z / s))};
+  }
+
+  BackgroundMapConfig config_;
+  std::unordered_map<pc::VoxelCoord, std::uint32_t, pc::VoxelCoordHash> counts_;
+  int traversals_ = 0;
+};
+
+}  // namespace cooper::core

@@ -1,0 +1,62 @@
+#include "core/cooper.h"
+
+namespace cooper::core {
+
+CooperPipeline::CooperPipeline(const CooperConfig& config)
+    : config_(config),
+      detector_(config.detector, config.sensor, config.detector_weight_seed),
+      codec_(config.codec) {}
+
+ExchangePackage CooperPipeline::MakePackage(std::uint32_t sender_id,
+                                            double timestamp_s,
+                                            RoiCategory roi,
+                                            const NavMetadata& nav,
+                                            const pc::PointCloud& local_cloud) const {
+  const pc::PointCloud roi_cloud = ExtractRoi(local_cloud, roi, config_.roi);
+  return BuildPackage(sender_id, timestamp_s, roi, nav, roi_cloud, codec_);
+}
+
+spod::SpodResult CooperPipeline::DetectSingleShot(
+    const pc::PointCloud& local_cloud) const {
+  return detector_.Detect(local_cloud);
+}
+
+Result<pc::PointCloud> CooperPipeline::ReconstructRemoteCloud(
+    const NavMetadata& local_nav, const ExchangePackage& package) const {
+  COOPER_ASSIGN_OR_RETURN(pc::PointCloud remote_cloud, UnpackCloud(package));
+  // Densify while still in the sender's sensor frame — the spherical
+  // projection is only meaningful from the originating viewpoint.
+  remote_cloud = detector_.Densify(remote_cloud);
+  // Eq. 3: the transform follows from the difference between the two
+  // vehicles' GPS/IMU readings (both poses are in the shared world frame).
+  const geom::Pose to_receiver = geom::Pose::Between(local_nav.SensorPose(),
+                                                     package.nav.SensorPose());
+  remote_cloud.Transform(to_receiver);
+  return remote_cloud;
+}
+
+Result<CooperOutput> CooperPipeline::DetectCooperative(
+    const pc::PointCloud& local_cloud, const NavMetadata& local_nav,
+    const ExchangePackage& package) const {
+  COOPER_ASSIGN_OR_RETURN(pc::PointCloud remote,
+                          ReconstructRemoteCloud(local_nav, package));
+  if (config_.icp_refinement && !remote.empty() && !local_cloud.empty()) {
+    // Register above-ground structure only: flat ground constrains neither
+    // x/y translation nor yaw, which are exactly the drifting axes.
+    const pc::PointCloud src =
+        remote.FilterMinZ(pc::EstimateGroundZ(remote) + 0.3);
+    const pc::PointCloud dst =
+        local_cloud.FilterMinZ(pc::EstimateGroundZ(local_cloud) + 0.3);
+    const pc::IcpResult icp =
+        pc::IcpAlign(src, dst, geom::Pose::Identity(), config_.icp);
+    if (icp.Improved()) remote.Transform(icp.transform);
+  }
+  CooperOutput out;
+  out.transmitter_points = remote.size();
+  out.fused_cloud = detector_.Densify(local_cloud);  // local viewpoint
+  out.fused_cloud.Merge(remote);           // Eq. 2: union of both clouds
+  out.fused = detector_.DetectPreprocessed(out.fused_cloud);
+  return out;
+}
+
+}  // namespace cooper::core

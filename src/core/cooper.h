@@ -1,0 +1,71 @@
+// The Cooper cooperative-perception pipeline (paper §II, §III).
+//
+// Receiver side: unpack a cooperator's exchange package, reconstruct its
+// cloud in the local frame via the GPS/IMU pose difference (Eq. 1-3), merge
+// with the local scan (Eq. 2) and run the shared SPOD detector on the fused
+// cloud.  The class also exposes the single-shot path so callers can compare
+// "single shot" vs "Cooper" exactly as the evaluation does.
+#pragma once
+
+#include <optional>
+
+#include "core/exchange.h"
+#include "core/roi.h"
+#include "pointcloud/icp.h"
+#include "spod/detector.h"
+
+namespace cooper::core {
+
+struct CooperConfig {
+  spod::SpodConfig detector;
+  spod::SensorResolution sensor;
+  pc::CodecConfig codec;
+  RoiConfig roi;
+  // When true, refine the GPS/IMU-derived Eq. 3 alignment with planar ICP on
+  // the above-ground structure before merging — recovers fusion quality when
+  // GPS drift exceeds the Fig. 10 bound (library extension, see DESIGN.md).
+  bool icp_refinement = false;
+  pc::IcpConfig icp;
+  std::uint64_t detector_weight_seed = 42;
+};
+
+/// Output of one cooperative-perception step.
+struct CooperOutput {
+  spod::SpodResult fused;              // detection on the merged cloud
+  pc::PointCloud fused_cloud;          // receiver frame
+  std::size_t transmitter_points = 0;  // points contributed by the package
+};
+
+class CooperPipeline {
+ public:
+  explicit CooperPipeline(const CooperConfig& config);
+
+  /// Sender side: build the package a vehicle would broadcast.
+  ExchangePackage MakePackage(std::uint32_t sender_id, double timestamp_s,
+                              RoiCategory roi, const NavMetadata& nav,
+                              const pc::PointCloud& local_cloud) const;
+
+  /// Single-shot perception on the local cloud only.
+  spod::SpodResult DetectSingleShot(const pc::PointCloud& local_cloud) const;
+
+  /// Cooperative perception: reconstruct + merge + detect.  Fails with
+  /// DATA_LOSS if the package payload is corrupt.
+  Result<CooperOutput> DetectCooperative(const pc::PointCloud& local_cloud,
+                                         const NavMetadata& local_nav,
+                                         const ExchangePackage& package) const;
+
+  /// Reconstruction only (Eq. 1-3): the package's cloud expressed in the
+  /// receiver's sensor frame.
+  Result<pc::PointCloud> ReconstructRemoteCloud(
+      const NavMetadata& local_nav, const ExchangePackage& package) const;
+
+  const CooperConfig& config() const { return config_; }
+  const spod::SpodDetector& detector() const { return detector_; }
+
+ private:
+  CooperConfig config_;
+  spod::SpodDetector detector_;
+  pc::CloudCodec codec_;
+};
+
+}  // namespace cooper::core

@@ -1,0 +1,98 @@
+#include "core/demand.h"
+
+#include <cstring>
+
+namespace cooper::core {
+namespace {
+
+void PutI32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(static_cast<std::uint32_t>(v) >> (8 * i)));
+  }
+}
+
+bool GetI32(const std::vector<std::uint8_t>& in, std::size_t* pos, std::int32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  std::uint32_t u = 0;
+  for (int i = 0; i < 4; ++i) u |= static_cast<std::uint32_t>(in[(*pos)++]) << (8 * i);
+  *v = static_cast<std::int32_t>(u);
+  return true;
+}
+
+}  // namespace
+
+Result<ImageFragment> ServeFragmentRequest(const FragmentRequest& request,
+                                           std::uint32_t sender_id,
+                                           const sim::CameraImage& image,
+                                           const sim::PinholeCamera& camera,
+                                           const geom::Pose& vehicle_pose) {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  if (!camera.ProjectBox(request.world_region, vehicle_pose, &x0, &y0, &x1, &y1)) {
+    return NotFoundError("requested region is outside this camera's view");
+  }
+  ImageFragment fragment;
+  fragment.request_id = request.request_id;
+  fragment.sender_id = sender_id;
+  fragment.x0 = x0;
+  fragment.y0 = y0;
+  fragment.width = x1 - x0 + 1;
+  fragment.height = y1 - y0 + 1;
+  fragment.pixels.reserve(static_cast<std::size_t>(fragment.width) * fragment.height);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      fragment.pixels.push_back(image.At(x, y));
+    }
+  }
+  return fragment;
+}
+
+std::vector<std::uint8_t> SerializeFragment(const ImageFragment& f) {
+  std::vector<std::uint8_t> out;
+  out.reserve(24 + f.SizeBytes());
+  PutI32(out, static_cast<std::int32_t>(f.request_id));
+  PutI32(out, static_cast<std::int32_t>(f.sender_id));
+  PutI32(out, f.x0);
+  PutI32(out, f.y0);
+  PutI32(out, f.width);
+  PutI32(out, f.height);
+  for (const auto& px : f.pixels) {
+    PutI32(out, px.object_id);
+    std::uint32_t depth_bits;
+    std::memcpy(&depth_bits, &px.depth, 4);
+    PutI32(out, static_cast<std::int32_t>(depth_bits));
+    out.push_back(px.shade);
+  }
+  return out;
+}
+
+Result<ImageFragment> DeserializeFragment(const std::vector<std::uint8_t>& bytes) {
+  ImageFragment f;
+  std::size_t pos = 0;
+  std::int32_t rid = 0, sid = 0;
+  if (!GetI32(bytes, &pos, &rid) || !GetI32(bytes, &pos, &sid) ||
+      !GetI32(bytes, &pos, &f.x0) || !GetI32(bytes, &pos, &f.y0) ||
+      !GetI32(bytes, &pos, &f.width) || !GetI32(bytes, &pos, &f.height)) {
+    return DataLossError("truncated fragment header");
+  }
+  f.request_id = static_cast<std::uint32_t>(rid);
+  f.sender_id = static_cast<std::uint32_t>(sid);
+  if (f.width <= 0 || f.height <= 0 || f.width > 8192 || f.height > 8192) {
+    return InvalidArgumentError("implausible fragment extent");
+  }
+  const std::size_t count = static_cast<std::size_t>(f.width) * f.height;
+  f.pixels.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sim::CameraPixel px;
+    std::int32_t depth_bits = 0;
+    if (!GetI32(bytes, &pos, &px.object_id) || !GetI32(bytes, &pos, &depth_bits) ||
+        pos >= bytes.size()) {
+      return DataLossError("truncated pixel stream");
+    }
+    std::memcpy(&px.depth, &depth_bits, 4);
+    px.shade = bytes[pos++];
+    f.pixels.push_back(px);
+  }
+  return f;
+}
+
+}  // namespace cooper::core

@@ -1,0 +1,59 @@
+// Demand-driven image-fragment exchange (§II-C).
+//
+// "For some applications, such as small object detection, for example
+//  license plate tracking, it is difficult for point clouds to recognise
+//  plate information.  However ... we are still able to locate the plates in
+//  point clouds and ask for its image data from connected vehicles. ...  In
+//  some cases it is necessary to extract a fragment of the image data."
+//
+// A receiver locates a region of interest in the (fused) point cloud —
+// typically a detection box — and sends a `FragmentRequest` naming that
+// region in the *world* frame; the cooperator projects the region into its
+// camera and answers with the cropped `ImageFragment`.  Fragments are tiny
+// compared to clouds, keeping the demand-driven channel cheap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/box.h"
+#include "sim/camera.h"
+
+namespace cooper::core {
+
+struct FragmentRequest {
+  std::uint32_t requester_id = 0;
+  std::uint32_t request_id = 0;
+  geom::Box3 world_region;  // e.g. a detection box lifted to the world frame
+};
+
+struct ImageFragment {
+  std::uint32_t request_id = 0;
+  std::uint32_t sender_id = 0;
+  int x0 = 0, y0 = 0;       // crop origin in the sender's image
+  int width = 0, height = 0;
+  std::vector<sim::CameraPixel> pixels;  // row-major, width x height
+
+  std::size_t SizeBytes() const {
+    return pixels.size() * (sizeof(std::int32_t) + sizeof(float) + 1);
+  }
+  const sim::CameraPixel& At(int x, int y) const {
+    return pixels[static_cast<std::size_t>(y) * width + x];
+  }
+};
+
+/// Sender side: projects the requested region into the camera image and
+/// crops it.  NOT_FOUND when the region is behind the camera or outside the
+/// frame.
+Result<ImageFragment> ServeFragmentRequest(const FragmentRequest& request,
+                                           std::uint32_t sender_id,
+                                           const sim::CameraImage& image,
+                                           const sim::PinholeCamera& camera,
+                                           const geom::Pose& vehicle_pose);
+
+/// Wire form of a fragment (little-endian header + per-pixel records).
+std::vector<std::uint8_t> SerializeFragment(const ImageFragment& fragment);
+Result<ImageFragment> DeserializeFragment(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace cooper::core

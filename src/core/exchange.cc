@@ -1,0 +1,31 @@
+#include "core/exchange.h"
+
+namespace cooper::core {
+
+const char* RoiCategoryName(RoiCategory roi) {
+  switch (roi) {
+    case RoiCategory::kFullFrame: return "ROI-1 full frame";
+    case RoiCategory::kFrontSector: return "ROI-2 front 120-deg sector";
+    case RoiCategory::kForwardLead: return "ROI-3 forward lead sector";
+  }
+  return "unknown";
+}
+
+ExchangePackage BuildPackage(std::uint32_t sender_id, double timestamp_s,
+                             RoiCategory roi, const NavMetadata& nav,
+                             const pc::PointCloud& roi_cloud,
+                             const pc::CloudCodec& codec) {
+  ExchangePackage p;
+  p.sender_id = sender_id;
+  p.timestamp_s = timestamp_s;
+  p.roi = roi;
+  p.nav = nav;
+  p.payload = codec.Encode(roi_cloud);
+  return p;
+}
+
+Result<pc::PointCloud> UnpackCloud(const ExchangePackage& package) {
+  return pc::CloudCodec::Decode(package.payload);
+}
+
+}  // namespace cooper::core

@@ -1,0 +1,63 @@
+// The Cooper exchange package (paper §II-D).
+//
+// "Additional information is encapsulated into the exchange package ...
+//  constituted from LiDAR sensor installation information and its GPS
+//  reading ... [and the] IMU reading" — exactly the fields below, plus the
+// compressed ROI point cloud payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/pose.h"
+#include "pointcloud/codec.h"
+#include "pointcloud/point_cloud.h"
+
+namespace cooper::core {
+
+/// Region-of-interest categories of Fig. 11 (§IV-G).
+enum class RoiCategory : std::uint8_t {
+  kFullFrame = 1,     // opposite-lane passing, no physical buffer: whole scan
+  kFrontSector = 2,   // junction: the 120-degree front field of view
+  kForwardLead = 3,   // lead car -> trailing car: one-way forward sector
+};
+
+const char* RoiCategoryName(RoiCategory roi);
+
+/// Navigation metadata carried in every package: the GPS position, the IMU
+/// attitude (yaw/pitch/roll of Eq. 1) and the LiDAR mount offset in the
+/// vehicle frame ("sensor installation information").
+struct NavMetadata {
+  geom::Vec3 gps_position;
+  geom::EulerAngles imu_attitude;
+  geom::Vec3 lidar_mount{0.0, 0.0, 0.0};
+
+  /// Pose of the *sensor* in the world frame.
+  geom::Pose SensorPose() const {
+    return geom::Pose::FromGpsImu(gps_position, imu_attitude) *
+           geom::Pose(geom::Mat3::Identity(), lidar_mount);
+  }
+};
+
+struct ExchangePackage {
+  std::uint32_t sender_id = 0;
+  double timestamp_s = 0.0;
+  RoiCategory roi = RoiCategory::kFullFrame;
+  NavMetadata nav;
+  std::vector<std::uint8_t> payload;  // codec-compressed ROI cloud
+
+  std::size_t PayloadBytes() const { return payload.size(); }
+  double PayloadMbit() const { return payload.size() * 8.0 / 1e6; }
+};
+
+/// Builds a package: compresses `roi_cloud` (sensor frame) with `codec`.
+ExchangePackage BuildPackage(std::uint32_t sender_id, double timestamp_s,
+                             RoiCategory roi, const NavMetadata& nav,
+                             const pc::PointCloud& roi_cloud,
+                             const pc::CloudCodec& codec);
+
+/// Decodes a package's payload back to a point cloud (sensor frame).
+Result<pc::PointCloud> UnpackCloud(const ExchangePackage& package);
+
+}  // namespace cooper::core

@@ -1,0 +1,41 @@
+#include "core/roi.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cooper::core {
+
+pc::PointCloud SubtractBackground(const pc::PointCloud& cloud,
+                                  const RoiConfig& config) {
+  const double ground_z = pc::EstimateGroundZ(cloud);
+  pc::PointCloud out;
+  out.reserve(cloud.size());
+  for (const auto& p : cloud) {
+    if (p.position.z - ground_z > config.background_height) continue;
+    if (p.position.NormXY() > config.max_share_range) continue;
+    out.push_back(p);
+  }
+  return out;
+}
+
+pc::PointCloud ExtractRoi(const pc::PointCloud& cloud, RoiCategory category,
+                          const RoiConfig& config) {
+  // ROI-1 transfers "the entirety of the frame of LiDAR data" (§IV-G) — no
+  // filtering, the safety-critical no-buffer case.  The sector ROIs subtract
+  // static background first.
+  if (category == RoiCategory::kFullFrame) return cloud;
+  const pc::PointCloud foreground = SubtractBackground(cloud, config);
+  switch (category) {
+    case RoiCategory::kFullFrame:
+      return cloud;  // unreachable; handled above
+    case RoiCategory::kFrontSector:
+      return foreground.FilterAzimuthSector(
+          0.0, geom::DegToRad(config.front_sector_half_fov_deg));
+    case RoiCategory::kForwardLead:
+      return foreground.FilterAzimuthSector(
+          0.0, geom::DegToRad(config.forward_half_fov_deg));
+  }
+  return foreground;
+}
+
+}  // namespace cooper::core

@@ -1,0 +1,33 @@
+// Region-of-interest extraction (paper §IV-G).
+//
+// Sharing a full scan every frame exceeds DSRC capacity, so Cooper extracts
+// only the data the cooperator needs: the full frame when there is no
+// physical buffer between vehicles (ROI-1), the 120-degree front sector at
+// junctions (ROI-2), or a one-way forward sector for lead->trail sharing
+// (ROI-3).  Background structure (buildings, trees — anything each vehicle
+// can map for itself over repeated traversals) is subtracted first.
+#pragma once
+
+#include "core/exchange.h"
+#include "pointcloud/point_cloud.h"
+
+namespace cooper::core {
+
+struct RoiConfig {
+  double front_sector_half_fov_deg = 60.0;  // 120-degree front view
+  double forward_half_fov_deg = 45.0;       // lead->trail sector
+  double max_share_range = 60.0;            // metres; beyond is not useful
+  double background_height = 2.6;           // points above this are static
+                                            // structure (buildings / signs)
+};
+
+/// Drops static background returns: anything above `background_height` over
+/// the estimated ground, plus out-of-share-range points.
+pc::PointCloud SubtractBackground(const pc::PointCloud& cloud,
+                                  const RoiConfig& config = {});
+
+/// Extracts the ROI from a (sensor-frame, x-forward) cloud.
+pc::PointCloud ExtractRoi(const pc::PointCloud& cloud, RoiCategory category,
+                          const RoiConfig& config = {});
+
+}  // namespace cooper::core

@@ -1,0 +1,69 @@
+#include "core/session.h"
+
+namespace cooper::core {
+
+CooperativeSession::CooperativeSession(const CooperConfig& config,
+                                       const SessionConfig& session_config)
+    : pipeline_(config), session_config_(session_config) {}
+
+Status CooperativeSession::ReceivePackage(ExchangePackage package,
+                                          double now_s) {
+  ExpireOld(now_s);
+  if (now_s - package.timestamp_s > session_config_.max_package_age_s) {
+    ++stats_.packages_rejected_old;
+    return FailedPreconditionError("package already stale on arrival");
+  }
+  const auto it = packages_.find(package.sender_id);
+  if (it != packages_.end()) {
+    if (package.timestamp_s <= it->second.timestamp_s) {
+      ++stats_.packages_rejected_old;
+      return FailedPreconditionError("older than the held frame");
+    }
+    it->second = std::move(package);
+    ++stats_.packages_replaced;
+    return Status::Ok();
+  }
+  if (packages_.size() >= session_config_.max_cooperators) {
+    ++stats_.packages_rejected_full;
+    return ResourceExhaustedError("cooperator slots full");
+  }
+  packages_.emplace(package.sender_id, std::move(package));
+  ++stats_.packages_accepted;
+  return Status::Ok();
+}
+
+void CooperativeSession::ExpireOld(double now_s) {
+  for (auto it = packages_.begin(); it != packages_.end();) {
+    if (now_s - it->second.timestamp_s > session_config_.max_package_age_s) {
+      it = packages_.erase(it);
+      ++stats_.packages_expired;
+    } else {
+      ++it;
+    }
+  }
+}
+
+CooperOutput CooperativeSession::DetectCooperative(
+    const pc::PointCloud& local_cloud, const NavMetadata& local_nav,
+    double now_s) {
+  ExpireOld(now_s);
+  CooperOutput out;
+  out.fused_cloud = pipeline_.detector().Densify(local_cloud);
+  for (const auto& [sender, package] : packages_) {
+    auto remote = pipeline_.ReconstructRemoteCloud(local_nav, package);
+    if (!remote.ok()) continue;  // corrupt payload: skip this cooperator
+    out.transmitter_points += remote->size();
+    out.fused_cloud.Merge(*remote);
+  }
+  out.fused = pipeline_.detector().DetectPreprocessed(out.fused_cloud);
+  return out;
+}
+
+std::vector<std::uint32_t> CooperativeSession::Cooperators() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(packages_.size());
+  for (const auto& [sender, package] : packages_) ids.push_back(sender);
+  return ids;
+}
+
+}  // namespace cooper::core

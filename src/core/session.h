@@ -1,0 +1,69 @@
+// Multi-cooperator session management.
+//
+// The paper's vision is a *network* of CAVs ("multiple vehicles can
+// collaborate together", §I), though its evaluation fuses pairs.  A
+// `CooperativeSession` is the receiver-side state for N cooperators: it
+// keeps the freshest package per sender, expires stale ones (the 1 Hz
+// exchange rate makes anything older than ~1.5 s useless for moving
+// scenes), enforces a cooperator cap, and fuses every fresh cloud with the
+// local scan in one detection pass.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/cooper.h"
+
+namespace cooper::core {
+
+struct SessionConfig {
+  double max_package_age_s = 1.5;  // discard packages older than this
+  std::size_t max_cooperators = 8; // bound memory and fusion cost
+};
+
+struct SessionStats {
+  std::size_t packages_accepted = 0;
+  std::size_t packages_replaced = 0;   // newer frame from a known sender
+  std::size_t packages_rejected_old = 0;   // older than what we hold
+  std::size_t packages_rejected_full = 0;  // cooperator cap hit
+  std::size_t packages_expired = 0;        // aged out before use
+};
+
+class CooperativeSession {
+ public:
+  CooperativeSession(const CooperConfig& config,
+                     const SessionConfig& session_config = {});
+
+  /// Accepts a package received at local time `now_s`.  Keeps only the
+  /// newest package per sender; rejects regressions and overflow.
+  Status ReceivePackage(ExchangePackage package, double now_s);
+
+  /// Fuses the local cloud with every fresh cooperator cloud (Eq. 1-3 per
+  /// package) and runs SPOD once on the merged frame.  Expired packages are
+  /// dropped as a side effect.
+  CooperOutput DetectCooperative(const pc::PointCloud& local_cloud,
+                                 const NavMetadata& local_nav, double now_s);
+
+  /// Single-shot baseline through the same detector.
+  spod::SpodResult DetectSingleShot(const pc::PointCloud& local_cloud) const {
+    return pipeline_.DetectSingleShot(local_cloud);
+  }
+
+  /// Senders currently holding a fresh slot.
+  std::vector<std::uint32_t> Cooperators() const;
+
+  std::size_t num_cooperators() const { return packages_.size(); }
+  const SessionStats& stats() const { return stats_; }
+  const CooperPipeline& pipeline() const { return pipeline_; }
+
+ private:
+  void ExpireOld(double now_s);
+
+  CooperPipeline pipeline_;
+  SessionConfig session_config_;
+  std::map<std::uint32_t, ExchangePackage> packages_;  // by sender id
+  SessionStats stats_;
+};
+
+}  // namespace cooper::core

@@ -1,0 +1,77 @@
+#include "eval/ap.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace cooper::eval {
+
+ApResult ComputeAp(const std::vector<std::vector<spod::Detection>>& detections,
+                   const std::vector<std::vector<geom::Box3>>& ground_truth,
+                   const MatchConfig& config) {
+  COOPER_CHECK(detections.size() == ground_truth.size());
+  ApResult result;
+  for (const auto& gts : ground_truth) result.num_ground_truth += gts.size();
+  if (result.num_ground_truth == 0) return result;
+
+  // Pool detections with their frame index and sort by descending score.
+  struct Pooled {
+    double score;
+    std::size_t frame;
+    const spod::Detection* det;
+  };
+  std::vector<Pooled> pooled;
+  for (std::size_t f = 0; f < detections.size(); ++f) {
+    for (const auto& d : detections[f]) pooled.push_back({d.score, f, &d});
+  }
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Pooled& a, const Pooled& b) { return a.score > b.score; });
+
+  std::vector<std::vector<bool>> gt_used(ground_truth.size());
+  for (std::size_t f = 0; f < ground_truth.size(); ++f) {
+    gt_used[f].assign(ground_truth[f].size(), false);
+  }
+
+  std::size_t tp = 0, fp = 0;
+  for (const auto& p : pooled) {
+    // Greedy: nearest unused ground truth within the gates.
+    int best_gt = -1;
+    double best_dist = config.max_center_distance;
+    const auto& gts = ground_truth[p.frame];
+    for (std::size_t gi = 0; gi < gts.size(); ++gi) {
+      if (gt_used[p.frame][gi]) continue;
+      const double dist = geom::BevCenterDistance(p.det->box, gts[gi]);
+      if (dist > best_dist) continue;
+      if (geom::BevIou(p.det->box, gts[gi]) < config.min_iou) continue;
+      best_dist = dist;
+      best_gt = static_cast<int>(gi);
+    }
+    if (best_gt >= 0) {
+      gt_used[p.frame][static_cast<std::size_t>(best_gt)] = true;
+      ++tp;
+    } else {
+      ++fp;
+    }
+    result.curve.push_back(
+        {static_cast<double>(tp) / static_cast<double>(result.num_ground_truth),
+         static_cast<double>(tp) / static_cast<double>(tp + fp), p.score});
+  }
+  result.true_positives = tp;
+  result.false_positives = fp;
+
+  // All-point interpolation: precision envelope from the right.
+  double running_max = 0.0;
+  std::vector<double> envelope(result.curve.size());
+  for (std::size_t i = result.curve.size(); i-- > 0;) {
+    running_max = std::max(running_max, result.curve[i].precision);
+    envelope[i] = running_max;
+  }
+  double prev_recall = 0.0;
+  for (std::size_t i = 0; i < result.curve.size(); ++i) {
+    result.ap += (result.curve[i].recall - prev_recall) * envelope[i];
+    prev_recall = result.curve[i].recall;
+  }
+  return result;
+}
+
+}  // namespace cooper::eval

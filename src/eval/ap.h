@@ -1,0 +1,33 @@
+// Average precision over a set of frames — the KITTI-style summary metric
+// the paper quotes for VoxelNet in §III-A.  Detections are pooled across
+// frames, swept from the highest score down, and greedily matched to unused
+// ground truth within each frame; AP is the area under the resulting
+// precision-recall curve (all-point interpolation).
+#pragma once
+
+#include <vector>
+
+#include "eval/matching.h"
+
+namespace cooper::eval {
+
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+  double score = 0.0;  // threshold producing this point
+};
+
+struct ApResult {
+  double ap = 0.0;
+  std::size_t num_ground_truth = 0;
+  std::size_t true_positives = 0;   // at the lowest threshold
+  std::size_t false_positives = 0;
+  std::vector<PrPoint> curve;       // one point per detection, score-ordered
+};
+
+/// `detections[i]` and `ground_truth[i]` describe frame i (same frame count).
+ApResult ComputeAp(const std::vector<std::vector<spod::Detection>>& detections,
+                   const std::vector<std::vector<geom::Box3>>& ground_truth,
+                   const MatchConfig& config = {});
+
+}  // namespace cooper::eval

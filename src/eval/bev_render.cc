@@ -1,0 +1,95 @@
+#include "eval/bev_render.h"
+
+#include <cmath>
+
+namespace cooper::eval {
+
+BevCanvas::BevCanvas(const BevRenderConfig& config)
+    : config_(config),
+      width_(static_cast<int>((config.max_x - config.min_x) / config.cell)),
+      height_(static_cast<int>((config.max_y - config.min_y) / config.cell)),
+      grid_(static_cast<std::size_t>(width_) * height_, ' '),
+      point_counts_(static_cast<std::size_t>(width_) * height_, 0) {}
+
+bool BevCanvas::ToCell(double x, double y, int* cx, int* cy) const {
+  if (x < config_.min_x || x >= config_.max_x || y < config_.min_y ||
+      y >= config_.max_y) {
+    return false;
+  }
+  *cx = static_cast<int>((x - config_.min_x) / config_.cell);
+  *cy = static_cast<int>((y - config_.min_y) / config_.cell);
+  return true;
+}
+
+void BevCanvas::Put(int cx, int cy, char c) {
+  grid_[static_cast<std::size_t>(cy) * width_ + cx] = c;
+}
+
+void BevCanvas::DrawPoints(const pc::PointCloud& cloud) {
+  for (const auto& p : cloud) {
+    int cx, cy;
+    if (!ToCell(p.position.x, p.position.y, &cx, &cy)) continue;
+    auto& count = point_counts_[static_cast<std::size_t>(cy) * width_ + cx];
+    ++count;
+    char& cell = grid_[static_cast<std::size_t>(cy) * width_ + cx];
+    if (cell == ' ' || cell == '.' || cell == ':') {
+      cell = count >= config_.dense_points ? ':' : '.';
+    }
+  }
+}
+
+void BevCanvas::DrawGroundTruth(const std::vector<geom::Box3>& boxes) {
+  for (const auto& box : boxes) {
+    const auto corners = box.BevCorners();
+    for (int i = 0; i < 4; ++i) {
+      const auto& a = corners[static_cast<std::size_t>(i)];
+      const auto& b = corners[static_cast<std::size_t>((i + 1) % 4)];
+      const int steps = 1 + static_cast<int>((b - a).NormXY() / (0.5 * config_.cell));
+      for (int s = 0; s <= steps; ++s) {
+        const double t = static_cast<double>(s) / steps;
+        int cx, cy;
+        if (ToCell(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y), &cx, &cy)) {
+          Put(cx, cy, '#');
+        }
+      }
+    }
+  }
+}
+
+void BevCanvas::DrawDetections(const std::vector<spod::Detection>& detections) {
+  for (const auto& d : detections) {
+    int cx, cy;
+    if (!ToCell(d.box.center.x, d.box.center.y, &cx, &cy)) continue;
+    char c = 'x';
+    if (d.score >= config_.score_threshold) {
+      switch (d.cls) {
+        case spod::ObjectClass::kCar: c = 'C'; break;
+        case spod::ObjectClass::kPedestrian: c = 'P'; break;
+        case spod::ObjectClass::kCyclist: c = 'B'; break;
+      }
+    }
+    Put(cx, cy, c);
+  }
+}
+
+void BevCanvas::DrawSensor() {
+  int cx, cy;
+  if (ToCell(0.0, 0.0, &cx, &cy)) Put(cx, cy, '@');
+}
+
+std::string BevCanvas::Render() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(width_ + 1) * height_ + 120);
+  // Top row = max_y, so +y (left of the vehicle) prints upward.
+  for (int cy = height_ - 1; cy >= 0; --cy) {
+    for (int cx = 0; cx < width_; ++cx) {
+      out.push_back(grid_[static_cast<std::size_t>(cy) * width_ + cx]);
+    }
+    out.push_back('\n');
+  }
+  out += "legend: @ sensor  . points  : dense  # ground truth  C car  P "
+         "pedestrian  B cyclist  x below threshold\n";
+  return out;
+}
+
+}  // namespace cooper::eval

@@ -1,0 +1,49 @@
+// ASCII bird's-eye-view renderer for terminal demos and debugging.
+//
+// Renders point density, ground-truth boxes and detections of a frame into
+// a character grid — the textual analogue of the paper's Fig. 2/5 panels.
+// Legend: '.' sparse points, ':' dense points, '#' ground-truth outline,
+// 'C'/'P'/'B' detected car/pedestrian/cyclist centers, 'x' sub-threshold
+// detection, '@' the sensor.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/box.h"
+#include "pointcloud/point_cloud.h"
+#include "spod/detection.h"
+
+namespace cooper::eval {
+
+struct BevRenderConfig {
+  double min_x = -10.0, max_x = 60.0;
+  double min_y = -30.0, max_y = 30.0;
+  double cell = 1.0;           // metres per character cell
+  double score_threshold = 0.5;
+  std::size_t dense_points = 12;  // per cell for ':'
+};
+
+class BevCanvas {
+ public:
+  explicit BevCanvas(const BevRenderConfig& config = {});
+
+  void DrawPoints(const pc::PointCloud& cloud);
+  void DrawGroundTruth(const std::vector<geom::Box3>& boxes);
+  void DrawDetections(const std::vector<spod::Detection>& detections);
+  void DrawSensor();
+
+  /// Renders the grid (top row = max_y) with a one-line legend.
+  std::string Render() const;
+
+ private:
+  bool ToCell(double x, double y, int* cx, int* cy) const;
+  void Put(int cx, int cy, char c);
+
+  BevRenderConfig config_;
+  int width_, height_;
+  std::vector<char> grid_;
+  std::vector<std::uint16_t> point_counts_;
+};
+
+}  // namespace cooper::eval

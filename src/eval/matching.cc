@@ -1,0 +1,43 @@
+#include "eval/matching.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace cooper::eval {
+
+std::vector<GtMatch> MatchDetections(const std::vector<spod::Detection>& detections,
+                                     const std::vector<geom::Box3>& ground_truth,
+                                     const MatchConfig& config) {
+  std::vector<GtMatch> matches(ground_truth.size());
+  std::vector<std::size_t> order(detections.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return detections[a].score > detections[b].score;
+  });
+
+  std::vector<bool> gt_taken(ground_truth.size(), false);
+  for (const auto di : order) {
+    const auto& det = detections[di];
+    int best_gt = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t gi = 0; gi < ground_truth.size(); ++gi) {
+      if (gt_taken[gi]) continue;
+      const double dist = geom::BevCenterDistance(det.box, ground_truth[gi]);
+      const double iou = geom::BevIou(det.box, ground_truth[gi]);
+      const bool gated = dist <= config.max_center_distance && iou >= config.min_iou;
+      if (!gated && iou < config.strong_iou) continue;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best_gt = static_cast<int>(gi);
+      }
+    }
+    if (best_gt >= 0) {
+      gt_taken[best_gt] = true;
+      matches[best_gt] = GtMatch{true, det.score, static_cast<int>(di)};
+    }
+  }
+  return matches;
+}
+
+}  // namespace cooper::eval

@@ -1,0 +1,39 @@
+// Detection <-> ground-truth matching.
+//
+// Greedy assignment by descending score; a detection matches a ground-truth
+// box when their BEV centers are within `max_center_distance` (partial-view
+// box completion shifts centers slightly, so center-gating is more stable
+// than a hard IoU cut) and BEV IoU clears a loose floor.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geom/box.h"
+#include "spod/detection.h"
+
+namespace cooper::eval {
+
+struct MatchConfig {
+  double max_center_distance = 2.0;  // metres
+  double min_iou = 0.05;             // loose BEV IoU floor
+  // A detection overlapping a ground-truth box this strongly matches even
+  // when its center is outside the distance gate — small-class boxes (a car
+  // sliver classified as cyclist) sit at the visible edge of the object,
+  // far from the full box's center.
+  double strong_iou = 0.08;
+};
+
+/// Per ground-truth result: the matched detection's score, if any.
+struct GtMatch {
+  bool matched = false;
+  double score = 0.0;
+  int detection_index = -1;
+};
+
+/// `matches[i]` corresponds to `ground_truth[i]`.
+std::vector<GtMatch> MatchDetections(const std::vector<spod::Detection>& detections,
+                                     const std::vector<geom::Box3>& ground_truth,
+                                     const MatchConfig& config = {});
+
+}  // namespace cooper::eval

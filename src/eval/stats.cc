@@ -1,0 +1,77 @@
+#include "eval/stats.h"
+
+#include <algorithm>
+
+namespace cooper::eval {
+
+const char* DifficultyName(Difficulty d) {
+  switch (d) {
+    case Difficulty::kEasy: return "easy";
+    case Difficulty::kModerate: return "moderate";
+    case Difficulty::kHard: return "hard";
+  }
+  return "unknown";
+}
+
+Difficulty ClassifyTarget(const TargetOutcome& t) {
+  const int n = (t.detected_a ? 1 : 0) + (t.detected_b ? 1 : 0);
+  if (n == 2) return Difficulty::kEasy;
+  if (n == 1) return Difficulty::kModerate;
+  return Difficulty::kHard;
+}
+
+double ScoreImprovement(const TargetOutcome& t) {
+  // The paper's accounting: an undetected object has no reported score, so
+  // the baseline for a "hard" object is 0 — which is why hard objects that
+  // Cooper detects gain at least ~50 raw points (the detection threshold).
+  const double best_single = std::max(t.detected_a ? t.score_a : 0.0,
+                                      t.detected_b ? t.score_b : 0.0);
+  return (t.score_coop - best_single) * 100.0;
+}
+
+std::vector<double> ImprovementsByDifficulty(const std::vector<CaseOutcome>& cases,
+                                             Difficulty d) {
+  std::vector<double> out;
+  for (const auto& c : cases) {
+    for (const auto& t : c.targets) {
+      if (!t.in_range_a && !t.in_range_b) continue;
+      if (!t.detected_coop) continue;  // Fig. 8 population: objects Cooper sees
+      if (ClassifyTarget(t) != d) continue;
+      out.push_back(ScoreImprovement(t));
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> values) {
+  std::vector<std::pair<double, double>> cdf;
+  if (values.empty()) return cdf;
+  std::sort(values.begin(), values.end());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    cdf.emplace_back(values[i],
+                     static_cast<double>(i + 1) / static_cast<double>(values.size()));
+  }
+  return cdf;
+}
+
+CaseSummary Summarize(const CaseOutcome& outcome) {
+  CaseSummary s;
+  s.scenario_name = outcome.scenario_name;
+  s.case_name = outcome.case_name;
+  int in_a = 0, in_b = 0;
+  for (const auto& t : outcome.targets) {
+    if (t.in_range_a) ++in_a;
+    if (t.in_range_b) ++in_b;
+    if (t.in_range_a || t.in_range_b) ++s.in_range_total;
+    if (t.detected_a) ++s.detected_a;
+    if (t.detected_b) ++s.detected_b;
+    if (t.detected_coop) ++s.detected_coop;
+  }
+  s.accuracy_a = in_a > 0 ? 100.0 * s.detected_a / in_a : 0.0;
+  s.accuracy_b = in_b > 0 ? 100.0 * s.detected_b / in_b : 0.0;
+  s.accuracy_coop =
+      s.in_range_total > 0 ? 100.0 * s.detected_coop / s.in_range_total : 0.0;
+  return s;
+}
+
+}  // namespace cooper::eval

@@ -1,0 +1,50 @@
+// Statistical analysis of case outcomes (paper §IV-E).
+//
+// Difficulty classes: easy = both single shots detect the object, moderate =
+// exactly one does, hard = neither.  The Fig. 8 CDF is over the raw score
+// improvement of cooperative perception versus the best single shot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace cooper::eval {
+
+enum class Difficulty { kEasy, kModerate, kHard };
+
+const char* DifficultyName(Difficulty d);
+
+/// Classification per §IV-E; only meaningful for targets in range of at
+/// least one viewpoint.
+Difficulty ClassifyTarget(const TargetOutcome& t);
+
+/// Raw score improvement of Cooper over the best single shot, in percentage
+/// points (0.36 -> 36).
+double ScoreImprovement(const TargetOutcome& t);
+
+/// Targets of a difficulty class across many cases, in range of >= 1
+/// viewpoint and detected by Cooper (the paper's population for Fig. 8).
+std::vector<double> ImprovementsByDifficulty(const std::vector<CaseOutcome>& cases,
+                                             Difficulty d);
+
+/// Empirical CDF: returns sorted (value, cumulative_fraction) pairs.
+std::vector<std::pair<double, double>> EmpiricalCdf(std::vector<double> values);
+
+/// Per-case summary for the Fig. 4 / Fig. 7 bar charts.
+struct CaseSummary {
+  std::string scenario_name;
+  std::string case_name;
+  int detected_a = 0;
+  int detected_b = 0;
+  int detected_coop = 0;
+  int in_range_total = 0;       // cars in range of >= 1 viewpoint
+  double accuracy_a = 0.0;      // detected / in-range(viewpoint), percent
+  double accuracy_b = 0.0;
+  double accuracy_coop = 0.0;   // detected / in-range(either), percent
+};
+
+CaseSummary Summarize(const CaseOutcome& outcome);
+
+}  // namespace cooper::eval

@@ -1,0 +1,140 @@
+#include "geom/box.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cooper::geom {
+
+std::array<Vec3, 4> Box3::BevCorners() const {
+  const double c = std::cos(yaw), s = std::sin(yaw);
+  const double hl = 0.5 * length, hw = 0.5 * width;
+  // Box-frame corners, counter-clockwise.
+  const std::array<std::pair<double, double>, 4> local = {
+      {{hl, hw}, {-hl, hw}, {-hl, -hw}, {hl, -hw}}};
+  std::array<Vec3, 4> out;
+  for (int i = 0; i < 4; ++i) {
+    const auto [lx, ly] = local[i];
+    out[i] = {center.x + c * lx - s * ly, center.y + s * lx + c * ly, center.z};
+  }
+  return out;
+}
+
+std::array<Vec3, 8> Box3::Corners() const {
+  const auto bev = BevCorners();
+  std::array<Vec3, 8> out;
+  const double z0 = center.z - 0.5 * height;
+  const double z1 = center.z + 0.5 * height;
+  for (int i = 0; i < 4; ++i) {
+    out[i] = {bev[i].x, bev[i].y, z0};
+    out[i + 4] = {bev[i].x, bev[i].y, z1};
+  }
+  return out;
+}
+
+bool Box3::Contains(const Vec3& p) const {
+  if (std::abs(p.z - center.z) > 0.5 * height) return false;
+  const double c = std::cos(yaw), s = std::sin(yaw);
+  const double dx = p.x - center.x, dy = p.y - center.y;
+  // Rotate into the box frame.
+  const double lx = c * dx + s * dy;
+  const double ly = -s * dx + c * dy;
+  return std::abs(lx) <= 0.5 * length && std::abs(ly) <= 0.5 * width;
+}
+
+Box3 Box3::Transformed(const Pose& pose) const {
+  Box3 out = *this;
+  out.center = pose * center;
+  // Extract the yaw component of the pose's rotation from its x-axis image.
+  const Vec3 xaxis = pose.RotateOnly({1, 0, 0});
+  out.yaw = WrapAngle(yaw + std::atan2(xaxis.y, xaxis.x));
+  return out;
+}
+
+Box3 Box3::Expanded(double margin) const {
+  Box3 out = *this;
+  out.length += 2.0 * margin;
+  out.width += 2.0 * margin;
+  out.height += 2.0 * margin;
+  return out;
+}
+
+double PolygonArea(const std::vector<Vec3>& poly) {
+  if (poly.size() < 3) return 0.0;
+  double a = 0.0;
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    const auto& p = poly[i];
+    const auto& q = poly[(i + 1) % poly.size()];
+    a += p.x * q.y - q.x * p.y;
+  }
+  return 0.5 * std::abs(a);
+}
+
+namespace {
+
+// Signed area test: > 0 means c is left of a->b.
+double Cross2(const Vec3& a, const Vec3& b, const Vec3& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+Vec3 SegmentIntersect(const Vec3& a, const Vec3& b, const Vec3& c, const Vec3& d) {
+  const double a1 = b.y - a.y, b1 = a.x - b.x, c1 = a1 * a.x + b1 * a.y;
+  const double a2 = d.y - c.y, b2 = c.x - d.x, c2 = a2 * c.x + b2 * c.y;
+  const double det = a1 * b2 - a2 * b1;
+  if (std::abs(det) < 1e-18) return a;  // parallel; degenerate, caller clips away
+  return {(b2 * c1 - b1 * c2) / det, (a1 * c2 - a2 * c1) / det, a.z};
+}
+
+}  // namespace
+
+std::vector<Vec3> ClipConvexPolygon(const std::vector<Vec3>& subject,
+                                    const std::vector<Vec3>& clip) {
+  std::vector<Vec3> output = subject;
+  for (std::size_t i = 0; i < clip.size() && !output.empty(); ++i) {
+    const Vec3& ca = clip[i];
+    const Vec3& cb = clip[(i + 1) % clip.size()];
+    std::vector<Vec3> input;
+    input.swap(output);
+    for (std::size_t j = 0; j < input.size(); ++j) {
+      const Vec3& p = input[j];
+      const Vec3& q = input[(j + 1) % input.size()];
+      const bool p_in = Cross2(ca, cb, p) >= -1e-12;
+      const bool q_in = Cross2(ca, cb, q) >= -1e-12;
+      if (p_in) {
+        output.push_back(p);
+        if (!q_in) output.push_back(SegmentIntersect(p, q, ca, cb));
+      } else if (q_in) {
+        output.push_back(SegmentIntersect(p, q, ca, cb));
+      }
+    }
+  }
+  return output;
+}
+
+double BevIntersectionArea(const Box3& a, const Box3& b) {
+  const auto ca = a.BevCorners();
+  const auto cb = b.BevCorners();
+  const std::vector<Vec3> pa(ca.begin(), ca.end());
+  const std::vector<Vec3> pb(cb.begin(), cb.end());
+  return PolygonArea(ClipConvexPolygon(pa, pb));
+}
+
+double BevIou(const Box3& a, const Box3& b) {
+  const double inter = BevIntersectionArea(a, b);
+  const double uni = a.BevArea() + b.BevArea() - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+double Iou3d(const Box3& a, const Box3& b) {
+  const double z_lo = std::max(a.center.z - 0.5 * a.height, b.center.z - 0.5 * b.height);
+  const double z_hi = std::min(a.center.z + 0.5 * a.height, b.center.z + 0.5 * b.height);
+  const double dz = std::max(0.0, z_hi - z_lo);
+  const double inter = BevIntersectionArea(a, b) * dz;
+  const double uni = a.Volume() + b.Volume() - inter;
+  return uni > 0.0 ? inter / uni : 0.0;
+}
+
+double BevCenterDistance(const Box3& a, const Box3& b) {
+  return (Vec3{a.center.x, a.center.y, 0} - Vec3{b.center.x, b.center.y, 0}).Norm();
+}
+
+}  // namespace cooper::geom

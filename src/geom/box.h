@@ -1,0 +1,62 @@
+// Oriented 3D bounding boxes (the detector's output and the simulator's
+// object representation).  Boxes are axis-aligned in z (upright), with a yaw
+// heading in the ground plane — the standard LiDAR-detection parameterisation.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "geom/pose.h"
+#include "geom/vec3.h"
+
+namespace cooper::geom {
+
+struct Box3 {
+  Vec3 center;          // geometric center (world/vehicle frame)
+  double length = 0.0;  // extent along heading (x in box frame)
+  double width = 0.0;   // extent across heading (y in box frame)
+  double height = 0.0;  // extent in z
+  double yaw = 0.0;     // heading about z, radians
+
+  double Volume() const { return length * width * height; }
+  double BevArea() const { return length * width; }
+
+  /// The 4 ground-plane (BEV) corners, counter-clockwise.
+  std::array<Vec3, 4> BevCorners() const;
+
+  /// All 8 corners; first 4 bottom face (ccw), last 4 top face.
+  std::array<Vec3, 8> Corners() const;
+
+  /// True if p lies inside the box (inclusive).
+  bool Contains(const Vec3& p) const;
+
+  /// Box after a rigid transform (upright boxes stay upright because our
+  /// vehicle poses are yaw-only in practice; pitch/roll of the transform is
+  /// applied to the center but the box keeps its z-up orientation).
+  Box3 Transformed(const Pose& pose) const;
+
+  /// Expanded by margin on every side (BEV + height).
+  Box3 Expanded(double margin) const;
+};
+
+/// Area of a convex polygon given ccw vertices in the xy-plane.
+double PolygonArea(const std::vector<Vec3>& poly);
+
+/// Sutherland-Hodgman clip of polygon `subject` against convex `clip`
+/// (both ccw, xy-plane).  Returns the intersection polygon.
+std::vector<Vec3> ClipConvexPolygon(const std::vector<Vec3>& subject,
+                                    const std::vector<Vec3>& clip);
+
+/// Bird's-eye-view intersection area of two boxes.
+double BevIntersectionArea(const Box3& a, const Box3& b);
+
+/// BEV IoU in [0, 1].
+double BevIou(const Box3& a, const Box3& b);
+
+/// Full 3D IoU: BEV intersection x z-overlap.
+double Iou3d(const Box3& a, const Box3& b);
+
+/// Center-distance in the ground plane.
+double BevCenterDistance(const Box3& a, const Box3& b);
+
+}  // namespace cooper::geom

@@ -1,0 +1,57 @@
+// Rigid transforms (SE(3)) built from the paper's GPS+IMU state model.
+//
+// A vehicle's `Pose` maps points from its local (sensor/vehicle) frame into
+// the shared world frame: p_world = R * p_local + t.  Fusion (Eq. 2-3) uses
+// `Between(receiver, transmitter)` to express the transmitter's points in the
+// receiver's frame.
+#pragma once
+
+#include "geom/rotation.h"
+#include "geom/vec3.h"
+
+namespace cooper::geom {
+
+class Pose {
+ public:
+  Pose() = default;
+  Pose(const Mat3& rotation, const Vec3& translation)
+      : r_(rotation), t_(translation) {}
+
+  /// Pose from GPS position and IMU attitude (Eq. 1 rotation).
+  static Pose FromGpsImu(const Vec3& position, const EulerAngles& attitude) {
+    return Pose(RotationFromEuler(attitude), position);
+  }
+
+  static Pose Identity() { return Pose(); }
+
+  const Mat3& rotation() const { return r_; }
+  const Vec3& translation() const { return t_; }
+
+  /// Applies the transform: R * p + t.
+  Vec3 operator*(const Vec3& p) const { return r_ * p + t_; }
+
+  /// Composition: (a * b) * p == a * (b * p).
+  Pose operator*(const Pose& o) const {
+    return Pose(r_ * o.r_, r_ * o.t_ + t_);
+  }
+
+  Pose Inverse() const {
+    const Mat3 rt = r_.Transposed();
+    return Pose(rt, -(rt * t_));
+  }
+
+  /// Transform taking points in `b`'s frame to `a`'s frame, given both poses
+  /// in a common world frame: a^-1 * b.  This is the paper's Eq. 3 transform
+  /// computed from "the IMU value difference between transmitter and
+  /// receiver" plus the GPS positional offset.
+  static Pose Between(const Pose& a, const Pose& b) { return a.Inverse() * b; }
+
+  /// Rotates a direction only (no translation).
+  Vec3 RotateOnly(const Vec3& v) const { return r_ * v; }
+
+ private:
+  Mat3 r_;
+  Vec3 t_;
+};
+
+}  // namespace cooper::geom

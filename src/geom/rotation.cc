@@ -1,0 +1,68 @@
+#include "geom/rotation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cooper::geom {
+
+double WrapAngle(double rad) {
+  const double two_pi = 2.0 * 3.141592653589793238462643;
+  double a = std::fmod(rad, two_pi);
+  if (a <= -3.141592653589793238462643) a += two_pi;
+  if (a > 3.141592653589793238462643) a -= two_pi;
+  return a;
+}
+
+Mat3 Rz(double a) {
+  const double c = std::cos(a), s = std::sin(a);
+  Mat3 r;
+  r.m = {{{c, -s, 0}, {s, c, 0}, {0, 0, 1}}};
+  return r;
+}
+
+Mat3 Ry(double b) {
+  const double c = std::cos(b), s = std::sin(b);
+  Mat3 r;
+  r.m = {{{c, 0, s}, {0, 1, 0}, {-s, 0, c}}};
+  return r;
+}
+
+Mat3 Rx(double g) {
+  const double c = std::cos(g), s = std::sin(g);
+  Mat3 r;
+  r.m = {{{1, 0, 0}, {0, c, -s}, {0, s, c}}};
+  return r;
+}
+
+Mat3 RotationFromEuler(const EulerAngles& e) {
+  return Rz(e.yaw) * Ry(e.pitch) * Rx(e.roll);
+}
+
+EulerAngles EulerFromRotation(const Mat3& r) {
+  EulerAngles e;
+  // For R = Rz(a)Ry(b)Rx(g): r20 = -sin(b), r10/r00 = tan(a), r21/r22 = tan(g).
+  e.pitch = std::asin(std::clamp(-r(2, 0), -1.0, 1.0));
+  if (std::abs(r(2, 0)) < 1.0 - 1e-12) {
+    e.yaw = std::atan2(r(1, 0), r(0, 0));
+    e.roll = std::atan2(r(2, 1), r(2, 2));
+  } else {
+    // Gimbal lock: yaw and roll are coupled; put all rotation in yaw.
+    e.yaw = std::atan2(-r(0, 1), r(1, 1));
+    e.roll = 0.0;
+  }
+  return e;
+}
+
+double Determinant(const Mat3& r) {
+  return r(0, 0) * (r(1, 1) * r(2, 2) - r(1, 2) * r(2, 1)) -
+         r(0, 1) * (r(1, 0) * r(2, 2) - r(1, 2) * r(2, 0)) +
+         r(0, 2) * (r(1, 0) * r(2, 1) - r(1, 1) * r(2, 0));
+}
+
+bool IsRotation(const Mat3& r, double tol) {
+  const Mat3 should_be_identity = r * r.Transposed();
+  if (MaxAbsDiff(should_be_identity, Mat3::Identity()) > tol) return false;
+  return std::abs(Determinant(r) - 1.0) <= tol;
+}
+
+}  // namespace cooper::geom

@@ -1,0 +1,35 @@
+// Rotation construction per Eq. 1 of the paper:
+//   R = Rz(alpha) * Ry(beta) * Rx(gamma)
+// where alpha/beta/gamma are the IMU yaw/pitch/roll angles.
+#pragma once
+
+#include "geom/vec3.h"
+
+namespace cooper::geom {
+
+/// Basic rotation about the z-axis by `a` radians.
+Mat3 Rz(double a);
+/// Basic rotation about the y-axis by `b` radians.
+Mat3 Ry(double b);
+/// Basic rotation about the x-axis by `g` radians.
+Mat3 Rx(double g);
+
+/// IMU attitude as the paper's (alpha, beta, gamma) = (yaw, pitch, roll).
+struct EulerAngles {
+  double yaw = 0.0;    // alpha, about z
+  double pitch = 0.0;  // beta, about y
+  double roll = 0.0;   // gamma, about x
+};
+
+/// Eq. 1: R = Rz(yaw) * Ry(pitch) * Rx(roll).
+Mat3 RotationFromEuler(const EulerAngles& e);
+
+/// Inverse of RotationFromEuler for proper rotations; pitch in [-pi/2, pi/2].
+EulerAngles EulerFromRotation(const Mat3& r);
+
+/// True if r is orthonormal with determinant +1 (within tol).
+bool IsRotation(const Mat3& r, double tol = 1e-9);
+
+double Determinant(const Mat3& r);
+
+}  // namespace cooper::geom

@@ -1,0 +1,101 @@
+// 3D vector and 3x3 matrix value types.
+//
+// The whole system only needs 3D affine math, so a purpose-built pair of
+// types is used instead of a general linear-algebra dependency.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace cooper::geom {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double px, double py, double pz) : x(px), y(py), z(pz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+  constexpr double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double Norm() const { return std::sqrt(Dot(*this)); }
+  constexpr double SquaredNorm() const { return Dot(*this); }
+  /// Length of the (x, y) projection — the ground-plane range.
+  double NormXY() const { return std::hypot(x, y); }
+  Vec3 Normalized() const {
+    const double n = Norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+
+  friend constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+};
+
+/// Row-major 3x3 matrix.
+struct Mat3 {
+  // m[r][c]
+  std::array<std::array<double, 3>, 3> m{{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}};
+
+  static constexpr Mat3 Identity() { return Mat3{}; }
+
+  constexpr double operator()(int r, int c) const { return m[r][c]; }
+  double& operator()(int r, int c) { return m[r][c]; }
+
+  Vec3 operator*(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+
+  Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        double s = 0.0;
+        for (int k = 0; k < 3; ++k) s += m[i][k] * o.m[k][j];
+        r.m[i][j] = s;
+      }
+    }
+    return r;
+  }
+
+  /// Transpose; for rotation matrices this is the inverse.
+  Mat3 Transposed() const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+      for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+    return r;
+  }
+
+  double Trace() const { return m[0][0] + m[1][1] + m[2][2]; }
+};
+
+/// Max absolute component difference — handy for approximate comparisons.
+inline double MaxAbsDiff(const Mat3& a, const Mat3& b) {
+  double d = 0.0;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) d = std::max(d, std::abs(a.m[i][j] - b.m[i][j]));
+  return d;
+}
+
+inline double DegToRad(double deg) { return deg * (3.141592653589793238462643 / 180.0); }
+inline double RadToDeg(double rad) { return rad * (180.0 / 3.141592653589793238462643); }
+
+/// Wraps an angle to (-pi, pi].
+double WrapAngle(double rad);
+
+}  // namespace cooper::geom

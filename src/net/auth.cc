@@ -1,0 +1,120 @@
+#include "net/auth.h"
+
+#include <cstring>
+
+namespace cooper::net {
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline void SipRound(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) {
+  v0 += v1;
+  v1 = Rotl(v1, 13);
+  v1 ^= v0;
+  v0 = Rotl(v0, 32);
+  v2 += v3;
+  v3 = Rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = Rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = Rotl(v1, 17);
+  v1 ^= v2;
+  v2 = Rotl(v2, 32);
+}
+
+std::uint64_t LoadLe64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t SipHash24(const MacKey& key, const std::uint8_t* data,
+                        std::size_t size) {
+  const std::uint64_t k0 = LoadLe64(key.data());
+  const std::uint64_t k1 = LoadLe64(key.data() + 8);
+  std::uint64_t v0 = 0x736f6d6570736575ull ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dull ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ull ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ull ^ k1;
+
+  const std::size_t full_blocks = size / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = LoadLe64(data + 8 * i);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t b = static_cast<std::uint64_t>(size & 0xff) << 56;
+  const std::uint8_t* tail = data + 8 * full_blocks;
+  for (std::size_t i = 0; i < size % 8; ++i) {
+    b |= static_cast<std::uint64_t>(tail[i]) << (8 * i);
+  }
+  v3 ^= b;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= b;
+
+  v2 ^= 0xff;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+Mac ComputeMac(const MacKey& key, const std::vector<std::uint8_t>& wire_bytes) {
+  const std::uint64_t h = SipHash24(key, wire_bytes.data(), wire_bytes.size());
+  Mac mac;
+  for (int i = 0; i < 8; ++i) mac[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(h >> (8 * i));
+  return mac;
+}
+
+SealedMessage Seal(const MacKey& key, std::vector<std::uint8_t> wire_bytes) {
+  SealedMessage m;
+  m.mac = ComputeMac(key, wire_bytes);
+  m.wire_bytes = std::move(wire_bytes);
+  return m;
+}
+
+void PackageAuthenticator::RegisterSender(std::uint32_t sender_id,
+                                          const MacKey& key) {
+  senders_[sender_id] = SenderState{key, -1e300};
+}
+
+bool PackageAuthenticator::IsRegistered(std::uint32_t sender_id) const {
+  return senders_.contains(sender_id);
+}
+
+Status PackageAuthenticator::Verify(std::uint32_t sender_id,
+                                    double timestamp_s,
+                                    const SealedMessage& message) {
+  const auto it = senders_.find(sender_id);
+  if (it == senders_.end()) {
+    return UnavailableError("unknown sender " + std::to_string(sender_id));
+  }
+  const Mac expected = ComputeMac(it->second.key, message.wire_bytes);
+  // Constant-time comparison: accumulate all byte differences.
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    diff = static_cast<std::uint8_t>(diff | (expected[i] ^ message.mac[i]));
+  }
+  if (diff != 0) return DataLossError("MAC mismatch");
+  if (timestamp_s <= it->second.last_timestamp_s) {
+    return FailedPreconditionError("replayed or regressing timestamp");
+  }
+  it->second.last_timestamp_s = timestamp_s;
+  return Status::Ok();
+}
+
+}  // namespace cooper::net

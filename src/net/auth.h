@@ -1,0 +1,64 @@
+// Package authentication and replay protection.
+//
+// §II-B: "the detected results from other cars are hard to authenticate and
+// trust issues further complicate this matter."  Cooper's answer is to share
+// raw data, but raw packages still need *integrity* and *origin* checks —
+// otherwise a spoofed cloud could inject phantom obstacles.  This module
+// provides a keyed MAC (SipHash-2-4) over the serialized package plus a
+// per-sender monotonic-timestamp window against replays.  Key distribution
+// is out of scope (a vehicular PKI would supply the pairwise keys); the
+// registry below stands in for its outcome.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cooper::net {
+
+using MacKey = std::array<std::uint8_t, 16>;
+using Mac = std::array<std::uint8_t, 8>;
+
+/// SipHash-2-4 of `data` under `key` (the reference 64-bit construction).
+std::uint64_t SipHash24(const MacKey& key, const std::uint8_t* data,
+                        std::size_t size);
+
+/// MAC over serialized package bytes.
+Mac ComputeMac(const MacKey& key, const std::vector<std::uint8_t>& wire_bytes);
+
+/// An authenticated message: wire bytes plus their MAC.
+struct SealedMessage {
+  std::vector<std::uint8_t> wire_bytes;
+  Mac mac{};
+};
+
+SealedMessage Seal(const MacKey& key, std::vector<std::uint8_t> wire_bytes);
+
+/// Receiver-side verifier: per-sender keys and replay windows.
+class PackageAuthenticator {
+ public:
+  /// Registers (or rotates) a sender's key.
+  void RegisterSender(std::uint32_t sender_id, const MacKey& key);
+
+  bool IsRegistered(std::uint32_t sender_id) const;
+
+  /// Verifies the MAC and the timestamp freshness for `sender_id`.
+  ///  - UNAVAILABLE: unknown sender (no key).
+  ///  - DATA_LOSS: MAC mismatch (tampered or wrong key).
+  ///  - FAILED_PRECONDITION: replayed/regressing timestamp.
+  /// On success the sender's replay window advances to `timestamp_s`.
+  Status Verify(std::uint32_t sender_id, double timestamp_s,
+                const SealedMessage& message);
+
+ private:
+  struct SenderState {
+    MacKey key{};
+    double last_timestamp_s = -1e300;
+  };
+  std::unordered_map<std::uint32_t, SenderState> senders_;
+};
+
+}  // namespace cooper::net

@@ -1,0 +1,49 @@
+#include "net/dsrc.h"
+
+#include <cmath>
+
+namespace cooper::net {
+
+double DsrcChannel::LatencyMs(std::size_t bytes) const {
+  const double bits = static_cast<double>(bytes) * 8.0;
+  const double tx_ms = bits / (EffectiveMbps() * 1e6) * 1e3;
+  return config_.access_latency_ms + tx_ms;
+}
+
+TransmitReport DsrcChannel::Transmit(std::size_t bytes, Rng& rng) {
+  TransmitReport report;
+  report.bytes = bytes;
+  ++total_messages_;
+  if (config_.loss_prob > 0.0 && rng.Bernoulli(config_.loss_prob)) {
+    ++total_dropped_;
+    return report;  // delivered = false
+  }
+  report.delivered = true;
+  report.latency_ms = LatencyMs(bytes);
+  total_bytes_sent_ += bytes;
+  return report;
+}
+
+std::vector<double> PerSecondVolumeMbit(const std::vector<std::size_t>& frame_bytes,
+                                        double rate_hz) {
+  std::vector<double> out;
+  if (frame_bytes.empty() || rate_hz <= 0.0) return out;
+  double acc = 0.0;
+  std::size_t second = 0;
+  for (std::size_t i = 0; i < frame_bytes.size(); ++i) {
+    // Frame i fires at t = i / rate; derive the bucket from the index so
+    // accumulated floating-point drift cannot misplace a frame.
+    const std::size_t s =
+        static_cast<std::size_t>(static_cast<double>(i) / rate_hz);
+    while (second < s) {
+      out.push_back(acc);
+      acc = 0.0;
+      ++second;
+    }
+    acc += static_cast<double>(frame_bytes[i]) * 8.0 / 1e6;
+  }
+  out.push_back(acc);
+  return out;
+}
+
+}  // namespace cooper::net

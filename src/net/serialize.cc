@@ -1,0 +1,165 @@
+#include "net/serialize.h"
+
+#include <array>
+#include <cstring>
+
+namespace cooper::net {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x434b5047;  // "CPKG" (le bytes G P K C)
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutF64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  bool GetU8(std::uint8_t* v) {
+    if (pos_ >= bytes_.size()) return false;
+    *v = bytes_[pos_++];
+    return true;
+  }
+  bool GetU16(std::uint16_t* v) {
+    if (pos_ + 2 > bytes_.size()) return false;
+    *v = static_cast<std::uint16_t>(bytes_[pos_] | (bytes_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool GetU32(std::uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool GetF64(double* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    std::memcpy(v, &bits, 8);
+    return true;
+  }
+  bool GetBytes(std::vector<std::uint8_t>* out, std::size_t n) {
+    if (pos_ + n > bytes_.size()) return false;
+    out->assign(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+const std::array<std::uint32_t, 256>& CrcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {
+  const auto& table = CrcTable();
+  std::uint32_t c = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::size_t WireOverheadBytes() {
+  // magic + version + sender + timestamp + roi + 9 f64 nav + size + crc
+  return 4 + 2 + 4 + 8 + 1 + 9 * 8 + 4 + 4;
+}
+
+std::vector<std::uint8_t> SerializePackage(const core::ExchangePackage& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(WireOverheadBytes() + p.payload.size());
+  PutU32(out, kMagic);
+  PutU16(out, kWireVersion);
+  PutU32(out, p.sender_id);
+  PutF64(out, p.timestamp_s);
+  out.push_back(static_cast<std::uint8_t>(p.roi));
+  PutF64(out, p.nav.gps_position.x);
+  PutF64(out, p.nav.gps_position.y);
+  PutF64(out, p.nav.gps_position.z);
+  PutF64(out, p.nav.imu_attitude.yaw);
+  PutF64(out, p.nav.imu_attitude.pitch);
+  PutF64(out, p.nav.imu_attitude.roll);
+  PutF64(out, p.nav.lidar_mount.x);
+  PutF64(out, p.nav.lidar_mount.y);
+  PutF64(out, p.nav.lidar_mount.z);
+  PutU32(out, static_cast<std::uint32_t>(p.payload.size()));
+  out.insert(out.end(), p.payload.begin(), p.payload.end());
+  PutU32(out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+Result<core::ExchangePackage> DeserializePackage(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  if (!r.GetU32(&magic) || magic != kMagic) {
+    return DataLossError("bad package magic");
+  }
+  if (!r.GetU16(&version)) return DataLossError("truncated header");
+  if (version != kWireVersion) {
+    return InvalidArgumentError("unsupported wire version " +
+                                std::to_string(version));
+  }
+  core::ExchangePackage p;
+  std::uint8_t roi = 0;
+  std::uint32_t payload_size = 0;
+  if (!r.GetU32(&p.sender_id) || !r.GetF64(&p.timestamp_s) || !r.GetU8(&roi) ||
+      !r.GetF64(&p.nav.gps_position.x) || !r.GetF64(&p.nav.gps_position.y) ||
+      !r.GetF64(&p.nav.gps_position.z) || !r.GetF64(&p.nav.imu_attitude.yaw) ||
+      !r.GetF64(&p.nav.imu_attitude.pitch) ||
+      !r.GetF64(&p.nav.imu_attitude.roll) || !r.GetF64(&p.nav.lidar_mount.x) ||
+      !r.GetF64(&p.nav.lidar_mount.y) || !r.GetF64(&p.nav.lidar_mount.z) ||
+      !r.GetU32(&payload_size)) {
+    return DataLossError("truncated package header");
+  }
+  if (roi < 1 || roi > 3) {
+    return InvalidArgumentError("unknown ROI category " + std::to_string(roi));
+  }
+  p.roi = static_cast<core::RoiCategory>(roi);
+  if (!r.GetBytes(&p.payload, payload_size)) {
+    return DataLossError("truncated payload");
+  }
+  const std::size_t crc_pos = r.pos();
+  std::uint32_t crc = 0;
+  if (!r.GetU32(&crc)) return DataLossError("missing CRC");
+  if (crc != Crc32(bytes.data(), crc_pos)) {
+    return DataLossError("CRC mismatch");
+  }
+  if (r.pos() != bytes.size()) {
+    return DataLossError("trailing bytes after package");
+  }
+  return p;
+}
+
+}  // namespace cooper::net

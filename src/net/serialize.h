@@ -1,0 +1,36 @@
+// Versioned binary wire format for exchange packages.
+//
+// Layout (little-endian):
+//   u32 magic 'CPKG'   u16 version   u32 sender_id   f64 timestamp
+//   u8  roi_category
+//   f64 gps[3]  f64 imu[3] (yaw, pitch, roll)  f64 mount[3]
+//   u32 payload_size   payload bytes   u32 crc32 (over everything above)
+// Decoding is defensive: truncation, bad magic, bad version and CRC mismatch
+// all return DATA_LOSS / INVALID_ARGUMENT rather than crashing — packages
+// arrive over a lossy radio channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/exchange.h"
+
+namespace cooper::net {
+
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/// Serializes a package to wire bytes.
+std::vector<std::uint8_t> SerializePackage(const core::ExchangePackage& package);
+
+/// Parses wire bytes; validates magic, version, length and CRC.
+Result<core::ExchangePackage> DeserializePackage(
+    const std::vector<std::uint8_t>& bytes);
+
+/// CRC-32 (IEEE 802.3 polynomial, bitwise implementation).
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size);
+
+/// Wire overhead in bytes added on top of the payload.
+std::size_t WireOverheadBytes();
+
+}  // namespace cooper::net

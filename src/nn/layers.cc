@@ -1,0 +1,134 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace cooper::nn {
+namespace {
+
+// He-normal initialisation: stddev = sqrt(2 / fan_in).
+void InitHe(Tensor& w, std::size_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+}
+
+}  // namespace
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : weight_({out_features, in_features}), bias_({out_features}) {
+  InitHe(weight_, in_features, rng);
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  COOPER_CHECK(x.rank() == 2 && x.dim(1) == weight_.dim(1));
+  const std::size_t n = x.dim(0), in = weight_.dim(1), out = weight_.dim(0);
+  Tensor y({n, out});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t o = 0; o < out; ++o) {
+      float acc = bias_[o];
+      for (std::size_t k = 0; k < in; ++k) acc += x.At(i, k) * weight_.At(o, k);
+      y.At(i, o) = acc;
+    }
+  }
+  return y;
+}
+
+Conv2d::Conv2d(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+               std::size_t stride, std::size_t padding, Rng& rng)
+    : weight_({out_ch, in_ch, kernel, kernel}),
+      bias_({out_ch}),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding) {
+  InitHe(weight_, in_ch * kernel * kernel, rng);
+}
+
+Tensor Conv2d::Forward(const Tensor& x) const {
+  COOPER_CHECK(x.rank() == 3 && x.dim(0) == weight_.dim(1));
+  const std::size_t cin = x.dim(0), h = x.dim(1), w = x.dim(2);
+  const std::size_t cout = weight_.dim(0);
+  const std::size_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const std::size_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  Tensor y({cout, oh, ow});
+  for (std::size_t oc = 0; oc < cout; ++oc) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        float acc = bias_[oc];
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                                      static_cast<std::ptrdiff_t>(padding_);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
+                                        static_cast<std::ptrdiff_t>(padding_);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
+              acc += x.At(ic, static_cast<std::size_t>(iy), static_cast<std::size_t>(ix)) *
+                     weight_.At(oc, ic, ky, kx);
+            }
+          }
+        }
+        y.At(oc, oy, ox) = acc;
+      }
+    }
+  }
+  return y;
+}
+
+ConvTranspose2d::ConvTranspose2d(std::size_t in_ch, std::size_t out_ch,
+                                 std::size_t kernel, std::size_t stride, Rng& rng)
+    : weight_({in_ch, out_ch, kernel, kernel}),
+      bias_({out_ch}),
+      kernel_(kernel),
+      stride_(stride) {
+  InitHe(weight_, in_ch * kernel * kernel, rng);
+}
+
+Tensor ConvTranspose2d::Forward(const Tensor& x) const {
+  COOPER_CHECK(x.rank() == 3 && x.dim(0) == weight_.dim(0));
+  const std::size_t cin = x.dim(0), h = x.dim(1), w = x.dim(2);
+  const std::size_t cout = weight_.dim(1);
+  const std::size_t oh = (h - 1) * stride_ + kernel_;
+  const std::size_t ow = (w - 1) * stride_ + kernel_;
+  Tensor y({cout, oh, ow});
+  for (std::size_t oc = 0; oc < cout; ++oc) {
+    for (std::size_t i = 0; i < oh * ow; ++i) {
+      y[oc * oh * ow + i] = bias_[oc];
+    }
+  }
+  for (std::size_t ic = 0; ic < cin; ++ic) {
+    for (std::size_t iy = 0; iy < h; ++iy) {
+      for (std::size_t ix = 0; ix < w; ++ix) {
+        const float v = x.At(ic, iy, ix);
+        if (v == 0.0f) continue;
+        for (std::size_t oc = 0; oc < cout; ++oc) {
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              y.At(oc, iy * stride_ + ky, ix * stride_ + kx) +=
+                  v * weight_.At(ic, oc, ky, kx);
+            }
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+BatchNorm::BatchNorm(std::size_t channels)
+    : scale_(channels, 1.0f), shift_(channels, 0.0f) {}
+
+Tensor BatchNorm::Forward(const Tensor& x) const {
+  COOPER_CHECK(x.rank() >= 1 && x.dim(0) == scale_.size());
+  Tensor y = x;
+  const std::size_t per_channel = x.size() / x.dim(0);
+  for (std::size_t c = 0; c < x.dim(0); ++c) {
+    for (std::size_t i = 0; i < per_channel; ++i) {
+      y[c * per_channel + i] = scale_[c] * x[c * per_channel + i] + shift_[c];
+    }
+  }
+  return y;
+}
+
+}  // namespace cooper::nn

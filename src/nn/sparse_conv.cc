@@ -1,0 +1,201 @@
+#include "nn/sparse_conv.h"
+
+#include <cmath>
+
+namespace cooper::nn {
+
+SparseConv3d::SparseConv3d(std::size_t in_ch, std::size_t out_ch, int kernel,
+                           int stride, SparseConvMode mode, Rng& rng)
+    : in_ch_(in_ch),
+      out_ch_(out_ch),
+      kernel_(kernel),
+      stride_(stride),
+      mode_(mode),
+      weight_(static_cast<std::size_t>(kernel) * kernel * kernel * in_ch * out_ch),
+      bias_(out_ch, 0.0f) {
+  COOPER_CHECK(kernel >= 1);
+  COOPER_CHECK(stride >= 1);
+  if (mode == SparseConvMode::kSubmanifold) {
+    COOPER_CHECK(kernel % 2 == 1);
+    COOPER_CHECK(stride == 1);
+  }
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(kernel * kernel * kernel * in_ch));
+  for (auto& w : weight_) w = static_cast<float>(rng.Normal(0.0, stddev));
+}
+
+float& SparseConv3d::WeightAt(int kz, int ky, int kx, std::size_t cin,
+                              std::size_t cout) {
+  return weight_[WeightIndex(kz, ky, kx, cin, cout)];
+}
+
+SparseTensor SparseConv3d::Forward(const SparseTensor& x) const {
+  COOPER_CHECK(x.channels() == in_ch_);
+  const int pad = (mode_ == SparseConvMode::kSubmanifold) ? kernel_ / 2 : 0;
+
+  // Output spatial shape.
+  pc::VoxelCoord out_shape = x.spatial_shape;
+  if (mode_ == SparseConvMode::kRegular) {
+    auto out_dim = [&](std::int32_t d) {
+      // "valid"-style sparse conv with stride (SECOND convention):
+      // out = floor((d - kernel) / stride) + 1, at least 1.
+      return std::max<std::int32_t>(1, (d - kernel_) / stride_ + 1);
+    };
+    out_shape = {out_dim(x.spatial_shape.x), out_dim(x.spatial_shape.y),
+                 out_dim(x.spatial_shape.z)};
+  }
+
+  // Map from output coordinate to output row index.
+  std::unordered_map<pc::VoxelCoord, std::size_t, pc::VoxelCoordHash> out_index;
+  std::vector<pc::VoxelCoord> out_coords;
+
+  if (mode_ == SparseConvMode::kSubmanifold) {
+    out_coords = x.coords;
+    out_index.reserve(out_coords.size() * 2);
+    for (std::size_t i = 0; i < out_coords.size(); ++i) out_index[out_coords[i]] = i;
+  } else {
+    // Regular: every input site activates the output sites whose kernel
+    // footprint covers it: out = floor((in - k) / stride) for k in [0, K).
+    for (const auto& c : x.coords) {
+      for (int kz = 0; kz < kernel_; ++kz) {
+        const int z = c.z - kz;
+        if (z < 0 || z % stride_ != 0) continue;
+        const int oz = z / stride_;
+        if (oz >= out_shape.z) continue;
+        for (int ky = 0; ky < kernel_; ++ky) {
+          const int y = c.y - ky;
+          if (y < 0 || y % stride_ != 0) continue;
+          const int oy = y / stride_;
+          if (oy >= out_shape.y) continue;
+          for (int kx = 0; kx < kernel_; ++kx) {
+            const int xx = c.x - kx;
+            if (xx < 0 || xx % stride_ != 0) continue;
+            const int ox = xx / stride_;
+            if (ox >= out_shape.x) continue;
+            const pc::VoxelCoord oc{ox, oy, oz};
+            if (out_index.try_emplace(oc, out_coords.size()).second) {
+              out_coords.push_back(oc);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Index input sites for gathers.
+  std::unordered_map<pc::VoxelCoord, std::size_t, pc::VoxelCoordHash> in_index;
+  in_index.reserve(x.coords.size() * 2);
+  for (std::size_t i = 0; i < x.coords.size(); ++i) in_index[x.coords[i]] = i;
+
+  SparseTensor y;
+  y.coords = std::move(out_coords);
+  y.spatial_shape = out_shape;
+  y.features = Tensor({y.coords.size(), out_ch_});
+  for (std::size_t row = 0; row < y.coords.size(); ++row) {
+    for (std::size_t co = 0; co < out_ch_; ++co) y.features.At(row, co) = bias_[co];
+    const auto& oc = y.coords[row];
+    for (int kz = 0; kz < kernel_; ++kz) {
+      for (int ky = 0; ky < kernel_; ++ky) {
+        for (int kx = 0; kx < kernel_; ++kx) {
+          pc::VoxelCoord ic;
+          if (mode_ == SparseConvMode::kSubmanifold) {
+            ic = {oc.x + kx - pad, oc.y + ky - pad, oc.z + kz - pad};
+          } else {
+            ic = {oc.x * stride_ + kx, oc.y * stride_ + ky, oc.z * stride_ + kz};
+          }
+          const auto it = in_index.find(ic);
+          if (it == in_index.end()) continue;
+          const std::size_t in_row = it->second;
+          for (std::size_t ci = 0; ci < in_ch_; ++ci) {
+            const float v = x.features.At(in_row, ci);
+            if (v == 0.0f) continue;
+            for (std::size_t co = 0; co < out_ch_; ++co) {
+              y.features.At(row, co) += v * weight_[WeightIndex(kz, ky, kx, ci, co)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor SparseConv3d::ForwardDenseReference(const SparseTensor& x) const {
+  COOPER_CHECK(x.channels() == in_ch_);
+  const auto& s = x.spatial_shape;
+  // Dense input (C x Z x Y x X) flattened manually.
+  const std::size_t zs = static_cast<std::size_t>(s.z);
+  const std::size_t ys = static_cast<std::size_t>(s.y);
+  const std::size_t xs = static_cast<std::size_t>(s.x);
+  std::vector<float> dense(in_ch_ * zs * ys * xs, 0.0f);
+  auto din = [&](std::size_t c, std::size_t z, std::size_t yy, std::size_t xx) -> float& {
+    return dense[((c * zs + z) * ys + yy) * xs + xx];
+  };
+  for (std::size_t i = 0; i < x.coords.size(); ++i) {
+    const auto& c = x.coords[i];
+    for (std::size_t ch = 0; ch < in_ch_; ++ch) {
+      din(ch, c.z, c.y, c.x) = x.features.At(i, ch);
+    }
+  }
+  const int pad = (mode_ == SparseConvMode::kSubmanifold) ? kernel_ / 2 : 0;
+  std::size_t oz, oy, ox;
+  if (mode_ == SparseConvMode::kSubmanifold) {
+    oz = zs; oy = ys; ox = xs;
+  } else {
+    oz = static_cast<std::size_t>(std::max<std::int32_t>(1, (s.z - kernel_) / stride_ + 1));
+    oy = static_cast<std::size_t>(std::max<std::int32_t>(1, (s.y - kernel_) / stride_ + 1));
+    ox = static_cast<std::size_t>(std::max<std::int32_t>(1, (s.x - kernel_) / stride_ + 1));
+  }
+  Tensor out({out_ch_, oz, oy * ox});  // flattened (C x Z x (Y*X))
+  for (std::size_t co = 0; co < out_ch_; ++co) {
+    for (std::size_t z = 0; z < oz; ++z) {
+      for (std::size_t yy = 0; yy < oy; ++yy) {
+        for (std::size_t xx = 0; xx < ox; ++xx) {
+          float acc = bias_[co];
+          for (int kz = 0; kz < kernel_; ++kz) {
+            const std::ptrdiff_t iz =
+                static_cast<std::ptrdiff_t>(z) * (mode_ == SparseConvMode::kRegular ? stride_ : 1) +
+                kz - pad;
+            if (iz < 0 || iz >= static_cast<std::ptrdiff_t>(zs)) continue;
+            for (int ky = 0; ky < kernel_; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(yy) * (mode_ == SparseConvMode::kRegular ? stride_ : 1) +
+                  ky - pad;
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(ys)) continue;
+              for (int kx = 0; kx < kernel_; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(xx) * (mode_ == SparseConvMode::kRegular ? stride_ : 1) +
+                    kx - pad;
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(xs)) continue;
+                for (std::size_t ci = 0; ci < in_ch_; ++ci) {
+                  acc += din(ci, static_cast<std::size_t>(iz), static_cast<std::size_t>(iy),
+                             static_cast<std::size_t>(ix)) *
+                         weight_[WeightIndex(kz, ky, kx, ci, co)];
+                }
+              }
+            }
+          }
+          out.At(co, z, yy * ox + xx) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor SparseToBev(const SparseTensor& x) {
+  const std::size_t c = x.channels();
+  const std::size_t h = static_cast<std::size_t>(x.spatial_shape.y);
+  const std::size_t w = static_cast<std::size_t>(x.spatial_shape.x);
+  Tensor bev({c, h, w});
+  for (std::size_t i = 0; i < x.coords.size(); ++i) {
+    const auto& vc = x.coords[i];
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      bev.At(ch, static_cast<std::size_t>(vc.y), static_cast<std::size_t>(vc.x)) +=
+          x.features.At(i, ch);
+    }
+  }
+  return bev;
+}
+
+}  // namespace cooper::nn

@@ -1,0 +1,74 @@
+// Sparse 3D convolution engine — the "sparse convolutional middle layer"
+// [15] of SPOD's architecture (Fig. 1), built from scratch per the SECOND
+// formulation: output sites are computed only where input sites contribute,
+// so cost scales with occupied voxels, not grid volume.
+//
+// Two modes:
+//  * regular sparse conv: an output site exists wherever any input site
+//    falls under the kernel footprint (dilates the active set, allows
+//    stride > 1 for downsampling);
+//  * submanifold: output sites are exactly the input sites (no dilation) —
+//    keeps sparsity constant through deep stacks.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+#include "pointcloud/voxel_grid.h"
+
+namespace cooper::nn {
+
+/// Sparse rank-3 feature field: a list of active voxel coordinates plus a
+/// dense (N x C) feature matrix, one row per active site.
+struct SparseTensor {
+  std::vector<pc::VoxelCoord> coords;
+  Tensor features;  // (N x C)
+  pc::VoxelCoord spatial_shape;  // grid extents (exclusive upper bound)
+
+  std::size_t num_active() const { return coords.size(); }
+  std::size_t channels() const {
+    return features.rank() == 2 ? features.dim(1) : 0;
+  }
+};
+
+enum class SparseConvMode { kRegular, kSubmanifold };
+
+class SparseConv3d {
+ public:
+  /// Cubic kernel of size `kernel` (odd for submanifold), given stride.
+  SparseConv3d(std::size_t in_ch, std::size_t out_ch, int kernel, int stride,
+               SparseConvMode mode, Rng& rng);
+
+  SparseTensor Forward(const SparseTensor& x) const;
+
+  std::size_t out_channels() const { return out_ch_; }
+  SparseConvMode mode() const { return mode_; }
+
+  /// Direct weight access: weight index (kz, ky, kx, cin, cout).
+  float& WeightAt(int kz, int ky, int kx, std::size_t cin, std::size_t cout);
+
+  /// Dense reference implementation over the full grid — used by tests to
+  /// verify the sparse path (identical results where defined).
+  Tensor ForwardDenseReference(const SparseTensor& x) const;
+
+ private:
+  std::size_t in_ch_, out_ch_;
+  int kernel_, stride_;
+  SparseConvMode mode_;
+  std::vector<float> weight_;  // (K*K*K*Cin*Cout), z-major
+  std::vector<float> bias_;
+
+  std::size_t WeightIndex(int kz, int ky, int kx, std::size_t ci,
+                          std::size_t co) const {
+    return (((static_cast<std::size_t>(kz) * kernel_ + ky) * kernel_ + kx) *
+                in_ch_ + ci) * out_ch_ + co;
+  }
+};
+
+/// Collapses a sparse tensor to a dense BEV map (C*Dz x H x W -> here we sum
+/// over z into C x Ny x Nx), the standard SECOND reshape before the RPN.
+Tensor SparseToBev(const SparseTensor& x);
+
+}  // namespace cooper::nn

@@ -1,0 +1,43 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cooper::nn {
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill) : shape_(std::move(shape)) {
+  std::size_t n = 1;
+  for (const auto d : shape_) n *= d;
+  data_.assign(n, fill);
+}
+
+void Tensor::Relu() {
+  for (auto& v : data_) v = std::max(v, 0.0f);
+}
+
+float Tensor::MaxValue() const {
+  return data_.empty() ? 0.0f : *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::Sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  COOPER_CHECK(a.rank() == 2 && b.rank() == 2);
+  COOPER_CHECK(a.dim(1) == b.dim(0));
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a.At(i, p);
+      if (av == 0.0f) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        out.At(i, j) += av * b.At(p, j);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cooper::nn

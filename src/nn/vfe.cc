@@ -1,0 +1,52 @@
+#include "nn/vfe.h"
+
+#include <algorithm>
+
+namespace cooper::nn {
+
+VoxelFeatureEncoder::VoxelFeatureEncoder(std::size_t out_channels, Rng& rng)
+    : fc_(kPointFeatureDim, out_channels, rng) {}
+
+SparseTensor VoxelFeatureEncoder::Encode(const pc::PointCloud& cloud,
+                                         const pc::VoxelGrid& grid) const {
+  const auto& voxels = grid.voxels();
+  SparseTensor out;
+  out.spatial_shape = grid.GridShape();
+  out.coords.reserve(voxels.size());
+  out.features = Tensor({voxels.size(), out_channels()});
+
+  for (std::size_t vi = 0; vi < voxels.size(); ++vi) {
+    const auto& voxel = voxels[vi];
+    out.coords.push_back(voxel.coord);
+
+    // Voxel centroid.
+    geom::Vec3 centroid;
+    for (const auto idx : voxel.point_indices) centroid += cloud[idx].position;
+    centroid *= 1.0 / static_cast<double>(voxel.point_indices.size());
+
+    // Point-wise features -> linear -> ReLU -> max-pool over the voxel.
+    Tensor pts({voxel.point_indices.size(), kPointFeatureDim});
+    for (std::size_t pi = 0; pi < voxel.point_indices.size(); ++pi) {
+      const auto& p = cloud[voxel.point_indices[pi]];
+      pts.At(pi, 0) = static_cast<float>(p.position.x);
+      pts.At(pi, 1) = static_cast<float>(p.position.y);
+      pts.At(pi, 2) = static_cast<float>(p.position.z);
+      pts.At(pi, 3) = p.reflectance;
+      pts.At(pi, 4) = static_cast<float>(p.position.x - centroid.x);
+      pts.At(pi, 5) = static_cast<float>(p.position.y - centroid.y);
+      pts.At(pi, 6) = static_cast<float>(p.position.z - centroid.z);
+    }
+    Tensor lifted = fc_.Forward(pts);
+    lifted.Relu();
+    for (std::size_t c = 0; c < out_channels(); ++c) {
+      float mx = 0.0f;
+      for (std::size_t pi = 0; pi < voxel.point_indices.size(); ++pi) {
+        mx = std::max(mx, lifted.At(pi, c));
+      }
+      out.features.At(vi, c) = mx;
+    }
+  }
+  return out;
+}
+
+}  // namespace cooper::nn

@@ -1,0 +1,87 @@
+#include "pointcloud/icp.h"
+
+#include <cmath>
+
+#include "geom/rotation.h"
+
+namespace cooper::pc {
+namespace {
+
+// Closed-form planar Procrustes: the yaw + translation minimising the summed
+// squared distance between paired points (z handled as a mean offset).
+geom::Pose SolvePlanarRigid(const std::vector<geom::Vec3>& src,
+                            const std::vector<geom::Vec3>& dst) {
+  geom::Vec3 src_mean, dst_mean;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src_mean += src[i];
+    dst_mean += dst[i];
+  }
+  const double n = static_cast<double>(src.size());
+  src_mean *= 1.0 / n;
+  dst_mean *= 1.0 / n;
+
+  double sin_acc = 0.0, cos_acc = 0.0;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const double ax = src[i].x - src_mean.x, ay = src[i].y - src_mean.y;
+    const double bx = dst[i].x - dst_mean.x, by = dst[i].y - dst_mean.y;
+    sin_acc += ax * by - ay * bx;
+    cos_acc += ax * bx + ay * by;
+  }
+  const double yaw = std::atan2(sin_acc, cos_acc);
+  const geom::Mat3 r = geom::Rz(yaw);
+  const geom::Vec3 t = dst_mean - r * src_mean;
+  return geom::Pose(r, t);
+}
+
+}  // namespace
+
+IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
+                   const geom::Pose& initial_guess, const IcpConfig& config) {
+  IcpResult result;
+  result.transform = initial_guess;
+  if (source.empty() || target.empty()) return result;
+
+  const KdTree tree(target);
+  const std::size_t stride = std::max<std::size_t>(1, config.subsample_stride);
+
+  double gate = config.max_correspondence_distance;
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const double gate2 = gate * gate;
+
+    std::vector<geom::Vec3> src_pts, dst_pts;
+    double err2 = 0.0;
+    for (std::size_t i = 0; i < source.size(); i += stride) {
+      const geom::Vec3 moved = result.transform * source[i].position;
+      const auto nn = tree.NearestWithin(moved, gate2);
+      if (!nn) continue;
+      src_pts.push_back(moved);
+      dst_pts.push_back(target[nn->index].position);
+      err2 += nn->squared_distance;
+    }
+    result.correspondences = src_pts.size();
+    if (src_pts.size() < config.min_correspondences) {
+      result.converged = false;
+      return result;
+    }
+    result.rms_error = std::sqrt(err2 / static_cast<double>(src_pts.size()));
+    if (iter == 0) result.initial_rms = result.rms_error;
+    gate = std::max(config.min_correspondence_distance,
+                    gate * config.distance_decay);
+
+    const geom::Pose delta = SolvePlanarRigid(src_pts, dst_pts);
+    result.transform = delta * result.transform;
+
+    const double dt = delta.translation().Norm();
+    const geom::Vec3 xaxis = delta.RotateOnly({1, 0, 0});
+    const double dyaw = std::abs(std::atan2(xaxis.y, xaxis.x));
+    if (dt < config.translation_epsilon && dyaw < config.rotation_epsilon) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = false;
+  return result;
+}
+
+}  // namespace cooper::pc

@@ -1,0 +1,54 @@
+// Iterative closest point registration (planar rigid: yaw + translation).
+//
+// Extension to the paper's reconstruction step (§II-D): when the GPS/IMU
+// alignment drifts past the bound Fig. 10 studies, the overlap between the
+// receiver's cloud and the reconstructed remote cloud still carries the true
+// transform.  Ground-vehicle drift is in x/y/yaw (pitch/roll come from the
+// IMU's gravity reference), so a planar ICP refines exactly the drifting
+// degrees of freedom.
+#pragma once
+
+#include "geom/pose.h"
+#include "pointcloud/kdtree.h"
+#include "pointcloud/point_cloud.h"
+
+namespace cooper::pc {
+
+struct IcpConfig {
+  int max_iterations = 30;
+  // Coarse-to-fine schedule: the correspondence gate starts at
+  // `max_correspondence_distance` and shrinks by `distance_decay` per
+  // iteration down to `min_correspondence_distance` — large early steps for
+  // basin capture, tight late gating against the different-faces bias of
+  // point-to-point ICP between distinct viewpoints.
+  double max_correspondence_distance = 2.0;  // metres
+  double min_correspondence_distance = 0.5;
+  double distance_decay = 0.85;
+  double translation_epsilon = 1e-4;         // convergence threshold, metres
+  double rotation_epsilon = 1e-5;            // radians
+  std::size_t subsample_stride = 4;          // use every k-th source point
+  std::size_t min_correspondences = 30;
+};
+
+struct IcpResult {
+  geom::Pose transform;   // maps source points into the target frame
+  bool converged = false;
+  int iterations = 0;
+  double initial_rms = 0.0;       // before any correction (first iteration)
+  double rms_error = 0.0;         // over final correspondences
+  std::size_t correspondences = 0;
+
+  /// Whether the alignment is worth applying: formal convergence, or a
+  /// clear residual improvement over the initial guess.
+  bool Improved() const {
+    return converged || (initial_rms > 0.0 && rms_error < 0.9 * initial_rms);
+  }
+};
+
+/// Aligns `source` onto `target`; `initial_guess` maps source -> target
+/// frame (e.g. the GPS/IMU-derived Eq. 3 transform).  The returned transform
+/// replaces the guess.
+IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
+                   const geom::Pose& initial_guess, const IcpConfig& config = {});
+
+}  // namespace cooper::pc

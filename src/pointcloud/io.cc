@@ -1,0 +1,58 @@
+#include "pointcloud/io.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace cooper::pc {
+
+std::vector<std::uint8_t> ToKittiBytes(const PointCloud& cloud) {
+  std::vector<std::uint8_t> bytes(cloud.size() * 16);
+  std::size_t off = 0;
+  for (const auto& p : cloud) {
+    const float vals[4] = {static_cast<float>(p.position.x),
+                           static_cast<float>(p.position.y),
+                           static_cast<float>(p.position.z), p.reflectance};
+    std::memcpy(bytes.data() + off, vals, 16);
+    off += 16;
+  }
+  return bytes;
+}
+
+Result<PointCloud> FromKittiBytes(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() % 16 != 0) {
+    return DataLossError("KITTI payload size " + std::to_string(bytes.size()) +
+                         " is not a multiple of 16");
+  }
+  PointCloud cloud;
+  cloud.reserve(bytes.size() / 16);
+  for (std::size_t off = 0; off < bytes.size(); off += 16) {
+    float vals[4];
+    std::memcpy(vals, bytes.data() + off, 16);
+    cloud.Add({vals[0], vals[1], vals[2]}, vals[3]);
+  }
+  return cloud;
+}
+
+Result<PointCloud> ReadKittiBin(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return NotFoundError("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (!in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+    return DataLossError("short read on " + path);
+  }
+  return FromKittiBytes(bytes);
+}
+
+Status WriteKittiBin(const std::string& path, const PointCloud& cloud) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return InvalidArgumentError("cannot open " + path + " for write");
+  const auto bytes = ToKittiBytes(cloud);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return DataLossError("short write on " + path);
+  return Status::Ok();
+}
+
+}  // namespace cooper::pc

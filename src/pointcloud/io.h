@@ -1,0 +1,28 @@
+// KITTI-format point cloud file I/O.
+//
+// KITTI velodyne scans are flat binary files of float32 quadruples
+// (x, y, z, reflectance).  The same format is used for the simulator's
+// dataset dumps so tooling that reads KITTI bins reads ours too.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "pointcloud/point_cloud.h"
+
+namespace cooper::pc {
+
+/// Reads a KITTI-style .bin file. Fails with DATA_LOSS if the byte count is
+/// not a multiple of 16 (4 floats).
+Result<PointCloud> ReadKittiBin(const std::string& path);
+
+/// Writes a KITTI-style .bin file.
+Status WriteKittiBin(const std::string& path, const PointCloud& cloud);
+
+/// Serializes to the in-memory KITTI layout (for network payload tests).
+std::vector<std::uint8_t> ToKittiBytes(const PointCloud& cloud);
+
+/// Parses the in-memory KITTI layout.
+Result<PointCloud> FromKittiBytes(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace cooper::pc

@@ -1,0 +1,38 @@
+#include "pointcloud/motion.h"
+
+#include <cmath>
+
+#include "geom/rotation.h"
+
+namespace cooper::pc {
+
+geom::Pose EgoMotion::PoseAt(double t) const {
+  const double yaw = yaw_rate_rps * t;
+  geom::Vec3 translation;
+  if (std::abs(yaw_rate_rps) < 1e-9) {
+    translation = {forward_mps * t, 0.0, 0.0};
+  } else {
+    // Exact constant-twist integral (arc).
+    const double radius = forward_mps / yaw_rate_rps;
+    translation = {radius * std::sin(yaw), radius * (1.0 - std::cos(yaw)), 0.0};
+  }
+  return geom::Pose(geom::Rz(yaw), translation);
+}
+
+PointCloud DeskewScan(const PointCloud& cloud, const EgoMotion& motion,
+                      double revolution_s) {
+  PointCloud out;
+  out.reserve(cloud.size());
+  constexpr double kTwoPi = 2.0 * 3.141592653589793238462643;
+  for (const auto& p : cloud) {
+    double az = std::atan2(p.position.y, p.position.x);
+    if (az < 0.0) az += kTwoPi;
+    const double t = az / kTwoPi * revolution_s;
+    // The point was measured in the sensor frame at time t; re-express it in
+    // the frame at t = 0.
+    out.Add(motion.PoseAt(t) * p.position, p.reflectance);
+  }
+  return out;
+}
+
+}  // namespace cooper::pc

@@ -1,0 +1,33 @@
+// Scan motion (rolling-shutter) compensation.
+//
+// A spinning LiDAR sweeps its azimuth over ~100 ms; a vehicle moving at
+// 15 m/s travels 1.5 m during one revolution, smearing the frame.  The
+// paper stamps whole frames with a single GPS/IMU reading, which is exactly
+// the naive logging this module corrects: given the ego motion over the
+// revolution, each point is re-expressed in the frame of the revolution
+// start using the capture time implied by its azimuth.
+#pragma once
+
+#include "geom/pose.h"
+#include "pointcloud/point_cloud.h"
+
+namespace cooper::pc {
+
+/// Planar constant-twist ego motion: forward speed along the heading plus a
+/// yaw rate.  Pose(t) is the vehicle frame at time t relative to t = 0.
+struct EgoMotion {
+  double forward_mps = 0.0;
+  double yaw_rate_rps = 0.0;
+
+  /// Relative pose of the vehicle at time `t` in the t = 0 frame.
+  geom::Pose PoseAt(double t) const;
+};
+
+/// Corrects a naively-logged scan: each point's capture time is inferred
+/// from its azimuth (one full revolution over `revolution_s`, starting at
+/// azimuth 0 and sweeping counter-clockwise), and the point is moved into
+/// the revolution-start frame.
+PointCloud DeskewScan(const PointCloud& cloud, const EgoMotion& motion,
+                      double revolution_s = 0.1);
+
+}  // namespace cooper::pc

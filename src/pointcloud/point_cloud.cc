@@ -1,0 +1,120 @@
+#include "pointcloud/point_cloud.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cooper::pc {
+
+void PointCloud::Transform(const geom::Pose& pose) {
+  for (auto& p : points_) p.position = pose * p.position;
+}
+
+PointCloud PointCloud::Transformed(const geom::Pose& pose) const {
+  PointCloud out = *this;
+  out.Transform(pose);
+  return out;
+}
+
+void PointCloud::Merge(const PointCloud& other) {
+  points_.insert(points_.end(), other.points_.begin(), other.points_.end());
+}
+
+PointCloud PointCloud::CropBox(const geom::Box3& box) const {
+  PointCloud out;
+  for (const auto& p : points_) {
+    if (box.Contains(p.position)) out.push_back(p);
+  }
+  return out;
+}
+
+PointCloud PointCloud::FilterAzimuthSector(double center_azimuth,
+                                           double half_fov) const {
+  PointCloud out;
+  for (const auto& p : points_) {
+    const double az = std::atan2(p.position.y, p.position.x);
+    if (std::abs(geom::WrapAngle(az - center_azimuth)) <= half_fov) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+PointCloud PointCloud::FilterRange(double min_range, double max_range) const {
+  PointCloud out;
+  for (const auto& p : points_) {
+    const double r = p.position.NormXY();
+    if (r >= min_range && r < max_range) out.push_back(p);
+  }
+  return out;
+}
+
+PointCloud PointCloud::FilterMinZ(double min_z) const {
+  PointCloud out;
+  for (const auto& p : points_) {
+    if (p.position.z >= min_z) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t PointCloud::RemoveInvalid() {
+  const std::size_t before = points_.size();
+  std::erase_if(points_, [](const Point& p) {
+    return !std::isfinite(p.position.x) || !std::isfinite(p.position.y) ||
+           !std::isfinite(p.position.z) || !std::isfinite(p.reflectance);
+  });
+  return before - points_.size();
+}
+
+std::size_t PointCloud::CountInBox(const geom::Box3& box) const {
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (box.Contains(p.position)) ++n;
+  }
+  return n;
+}
+
+std::pair<geom::Vec3, geom::Vec3> PointCloud::Bounds() const {
+  geom::Vec3 lo{std::numeric_limits<double>::infinity(),
+                std::numeric_limits<double>::infinity(),
+                std::numeric_limits<double>::infinity()};
+  geom::Vec3 hi = -lo;
+  for (const auto& p : points_) {
+    lo.x = std::min(lo.x, p.position.x);
+    lo.y = std::min(lo.y, p.position.y);
+    lo.z = std::min(lo.z, p.position.z);
+    hi.x = std::max(hi.x, p.position.x);
+    hi.y = std::max(hi.y, p.position.y);
+    hi.z = std::max(hi.z, p.position.z);
+  }
+  return {lo, hi};
+}
+
+double EstimateGroundZ(const PointCloud& cloud, double percentile) {
+  if (cloud.empty()) return 0.0;
+  std::vector<double> zs;
+  zs.reserve(cloud.size());
+  for (const auto& p : cloud) zs.push_back(p.position.z);
+  const std::size_t k = std::min(
+      zs.size() - 1,
+      static_cast<std::size_t>(percentile * static_cast<double>(zs.size())));
+  std::nth_element(zs.begin(), zs.begin() + static_cast<std::ptrdiff_t>(k),
+                   zs.end());
+  return zs[k];
+}
+
+PointCloud FuseClouds(const PointCloud& receiver_cloud,
+                      const PointCloud& transmitter_cloud,
+                      const geom::Pose& receiver_pose,
+                      const geom::Pose& transmitter_pose) {
+  // Eq. 3: transform each transmitter point into the receiver frame using the
+  // pose difference derived from the GPS/IMU readings of both vehicles.
+  const geom::Pose tx_to_rx = geom::Pose::Between(receiver_pose, transmitter_pose);
+  PointCloud fused = receiver_cloud;
+  fused.reserve(receiver_cloud.size() + transmitter_cloud.size());
+  // Eq. 2: union of both coordinate sets in the receiver frame.
+  fused.Merge(transmitter_cloud.Transformed(tx_to_rx));
+  return fused;
+}
+
+}  // namespace cooper::pc

@@ -1,0 +1,69 @@
+// Spherical (range-image) projection after SqueezeSeg [27] — the paper's
+// SPOD preprocessing step that turns a sparse, irregular cloud into a dense
+// grid representation ("point clouds are projected onto a sphere ... to
+// generate a dense representation").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pointcloud/point_cloud.h"
+
+namespace cooper::pc {
+
+struct SphericalProjectionConfig {
+  int rows = 64;                  // vertical channels (beams)
+  int cols = 512;                 // azimuth bins
+  double fov_up_deg = 2.0;        // HDL-64-style vertical FOV
+  double fov_down_deg = -24.8;
+  double azimuth_min_deg = -180.0;
+  double azimuth_max_deg = 180.0;
+};
+
+/// Per-pixel channels of the projected image.
+struct RangePixel {
+  float range = 0.0f;        // metres; 0 when empty
+  float x = 0.0f, y = 0.0f, z = 0.0f;
+  float reflectance = 0.0f;
+  bool valid = false;
+};
+
+class RangeImage {
+ public:
+  RangeImage(const SphericalProjectionConfig& config);
+
+  /// Projects `cloud` into the image; keeps the nearest point per pixel.
+  void Project(const PointCloud& cloud);
+
+  const SphericalProjectionConfig& config() const { return config_; }
+  int rows() const { return config_.rows; }
+  int cols() const { return config_.cols; }
+
+  const RangePixel& At(int r, int c) const { return pixels_[Index(r, c)]; }
+  RangePixel& At(int r, int c) { return pixels_[Index(r, c)]; }
+
+  /// Fraction of pixels with a return.
+  double Fill() const;
+
+  /// Fills isolated empty pixels from valid 4-neighbours (median range) —
+  /// the densification step used for sparse 16-beam input.
+  void Densify(int max_passes = 1);
+
+  /// Back-projection: returns one point per valid pixel.
+  PointCloud ToPointCloud() const;
+
+ private:
+  std::size_t Index(int r, int c) const {
+    return static_cast<std::size_t>(r) * config_.cols + c;
+  }
+  SphericalProjectionConfig config_;
+  std::vector<RangePixel> pixels_;
+};
+
+/// Simulates a lower-beam LiDAR from a higher-beam cloud by keeping every
+/// `factor`-th elevation band (e.g. 64 -> 16 beams with factor 4).  This is
+/// how the "4x more sparse" T&J-style clouds relate to KITTI-style ones.
+PointCloud DecimateBeams(const PointCloud& cloud, int factor,
+                         const SphericalProjectionConfig& config);
+
+}  // namespace cooper::pc

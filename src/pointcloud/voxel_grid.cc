@@ -1,0 +1,82 @@
+#include "pointcloud/voxel_grid.h"
+
+#include <cmath>
+
+namespace cooper::pc {
+
+VoxelGrid::VoxelGrid(const PointCloud& cloud, const VoxelGridConfig& config)
+    : config_(config) {
+  for (std::uint32_t i = 0; i < cloud.size(); ++i) {
+    const auto& p = cloud[i].position;
+    if (p.x < config_.min_bound.x || p.x >= config_.max_bound.x ||
+        p.y < config_.min_bound.y || p.y >= config_.max_bound.y ||
+        p.z < config_.min_bound.z || p.z >= config_.max_bound.z) {
+      continue;
+    }
+    const VoxelCoord c{
+        static_cast<std::int32_t>(std::floor((p.x - config_.min_bound.x) / config_.voxel_size.x)),
+        static_cast<std::int32_t>(std::floor((p.y - config_.min_bound.y) / config_.voxel_size.y)),
+        static_cast<std::int32_t>(std::floor((p.z - config_.min_bound.z) / config_.voxel_size.z))};
+    auto [it, inserted] = index_.try_emplace(c, voxels_.size());
+    if (inserted) {
+      voxels_.push_back(Voxel{c, {}});
+    }
+    auto& voxel = voxels_[it->second];
+    if (voxel.point_indices.size() < config_.max_points_per_voxel) {
+      voxel.point_indices.push_back(i);
+    }
+  }
+}
+
+VoxelCoord VoxelGrid::GridShape() const {
+  auto cells = [](double lo, double hi, double step) {
+    return static_cast<std::int32_t>(std::ceil((hi - lo) / step));
+  };
+  return {cells(config_.min_bound.x, config_.max_bound.x, config_.voxel_size.x),
+          cells(config_.min_bound.y, config_.max_bound.y, config_.voxel_size.y),
+          cells(config_.min_bound.z, config_.max_bound.z, config_.voxel_size.z)};
+}
+
+geom::Vec3 VoxelGrid::VoxelCenter(const VoxelCoord& c) const {
+  return {config_.min_bound.x + (c.x + 0.5) * config_.voxel_size.x,
+          config_.min_bound.y + (c.y + 0.5) * config_.voxel_size.y,
+          config_.min_bound.z + (c.z + 0.5) * config_.voxel_size.z};
+}
+
+const Voxel* VoxelGrid::Find(const geom::Vec3& p) const {
+  if (p.x < config_.min_bound.x || p.x >= config_.max_bound.x ||
+      p.y < config_.min_bound.y || p.y >= config_.max_bound.y ||
+      p.z < config_.min_bound.z || p.z >= config_.max_bound.z) {
+    return nullptr;
+  }
+  const VoxelCoord c{
+      static_cast<std::int32_t>(std::floor((p.x - config_.min_bound.x) / config_.voxel_size.x)),
+      static_cast<std::int32_t>(std::floor((p.y - config_.min_bound.y) / config_.voxel_size.y)),
+      static_cast<std::int32_t>(std::floor((p.z - config_.min_bound.z) / config_.voxel_size.z))};
+  const auto it = index_.find(c);
+  return it == index_.end() ? nullptr : &voxels_[it->second];
+}
+
+double VoxelGrid::Occupancy() const {
+  const VoxelCoord shape = GridShape();
+  const double total = static_cast<double>(shape.x) * shape.y * shape.z;
+  return total > 0.0 ? static_cast<double>(voxels_.size()) / total : 0.0;
+}
+
+PointCloud VoxelGrid::Downsample(const PointCloud& cloud) const {
+  PointCloud out;
+  out.reserve(voxels_.size());
+  for (const auto& v : voxels_) {
+    geom::Vec3 sum;
+    double refl = 0.0;
+    for (const auto idx : v.point_indices) {
+      sum += cloud[idx].position;
+      refl += cloud[idx].reflectance;
+    }
+    const double n = static_cast<double>(v.point_indices.size());
+    out.Add(sum / n, static_cast<float>(refl / n));
+  }
+  return out;
+}
+
+}  // namespace cooper::pc

@@ -1,0 +1,80 @@
+// Voxelisation of point clouds — the grouping step feeding SPOD's voxel
+// feature extractor and the sparse convolution middle layers (Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pointcloud/point_cloud.h"
+
+namespace cooper::pc {
+
+/// Integer voxel coordinate.
+struct VoxelCoord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::int32_t z = 0;
+  friend bool operator==(const VoxelCoord&, const VoxelCoord&) = default;
+};
+
+struct VoxelCoordHash {
+  std::size_t operator()(const VoxelCoord& c) const {
+    // FNV-style mix of the three coordinates.
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::uint64_t v : {static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x)),
+                            static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.y)),
+                            static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.z))}) {
+      h ^= v;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct VoxelGridConfig {
+  geom::Vec3 min_bound{0.0, -40.0, -3.0};   // detection range (KITTI-style)
+  geom::Vec3 max_bound{70.4, 40.0, 1.0};
+  geom::Vec3 voxel_size{0.2, 0.2, 0.4};
+  std::size_t max_points_per_voxel = 35;    // VoxelNet-style cap
+};
+
+/// One occupied voxel: its grid coordinate and the indices of its points.
+struct Voxel {
+  VoxelCoord coord;
+  std::vector<std::uint32_t> point_indices;
+};
+
+class VoxelGrid {
+ public:
+  /// Builds the set of occupied voxels for `cloud` under `config`. Points
+  /// outside the bounds are ignored; each voxel keeps at most
+  /// `max_points_per_voxel` points (first-come, deterministic order).
+  VoxelGrid(const PointCloud& cloud, const VoxelGridConfig& config);
+
+  const std::vector<Voxel>& voxels() const { return voxels_; }
+  const VoxelGridConfig& config() const { return config_; }
+
+  /// Grid dimensions (number of voxels per axis).
+  VoxelCoord GridShape() const;
+
+  /// Center of a voxel in metric coordinates.
+  geom::Vec3 VoxelCenter(const VoxelCoord& c) const;
+
+  /// Voxel containing a metric point, or nullptr if empty/out of bounds.
+  const Voxel* Find(const geom::Vec3& p) const;
+
+  /// Fraction of grid cells that are occupied (sparsity measure).
+  double Occupancy() const;
+
+  /// One representative point per occupied voxel (centroid) — voxel
+  /// downsampling for transmission/visualisation.
+  PointCloud Downsample(const PointCloud& cloud) const;
+
+ private:
+  VoxelGridConfig config_;
+  std::vector<Voxel> voxels_;
+  std::unordered_map<VoxelCoord, std::size_t, VoxelCoordHash> index_;
+};
+
+}  // namespace cooper::pc

@@ -1,0 +1,87 @@
+#include "sim/camera.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cooper::sim {
+
+std::size_t CameraImage::CountObjectPixels(std::int32_t id) const {
+  std::size_t n = 0;
+  for (const auto& px : pixels_) n += px.object_id == id ? 1 : 0;
+  return n;
+}
+
+CameraImage PinholeCamera::Render(const Scene& scene,
+                                  const geom::Pose& vehicle_pose,
+                                  double max_range) const {
+  CameraImage image(intrinsics_.width, intrinsics_.height);
+  const geom::Pose camera_pose = vehicle_pose * mount_;
+  const geom::Vec3 origin = camera_pose.translation();
+  for (int y = 0; y < intrinsics_.height; ++y) {
+    for (int x = 0; x < intrinsics_.width; ++x) {
+      // Camera frame: +x forward, +y left, +z up; pixel (x right, y down).
+      const double lx = 1.0;
+      const double ly = -(x - intrinsics_.cx) / intrinsics_.fx;
+      const double lz = -(y - intrinsics_.cy) / intrinsics_.fy;
+      const geom::Vec3 dir =
+          camera_pose.RotateOnly(geom::Vec3{lx, ly, lz}.Normalized());
+      const auto hit = scene.CastRay(origin, dir, 0.3, max_range);
+      if (!hit) continue;
+      CameraPixel& px = image.At(x, y);
+      px.object_id = hit->object_id;
+      px.depth = static_cast<float>(hit->t);
+      px.shade = static_cast<std::uint8_t>(
+          std::clamp(hit->reflectance * 255.0, 0.0, 255.0));
+    }
+  }
+  return image;
+}
+
+bool PinholeCamera::Project(const geom::Vec3& p, int* px, int* py) const {
+  if (p.x <= 0.05) return false;  // behind the image plane
+  const double u = intrinsics_.cx - intrinsics_.fx * (p.y / p.x);
+  const double v = intrinsics_.cy - intrinsics_.fy * (p.z / p.x);
+  *px = static_cast<int>(std::lround(u));
+  *py = static_cast<int>(std::lround(v));
+  return *px >= 0 && *px < intrinsics_.width && *py >= 0 &&
+         *py < intrinsics_.height;
+}
+
+bool PinholeCamera::ProjectBox(const geom::Box3& world_box,
+                               const geom::Pose& vehicle_pose, int* x0,
+                               int* y0, int* x1, int* y1) const {
+  const geom::Pose world_to_camera = (vehicle_pose * mount_).Inverse();
+  int lo_x = intrinsics_.width, lo_y = intrinsics_.height, hi_x = -1, hi_y = -1;
+  for (const auto& corner : world_box.Corners()) {
+    int px = 0, py = 0;
+    const geom::Vec3 cam = world_to_camera * corner;
+    if (cam.x <= 0.05) continue;
+    // Project without the in-image test to allow partially visible boxes.
+    const double u = intrinsics_.cx - intrinsics_.fx * (cam.y / cam.x);
+    const double v = intrinsics_.cy - intrinsics_.fy * (cam.z / cam.x);
+    px = static_cast<int>(std::lround(u));
+    py = static_cast<int>(std::lround(v));
+    lo_x = std::min(lo_x, px);
+    lo_y = std::min(lo_y, py);
+    hi_x = std::max(hi_x, px);
+    hi_y = std::max(hi_y, py);
+  }
+  if (hi_x < 0) return false;  // every corner behind the camera
+  lo_x = std::clamp(lo_x, 0, intrinsics_.width - 1);
+  hi_x = std::clamp(hi_x, 0, intrinsics_.width - 1);
+  lo_y = std::clamp(lo_y, 0, intrinsics_.height - 1);
+  hi_y = std::clamp(hi_y, 0, intrinsics_.height - 1);
+  if (lo_x > hi_x || lo_y > hi_y) return false;
+  *x0 = lo_x;
+  *y0 = lo_y;
+  *x1 = hi_x;
+  *y1 = hi_y;
+  return true;
+}
+
+PinholeCamera PinholeCamera::FrontCamera() {
+  return PinholeCamera(CameraIntrinsics{},
+                       geom::Pose(geom::Mat3::Identity(), {1.2, 0.0, 1.4}));
+}
+
+}  // namespace cooper::sim

@@ -1,0 +1,130 @@
+#include "sim/lidar.h"
+
+#include <cmath>
+
+namespace cooper::sim {
+
+LidarConfig Hdl64Config() {
+  LidarConfig c;
+  c.beams = 64;
+  c.fov_up_deg = 2.0;
+  c.fov_down_deg = -24.8;
+  c.azimuth_steps = 1024;
+  c.max_range = 120.0;
+  c.sensor_height = 1.73;
+  return c;
+}
+
+LidarConfig Vlp16Config() {
+  LidarConfig c;
+  c.beams = 16;
+  c.fov_up_deg = 15.0;
+  c.fov_down_deg = -15.0;
+  c.azimuth_steps = 1800;  // 0.2 deg resolution at 10 Hz (~28.8k pts/rev)
+  c.max_range = 100.0;
+  c.sensor_height = 1.9;  // golf-cart roof mount
+  return c;
+}
+
+pc::PointCloud LidarSimulator::Scan(const Scene& scene,
+                                    const geom::Pose& vehicle_pose,
+                                    Rng& rng) const {
+  pc::PointCloud cloud;
+  cloud.reserve(static_cast<std::size_t>(config_.beams) * config_.azimuth_steps / 2);
+
+  const geom::Pose sensor_pose =
+      vehicle_pose * geom::Pose(geom::Mat3::Identity(),
+                                {0.0, 0.0, config_.sensor_height});
+  const geom::Vec3 origin = sensor_pose.translation();
+  const geom::Pose world_to_sensor = sensor_pose.Inverse();
+
+  for (int b = 0; b < config_.beams; ++b) {
+    // Evenly spaced elevations from fov_up down to fov_down.
+    const double frac = config_.beams > 1
+                            ? static_cast<double>(b) / (config_.beams - 1)
+                            : 0.5;
+    const double elev = geom::DegToRad(
+        config_.fov_up_deg + frac * (config_.fov_down_deg - config_.fov_up_deg));
+    const double ce = std::cos(elev), se = std::sin(elev);
+    for (int a = 0; a < config_.azimuth_steps; ++a) {
+      const double az =
+          2.0 * 3.141592653589793238462643 * a / config_.azimuth_steps;
+      // Direction in the sensor frame, rotated to world.
+      const geom::Vec3 dir_sensor{ce * std::cos(az), ce * std::sin(az), se};
+      const geom::Vec3 dir = sensor_pose.RotateOnly(dir_sensor);
+      const auto hit = scene.CastRay(origin, dir, config_.min_range, config_.max_range);
+      if (!hit) continue;
+      if (config_.dropout_prob > 0.0 && rng.Bernoulli(config_.dropout_prob)) continue;
+      double t = hit->t;
+      if (config_.range_noise_stddev > 0.0) {
+        t = std::max(config_.min_range, t + rng.Normal(0.0, config_.range_noise_stddev));
+      }
+      const geom::Vec3 world_point = origin + dir * t;
+      cloud.Add(world_to_sensor * world_point, static_cast<float>(hit->reflectance));
+    }
+  }
+  return cloud;
+}
+
+pc::PointCloud LidarSimulator::ScanMoving(const Scene& scene,
+                                          const geom::Pose& start_pose,
+                                          const pc::EgoMotion& motion, Rng& rng,
+                                          double revolution_s) const {
+  pc::PointCloud cloud;
+  cloud.reserve(static_cast<std::size_t>(config_.beams) * config_.azimuth_steps / 2);
+
+  const geom::Pose mount(geom::Mat3::Identity(), {0.0, 0.0, config_.sensor_height});
+
+  for (int a = 0; a < config_.azimuth_steps; ++a) {
+    const double az =
+        2.0 * 3.141592653589793238462643 * a / config_.azimuth_steps;
+    const double t = revolution_s * a / config_.azimuth_steps;
+    const geom::Pose sensor_pose = start_pose * motion.PoseAt(t) * mount;
+    const geom::Vec3 origin = sensor_pose.translation();
+    for (int b = 0; b < config_.beams; ++b) {
+      const double frac = config_.beams > 1
+                              ? static_cast<double>(b) / (config_.beams - 1)
+                              : 0.5;
+      const double elev = geom::DegToRad(
+          config_.fov_up_deg + frac * (config_.fov_down_deg - config_.fov_up_deg));
+      const double ce = std::cos(elev), se = std::sin(elev);
+      const geom::Vec3 dir_sensor{ce * std::cos(az), ce * std::sin(az), se};
+      const geom::Vec3 dir = sensor_pose.RotateOnly(dir_sensor);
+      const auto hit = scene.CastRay(origin, dir, config_.min_range, config_.max_range);
+      if (!hit) continue;
+      if (config_.dropout_prob > 0.0 && rng.Bernoulli(config_.dropout_prob)) continue;
+      double range = hit->t;
+      if (config_.range_noise_stddev > 0.0) {
+        range = std::max(config_.min_range,
+                         range + rng.Normal(0.0, config_.range_noise_stddev));
+      }
+      // Naive logging: the sensor measures in its *instantaneous* frame and
+      // the logger stamps the whole frame with the sweep-start pose — the
+      // skew appears when these coordinates are interpreted in one frame.
+      const geom::Vec3 world_point = origin + dir * range;
+      cloud.Add(sensor_pose.Inverse() * world_point,
+                static_cast<float>(hit->reflectance));
+    }
+  }
+  return cloud;
+}
+
+double LidarSimulator::ExpectedPointsOnCar(double range) const {
+  if (range <= 0.0) return 0.0;
+  // Car silhouette seen side-on: ~4.5 m wide, ~1.5 m tall.
+  constexpr double kCarWidth = 4.5;
+  constexpr double kCarHeight = 1.5;
+  const double azimuth_res =
+      2.0 * 3.141592653589793238462643 / config_.azimuth_steps;
+  const double elev_res =
+      geom::DegToRad(config_.fov_up_deg - config_.fov_down_deg) /
+      std::max(1, config_.beams - 1);
+  const double az_extent = 2.0 * std::atan2(0.5 * kCarWidth, range);
+  const double el_extent = 2.0 * std::atan2(0.5 * kCarHeight, range);
+  const double n_az = az_extent / azimuth_res;
+  const double n_el = el_extent / elev_res;
+  // At least a sliver of the object is sampled whenever it subtends any angle.
+  return std::max(0.0, n_az) * std::max(0.0, n_el);
+}
+
+}  // namespace cooper::sim

@@ -1,0 +1,68 @@
+// Multi-beam spinning LiDAR simulator.
+//
+// Models a Velodyne-style sensor: a vertical fan of beams swept through 360
+// degrees of azimuth.  Presets match the two sensors in the paper:
+// HDL-64-class (KITTI, dense) and VLP-16 (T&J golf cart, "4x more sparse").
+// Scans are ray-cast against a `Scene`, so occlusion shadows, range falloff
+// and beam sparsity emerge exactly as in real data.
+#pragma once
+
+#include "common/rng.h"
+#include "geom/pose.h"
+#include "pointcloud/motion.h"
+#include "pointcloud/point_cloud.h"
+#include "sim/scene.h"
+
+namespace cooper::sim {
+
+struct LidarConfig {
+  int beams = 64;
+  double fov_up_deg = 2.0;
+  double fov_down_deg = -24.8;
+  int azimuth_steps = 1024;         // horizontal samples per revolution
+  double max_range = 120.0;         // metres
+  double min_range = 1.0;
+  double range_noise_stddev = 0.02; // metres (1 sigma)
+  double dropout_prob = 0.02;       // per-ray probability of a lost return
+  double sensor_height = 1.73;      // mount height above vehicle origin
+};
+
+/// HDL-64-class config (KITTI-style dense clouds).
+LidarConfig Hdl64Config();
+
+/// VLP-16 config (T&J-style sparse clouds): 16 beams, +-15 degree FOV, lower
+/// mount (golf cart), shorter usable range.
+LidarConfig Vlp16Config();
+
+class LidarSimulator {
+ public:
+  explicit LidarSimulator(const LidarConfig& config) : config_(config) {}
+
+  /// One full revolution from `vehicle_pose` (vehicle frame -> world).  The
+  /// returned cloud is in the *sensor* frame, origin at the sensor, x forward
+  /// — the frame in which real scans are logged and exchanged.
+  pc::PointCloud Scan(const Scene& scene, const geom::Pose& vehicle_pose,
+                      Rng& rng) const;
+
+  /// One revolution while the vehicle moves with `motion` (pose at sweep
+  /// start = `start_pose`; revolution takes `revolution_s`).  Points are
+  /// logged naively in the sweep-*start* sensor frame — i.e. with the motion
+  /// skew a real logger produces when it stamps the whole frame with one
+  /// GPS/IMU reading.  Use pc::DeskewScan to correct it.
+  pc::PointCloud ScanMoving(const Scene& scene, const geom::Pose& start_pose,
+                            const pc::EgoMotion& motion, Rng& rng,
+                            double revolution_s = 0.1) const;
+
+  const LidarConfig& config() const { return config_; }
+
+  /// Expected number of returns from an unoccluded car-sized object at
+  /// ground-plane range `range` metres — the denominator of SPOD's evidence
+  /// features.  Derived from beam geometry: angular height/width of the
+  /// object over beam/azimuth angular resolution.
+  double ExpectedPointsOnCar(double range) const;
+
+ private:
+  LidarConfig config_;
+};
+
+}  // namespace cooper::sim

@@ -1,0 +1,231 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace cooper::sim {
+
+double CaseDeltaD(const Scenario& s, const CoopCase& c) {
+  const auto& a = s.viewpoints[c.a].position;
+  const auto& b = s.viewpoints[c.b].position;
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+namespace {
+
+// Adds a target car; jitter keeps placements from being perfectly gridded.
+void AddCar(Scene& scene, Rng& rng, double x, double y, double yaw_deg) {
+  const double jx = rng.Uniform(-0.15, 0.15);
+  const double jy = rng.Uniform(-0.1, 0.1);
+  const double jyaw_deg = rng.Uniform(-3.0, 3.0);
+  scene.AddObject(ObjectClass::kCar,
+                  MakeCarBox({x + jx, y + jy, 0.0}, yaw_deg + jyaw_deg),
+                  rng.Uniform(0.45, 0.75));
+}
+
+VehicleState Vp(std::string name, double x, double y, double yaw_deg) {
+  return VehicleState{std::move(name), {x, y, 0.0},
+                      {geom::DegToRad(yaw_deg), 0.0, 0.0}};
+}
+
+}  // namespace
+
+Scenario MakeKittiTJunction() {
+  Scenario s;
+  s.name = "kitti-t-junction";
+  s.lidar = Hdl64Config();
+  s.seed = 101;
+  Rng rng(s.seed);
+
+  // Ego road along +x; crossing road along y at x = 30.  The corner building
+  // hides the north-arm cross traffic from t1 but the viewing angle opens up
+  // by t2; the parked truck hides a shoulder car from t1 only.
+  s.scene.AddObject(ObjectClass::kBuilding,
+                    geom::Box3{{20.0, 11.25, 4.0}, 4.0, 7.5, 8.0, 0.0}, 0.3);
+  s.scene.AddObject(ObjectClass::kTruck, MakeTruckBox({14.0, 3.8, 0.0}, 0.0), 0.6);
+
+  AddCar(s.scene, rng, 8.5, -3.8, 180);    // near oncoming; behind t2's view
+  AddCar(s.scene, rng, 6.5, 3.2, 0);       // parked near; behind t2's view
+  AddCar(s.scene, rng, 21.0, -3.5, 180);   // medium oncoming; both see
+  AddCar(s.scene, rng, 26.5, 4.2, 0);      // behind the truck from t1 only
+  AddCar(s.scene, rng, 30.0, -9.0, 90);    // south cross arm; both see
+  AddCar(s.scene, rng, 30.0, 14.0, -90);   // north cross arm; t2 clears corner
+  AddCar(s.scene, rng, 38.0, 3.5, 0);      // beyond junction; both, t1 weak
+  AddCar(s.scene, rng, 44.0, -2.8, 180);   // far oncoming; both, t1 weak
+  AddCar(s.scene, rng, 50.0, 2.0, 0);      // far; at the edge of t1's range
+
+  s.viewpoints = {Vp("t1", 0.0, -1.75, 0.0), Vp("t2", 14.7, -1.75, 0.0)};
+  s.cases = {{0, 1}};
+  return s;
+}
+
+Scenario MakeKittiStopSign() {
+  Scenario s;
+  s.name = "kitti-stop-sign";
+  s.lidar = Hdl64Config();
+  s.seed = 102;
+  Rng rng(s.seed);
+
+  // Four-way stop at x = 26; corner building north-west, box truck parked on
+  // the south shoulder.  Cross-arm cars open up for t4 but not t3.
+  s.scene.AddObject(ObjectClass::kBuilding,
+                    geom::Box3{{20.5, 9.75, 4.0}, 5.0, 8.5, 8.0, 0.0}, 0.3);
+  s.scene.AddObject(ObjectClass::kTruck, MakeTruckBox({15.0, -7.5, 0.0}, 0.0), 0.6);
+
+  AddCar(s.scene, rng, 7.0, 3.5, 0);       // parked near; behind t4's view
+  AddCar(s.scene, rng, 10.5, -3.5, 180);   // near oncoming; behind t4's view
+  AddCar(s.scene, rng, 18.0, 3.5, 0);      // queued; both see
+  AddCar(s.scene, rng, 27.0, 3.2, 0);      // queue head at the line; both see
+  AddCar(s.scene, rng, 27.5, 7.6, -90);    // north cross arm; t4 clears corner
+  AddCar(s.scene, rng, 29.0, -10.0, 90);   // south cross arm; truck blocks t3
+  AddCar(s.scene, rng, 36.0, -3.5, 180);   // far oncoming; both, t3 weak
+  AddCar(s.scene, rng, 45.0, 3.5, 0);      // far beyond the intersection
+
+  s.viewpoints = {Vp("t3", 0.0, -1.75, 0.0), Vp("t4", 13.3, -1.75, 0.0)};
+  s.cases = {{0, 1}};
+  return s;
+}
+
+Scenario MakeKittiLeftTurn() {
+  Scenario s;
+  s.name = "kitti-left-turn";
+  s.lidar = Hdl64Config();
+  s.seed = 103;
+  Rng rng(s.seed);
+
+  // Same position, rotated heading (paper: delta-d = 0 m): the two shots
+  // cover different 120-degree sectors of the same intersection, so the
+  // cooperative frame widens the field of view rather than the range.
+  s.scene.AddObject(ObjectClass::kBuilding,
+                    geom::Box3{{26.0, 22.0, 4.0}, 14.0, 8.0, 8.0, 0.0}, 0.3);
+
+  AddCar(s.scene, rng, 8.0, -4.2, 180);    // az -28 deg: t5 only, near
+  AddCar(s.scene, rng, 16.0, 2.0, 0);      // az 7 deg: overlap, both see
+  AddCar(s.scene, rng, 2.0, 15.0, 90);     // az 82 deg: t6 only, near
+  AddCar(s.scene, rng, -4.0, 18.0, 90);    // az 103 deg: t6 only
+  AddCar(s.scene, rng, 8.0, 26.0, -90);    // az 73 deg: t6 only, far
+  AddCar(s.scene, rng, 28.0, -3.5, 180);   // az -7 deg: t5 only
+  AddCar(s.scene, rng, 27.0, 8.0, 0);      // az 17 deg: overlap, far
+  AddCar(s.scene, rng, 20.0, 14.0, 45);    // az 35 deg: overlap
+
+  s.viewpoints = {Vp("t5", 0.0, 0.0, 0.0), Vp("t6", 0.0, 0.0, 55.0)};
+  s.cases = {{0, 1}};
+  return s;
+}
+
+Scenario MakeKittiCurve() {
+  Scenario s;
+  s.name = "kitti-curve";
+  s.lidar = Hdl64Config();
+  s.seed = 104;
+  Rng rng(s.seed);
+
+  // Long sweeping curve; an embankment wall on the inside of the bend hides
+  // the far arm from t7 until the vehicle comes around (delta-d = 48.1 m).
+  // t8 is past the bend, so its front view covers the cars t7 cannot reach.
+  s.scene.AddObject(ObjectClass::kWall,
+                    MakeWallBox({35.0, 10.9, 0.0}, 24.7, 33.0, 2.5), 0.25);
+
+  AddCar(s.scene, rng, 9.0, -3.0, 185);    // near t7; behind t8's view
+  AddCar(s.scene, rng, 18.0, 0.5, 15);     // t7 medium; behind t8's view
+  AddCar(s.scene, rng, 28.0, 4.0, 25);     // t7 medium; behind t8's view
+  AddCar(s.scene, rng, 52.0, 13.0, 30);    // wall-blocked from t7; t8 near
+  AddCar(s.scene, rng, 54.0, 19.5, 30);    // out of t7's range; t8 near
+  AddCar(s.scene, rng, 49.0, 22.5, 70);    // wall-blocked from t7; t8 near
+  AddCar(s.scene, rng, 66.0, 20.0, 35);    // out of t7's range; t8 medium
+
+  s.viewpoints = {Vp("t7", 0.0, -1.5, 5.0), Vp("t8", 46.0, 11.5, 35.0)};
+  s.cases = {{0, 1}};
+  return s;
+}
+
+std::vector<Scenario> AllKittiScenarios() {
+  return {MakeKittiTJunction(), MakeKittiStopSign(), MakeKittiLeftTurn(),
+          MakeKittiCurve()};
+}
+
+namespace {
+
+// Builds a parking-lot scene: two rows of parked target cars facing each
+// other across an aisle, plus occluding trucks, per Fig. 5's setting.
+void BuildParkingLot(Scene& scene, Rng& rng, int rows, int cols,
+                     double row_y0, double row_pitch, double col_x0,
+                     double col_pitch, double occupancy) {
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (!rng.Bernoulli(occupancy)) continue;
+      const double x = col_x0 + c * col_pitch;
+      const double y = row_y0 + r * row_pitch;
+      // Cars nose-in, alternating row orientation.
+      AddCar(scene, rng, x, y, r % 2 == 0 ? 90.0 : -90.0);
+    }
+  }
+}
+
+}  // namespace
+
+Scenario MakeTjScenario(int index) {
+  COOPER_CHECK(index >= 1 && index <= 4);
+  Scenario s;
+  s.name = "tj-scenario-" + std::to_string(index);
+  s.lidar = Vlp16Config();
+  s.seed = 200 + static_cast<std::uint64_t>(index);
+  Rng rng(s.seed);
+
+  switch (index) {
+    case 1: {
+      // Sparse lot, cooperators at increasing range (Fig. 6a: 5.5/14.5/26.9 m).
+      BuildParkingLot(s.scene, rng, 2, 8, -12.0, 24.0, 6.0, 5.5, 0.7);
+      s.scene.AddObject(ObjectClass::kTruck, MakeTruckBox({20.0, -5.0, 0.0}, 90.0), 0.6);
+      s.viewpoints = {Vp("car1", 0.0, 0.0, 0.0), Vp("car2", 5.5, 0.2, 5.0),
+                      Vp("car3", 14.3, -1.5, -10.0), Vp("car4", 26.5, 3.0, 15.0)};
+      s.cases = {{0, 1}, {0, 2}, {0, 3}};
+      break;
+    }
+    case 2: {
+      // Dense full lot (the "congested junction" analogue): heavy mutual
+      // occlusion, many cars neither vehicle sees alone.
+      BuildParkingLot(s.scene, rng, 2, 10, -10.0, 20.0, 4.0, 4.5, 0.9);
+      s.scene.AddObject(ObjectClass::kTruck, MakeTruckBox({16.0, -4.0, 0.0}, 0.0), 0.6);
+      s.scene.AddObject(ObjectClass::kTruck, MakeTruckBox({30.0, 4.0, 0.0}, 0.0), 0.6);
+      s.viewpoints = {Vp("car1", 0.0, 0.0, 0.0), Vp("car2", 15.0, -0.5, 0.0),
+                      Vp("car3", 32.9, 1.5, 180.0), Vp("car4", 13.0, 5.0, -45.0),
+                      Vp("car5", 27.0, -3.0, 90.0)};
+      s.cases = {{0, 1}, {0, 2}, {2, 3}, {3, 4}};
+      break;
+    }
+    case 3: {
+      // Road along the lot edge; occluding wall segment.
+      BuildParkingLot(s.scene, rng, 1, 9, 10.0, 0.0, 5.0, 5.0, 0.8);
+      s.scene.AddObject(ObjectClass::kWall, MakeWallBox({22.0, 5.5, 0.0}, 0.0, 18.0, 2.0), 0.25);
+      AddCar(s.scene, rng, 14.0, -6.0, 180);
+      AddCar(s.scene, rng, 30.0, -6.0, 180);
+      AddCar(s.scene, rng, 40.0, -2.0, 160);
+      s.viewpoints = {Vp("car1", 0.0, 0.0, 0.0), Vp("car2", 4.8, 0.3, 0.0),
+                      Vp("car3", 16.5, -1.0, 10.0), Vp("car4", 21.5, -3.0, 20.0),
+                      Vp("car5", 39.8, -5.0, 170.0)};
+      s.cases = {{0, 1}, {0, 2}, {0, 3}, {3, 4}};
+      break;
+    }
+    case 4: {
+      // Largest scene: two aisles, evening congestion (most cars in Fig. 6d).
+      BuildParkingLot(s.scene, rng, 2, 10, -14.0, 14.0, 4.0, 4.8, 0.85);
+      BuildParkingLot(s.scene, rng, 1, 6, 14.0, 0.0, 10.0, 5.2, 0.8);
+      s.scene.AddObject(ObjectClass::kTruck, MakeTruckBox({24.0, -7.0, 0.0}, 0.0), 0.6);
+      s.viewpoints = {Vp("car1", 0.0, -3.0, 0.0), Vp("car2", 3.9, -2.8, 0.0),
+                      Vp("car3", 9.8, -4.0, 10.0), Vp("car4", 15.5, -1.0, -15.0),
+                      Vp("car5", 23.0, -4.5, 5.0)};
+      s.cases = {{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+      break;
+    }
+  }
+  return s;
+}
+
+std::vector<Scenario> AllTjScenarios() {
+  return {MakeTjScenario(1), MakeTjScenario(2), MakeTjScenario(3),
+          MakeTjScenario(4)};
+}
+
+}  // namespace cooper::sim

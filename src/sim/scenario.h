@@ -1,0 +1,69 @@
+// Scenario library: synthetic stand-ins for the paper's 19 evaluation
+// scenes — four KITTI-style road scenarios (T-junction, stop sign, left
+// turn, curve; 64-beam) and four T&J-style parking-lot scenarios (16-beam)
+// with multiple cooperator distances each.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/lidar.h"
+#include "sim/scene.h"
+#include "sim/sensors.h"
+
+namespace cooper::sim {
+
+/// A vehicle's ground-truth navigation state in a scenario.
+struct VehicleState {
+  std::string name;  // "t1", "car3", ...
+  geom::Vec3 position;
+  geom::EulerAngles attitude;
+
+  geom::Pose ToPose() const { return geom::Pose::FromGpsImu(position, attitude); }
+};
+
+/// One cooperative-perception case: merge viewpoints `a` and `b`.
+struct CoopCase {
+  int a = 0;
+  int b = 1;
+};
+
+struct Scenario {
+  std::string name;
+  Scene scene;
+  LidarConfig lidar;
+  std::vector<VehicleState> viewpoints;
+  std::vector<CoopCase> cases;
+  std::uint64_t seed = 1;  // base RNG seed for scans of this scenario
+};
+
+/// Ground-plane distance between the two viewpoints of a case (the paper's
+/// delta-d annotation).
+double CaseDeltaD(const Scenario& s, const CoopCase& c);
+
+// --- KITTI-style road scenarios (HDL-64). The paper emulates cooperation by
+// merging two single shots of the same vehicle taken at different times, so
+// viewpoints are "t1".."t8" along a trajectory. ---
+
+/// Scenario 1: T-junction, delta-d = 14.7 m.
+Scenario MakeKittiTJunction();
+/// Scenario 2: stop sign, delta-d = 13.3 m.
+Scenario MakeKittiStopSign();
+/// Scenario 3: left turn, delta-d = 0 m (same spot, rotated heading).
+Scenario MakeKittiLeftTurn();
+/// Scenario 4: curve, delta-d = 48.1 m.
+Scenario MakeKittiCurve();
+
+/// All four, in paper order.
+std::vector<Scenario> AllKittiScenarios();
+
+// --- T&J-style parking-lot scenarios (VLP-16), multi-vehicle. Cooperator
+// distances follow Fig. 6. ---
+
+/// Scenario index in [1, 4].
+Scenario MakeTjScenario(int index);
+
+std::vector<Scenario> AllTjScenarios();
+
+}  // namespace cooper::sim

@@ -1,0 +1,120 @@
+#include "sim/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cooper::sim {
+
+const char* ObjectClassName(ObjectClass c) {
+  switch (c) {
+    case ObjectClass::kCar: return "car";
+    case ObjectClass::kTruck: return "truck";
+    case ObjectClass::kPedestrian: return "pedestrian";
+    case ObjectClass::kCyclist: return "cyclist";
+    case ObjectClass::kWall: return "wall";
+    case ObjectClass::kBuilding: return "building";
+  }
+  return "unknown";
+}
+
+bool IsTargetClass(ObjectClass c) {
+  return c == ObjectClass::kCar || c == ObjectClass::kTruck ||
+         c == ObjectClass::kPedestrian || c == ObjectClass::kCyclist;
+}
+
+int Scene::AddObject(ObjectClass cls, const geom::Box3& box, double reflectance) {
+  const int id = next_id_++;
+  objects_.push_back(SceneObject{id, cls, box, reflectance});
+  return id;
+}
+
+std::vector<SceneObject> Scene::Targets() const {
+  std::vector<SceneObject> out;
+  for (const auto& o : objects_) {
+    if (IsTargetClass(o.cls)) out.push_back(o);
+  }
+  return out;
+}
+
+const SceneObject* Scene::FindObject(int id) const {
+  for (const auto& o : objects_) {
+    if (o.id == id) return &o;
+  }
+  return nullptr;
+}
+
+std::optional<double> RayBoxIntersect(const geom::Vec3& origin,
+                                      const geom::Vec3& dir,
+                                      const geom::Box3& box, double t_min,
+                                      double t_max) {
+  // Transform the ray into the box frame (translate, then rotate by -yaw).
+  const double c = std::cos(box.yaw), s = std::sin(box.yaw);
+  const geom::Vec3 od = origin - box.center;
+  const geom::Vec3 o{c * od.x + s * od.y, -s * od.x + c * od.y, od.z};
+  const geom::Vec3 d{c * dir.x + s * dir.y, -s * dir.x + c * dir.y, dir.z};
+  const double half[3] = {0.5 * box.length, 0.5 * box.width, 0.5 * box.height};
+  const double ov[3] = {o.x, o.y, o.z};
+  const double dv[3] = {d.x, d.y, d.z};
+
+  double lo = t_min, hi = t_max;
+  for (int a = 0; a < 3; ++a) {
+    if (std::abs(dv[a]) < 1e-12) {
+      if (std::abs(ov[a]) > half[a]) return std::nullopt;
+      continue;
+    }
+    double t0 = (-half[a] - ov[a]) / dv[a];
+    double t1 = (half[a] - ov[a]) / dv[a];
+    if (t0 > t1) std::swap(t0, t1);
+    lo = std::max(lo, t0);
+    hi = std::min(hi, t1);
+    if (lo > hi) return std::nullopt;
+  }
+  return lo;
+}
+
+std::optional<RayHit> Scene::CastRay(const geom::Vec3& origin,
+                                     const geom::Vec3& dir, double t_min,
+                                     double t_max) const {
+  std::optional<RayHit> best;
+  for (const auto& obj : objects_) {
+    const auto t = RayBoxIntersect(origin, dir, obj.box, t_min, t_max);
+    if (t && (!best || *t < best->t)) {
+      best = RayHit{*t, origin + dir * *t, obj.reflectance, obj.id};
+    }
+  }
+  // Ground plane z = ground_z_.
+  if (std::abs(dir.z) > 1e-12) {
+    const double t = (ground_z_ - origin.z) / dir.z;
+    if (t >= t_min && t <= t_max && (!best || t < best->t)) {
+      best = RayHit{t, origin + dir * t, 0.15, -1};
+    }
+  }
+  return best;
+}
+
+geom::Box3 MakeCarBox(const geom::Vec3& center, double yaw_deg) {
+  return geom::Box3{{center.x, center.y, center.z + 0.75}, 4.5, 1.8, 1.5,
+                    geom::DegToRad(yaw_deg)};
+}
+
+geom::Box3 MakeTruckBox(const geom::Vec3& center, double yaw_deg) {
+  return geom::Box3{{center.x, center.y, center.z + 1.5}, 8.0, 2.5, 3.0,
+                    geom::DegToRad(yaw_deg)};
+}
+
+geom::Box3 MakePedestrianBox(const geom::Vec3& center) {
+  return geom::Box3{{center.x, center.y, center.z + 0.9}, 0.5, 0.5, 1.8, 0.0};
+}
+
+geom::Box3 MakeCyclistBox(const geom::Vec3& center, double yaw_deg) {
+  return geom::Box3{{center.x, center.y, center.z + 0.85}, 1.8, 0.6, 1.7,
+                    geom::DegToRad(yaw_deg)};
+}
+
+geom::Box3 MakeWallBox(const geom::Vec3& center, double yaw_deg, double length,
+                       double height) {
+  return geom::Box3{{center.x, center.y, center.z + 0.5 * height}, length, 0.3,
+                    height, geom::DegToRad(yaw_deg)};
+}
+
+}  // namespace cooper::sim

@@ -1,0 +1,91 @@
+// Synthetic world model for the LiDAR simulator.
+//
+// A scene is a ground plane plus a set of oriented boxes: target vehicles
+// (the objects the detector must find), and occluders (walls, buildings,
+// parked trucks) that create the blocked areas central to the paper's
+// motivation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/vec3.h"
+
+namespace cooper::sim {
+
+enum class ObjectClass {
+  kCar,
+  kTruck,
+  kPedestrian,
+  kCyclist,
+  kWall,      // occluder
+  kBuilding,  // occluder
+};
+
+const char* ObjectClassName(ObjectClass c);
+
+/// Whether a class is a detection target (vs. pure occluder).
+bool IsTargetClass(ObjectClass c);
+
+struct SceneObject {
+  int id = 0;
+  ObjectClass cls = ObjectClass::kCar;
+  geom::Box3 box;         // world frame
+  double reflectance = 0.5;  // material return strength in [0, 1]
+};
+
+/// Ray-cast hit record.
+struct RayHit {
+  double t = 0.0;            // distance along the (unit) ray
+  geom::Vec3 point;          // world frame
+  double reflectance = 0.0;
+  int object_id = -1;        // -1 for ground
+};
+
+class Scene {
+ public:
+  Scene() = default;
+
+  int AddObject(ObjectClass cls, const geom::Box3& box, double reflectance = 0.5);
+
+  const std::vector<SceneObject>& objects() const { return objects_; }
+
+  /// All target-class objects (ground truth for evaluation).
+  std::vector<SceneObject> Targets() const;
+
+  const SceneObject* FindObject(int id) const;
+
+  /// Ground plane height (world z).
+  void set_ground_z(double z) { ground_z_ = z; }
+  double ground_z() const { return ground_z_; }
+
+  /// Nearest intersection of the ray `origin + t * dir` (dir unit length)
+  /// with any object or the ground, within [t_min, t_max].
+  std::optional<RayHit> CastRay(const geom::Vec3& origin, const geom::Vec3& dir,
+                                double t_min, double t_max) const;
+
+ private:
+  std::vector<SceneObject> objects_;
+  double ground_z_ = 0.0;
+  int next_id_ = 0;
+};
+
+/// Slab-method intersection of a ray with an oriented box; returns the entry
+/// distance if the ray hits within [t_min, t_max].
+std::optional<double> RayBoxIntersect(const geom::Vec3& origin,
+                                      const geom::Vec3& dir,
+                                      const geom::Box3& box, double t_min,
+                                      double t_max);
+
+/// Standard object footprints used by the scenario generators.  Headings
+/// are in degrees (the scenario-layout convention); Box3::yaw stays radians.
+geom::Box3 MakeCarBox(const geom::Vec3& center, double yaw_deg);
+geom::Box3 MakeTruckBox(const geom::Vec3& center, double yaw_deg);
+geom::Box3 MakePedestrianBox(const geom::Vec3& center);
+geom::Box3 MakeCyclistBox(const geom::Vec3& center, double yaw_deg);
+geom::Box3 MakeWallBox(const geom::Vec3& center, double yaw_deg, double length,
+                       double height = 3.0);
+
+}  // namespace cooper::sim

@@ -1,0 +1,54 @@
+#include "sim/sensors.h"
+
+namespace cooper::sim {
+
+NavState GpsImuModel::Measure(const geom::Vec3& true_position,
+                              const geom::EulerAngles& true_attitude,
+                              Rng& rng) const {
+  NavState s;
+  s.position = {true_position.x + rng.Normal(0.0, config_.gps_noise_stddev),
+                true_position.y + rng.Normal(0.0, config_.gps_noise_stddev),
+                true_position.z + rng.Normal(0.0, config_.gps_noise_stddev)};
+  s.attitude = {
+      true_attitude.yaw + rng.Normal(0.0, config_.imu_angle_noise_stddev),
+      true_attitude.pitch + rng.Normal(0.0, config_.imu_angle_noise_stddev),
+      true_attitude.roll + rng.Normal(0.0, config_.imu_angle_noise_stddev)};
+  return s;
+}
+
+const char* GpsSkewModeName(GpsSkewMode mode) {
+  switch (mode) {
+    case GpsSkewMode::kNone: return "baseline";
+    case GpsSkewMode::kBothAxesMax: return "both-axes-max";
+    case GpsSkewMode::kOneAxisMax: return "one-axis-max";
+    case GpsSkewMode::kDoubleMax: return "double-max";
+  }
+  return "unknown";
+}
+
+NavState ApplyGpsSkew(const NavState& state, GpsSkewMode mode, Rng& rng) {
+  NavState s = state;
+  auto sign = [&rng]() { return rng.Bernoulli(0.5) ? 1.0 : -1.0; };
+  switch (mode) {
+    case GpsSkewMode::kNone:
+      break;
+    case GpsSkewMode::kBothAxesMax:
+      s.position.x += sign() * kMaxGpsDrift;
+      s.position.y += sign() * kMaxGpsDrift;
+      break;
+    case GpsSkewMode::kOneAxisMax:
+      if (rng.Bernoulli(0.5)) {
+        s.position.x += sign() * kMaxGpsDrift;
+      } else {
+        s.position.y += sign() * kMaxGpsDrift;
+      }
+      break;
+    case GpsSkewMode::kDoubleMax:
+      s.position.x += sign() * 2.0 * kMaxGpsDrift;
+      s.position.y += sign() * 2.0 * kMaxGpsDrift;
+      break;
+  }
+  return s;
+}
+
+}  // namespace cooper::sim

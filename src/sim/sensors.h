@@ -1,0 +1,58 @@
+// GPS + IMU sensor models.
+//
+// The exchange package of §II-D carries each vehicle's GPS reading and IMU
+// attitude; fusion quality therefore depends on their errors.  The model
+// follows the paper's cited numbers: an integrated INS/GPS yields < 10 cm
+// positional error [6]; Fig. 10 injects "procedural artificial skew" up to
+// 2x that bound.
+#pragma once
+
+#include "common/rng.h"
+#include "geom/pose.h"
+
+namespace cooper::sim {
+
+/// Maximum expected GPS drift of the integrated INS/GPS system (metres).
+inline constexpr double kMaxGpsDrift = 0.10;
+
+struct GpsImuConfig {
+  double gps_noise_stddev = 0.02;      // per-axis position noise, metres
+  double imu_angle_noise_stddev = 0.002;  // radians (~0.11 deg)
+};
+
+/// The measured navigation state a vehicle would report in its exchange
+/// package: position (GPS) and attitude (IMU).
+struct NavState {
+  geom::Vec3 position;
+  geom::EulerAngles attitude;
+
+  geom::Pose ToPose() const { return geom::Pose::FromGpsImu(position, attitude); }
+};
+
+class GpsImuModel {
+ public:
+  explicit GpsImuModel(const GpsImuConfig& config = {}) : config_(config) {}
+
+  /// Noisy measurement of a true pose (given as position + attitude).
+  NavState Measure(const geom::Vec3& true_position,
+                   const geom::EulerAngles& true_attitude, Rng& rng) const;
+
+ private:
+  GpsImuConfig config_;
+};
+
+/// Fig. 10 skew modes.
+enum class GpsSkewMode {
+  kNone,
+  kBothAxesMax,  // x and y skewed to the max drift bound
+  kOneAxisMax,   // single axis at the bound
+  kDoubleMax,    // 2x the bound ("abnormal instances")
+};
+
+const char* GpsSkewModeName(GpsSkewMode mode);
+
+/// Applies the skew to a nav state (sign of each axis drawn from rng so the
+/// skew direction varies per trial, as in the paper's procedural skewing).
+NavState ApplyGpsSkew(const NavState& state, GpsSkewMode mode, Rng& rng);
+
+}  // namespace cooper::sim

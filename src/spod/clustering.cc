@@ -1,0 +1,138 @@
+#include "spod/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace cooper::spod {
+namespace {
+
+struct CellKey {
+  std::int32_t x, y;
+  friend bool operator==(const CellKey&, const CellKey&) = default;
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& k) const {
+    return std::hash<std::uint64_t>()(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.x)) << 32) |
+        static_cast<std::uint32_t>(k.y));
+  }
+};
+
+// Union-find over point indices.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  std::size_t Find(std::size_t i) {
+    while (parent_[i] != i) {
+      parent_[i] = parent_[parent_[i]];
+      i = parent_[i];
+    }
+    return i;
+  }
+  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Cluster> ClusterPoints(const pc::PointCloud& cloud,
+                                   double merge_radius,
+                                   std::size_t min_points) {
+  if (cloud.empty()) return {};
+  const double cell = merge_radius;
+  std::unordered_map<CellKey, std::vector<std::uint32_t>, CellKeyHash> grid;
+  grid.reserve(cloud.size());
+  for (std::uint32_t i = 0; i < cloud.size(); ++i) {
+    const auto& p = cloud[i].position;
+    grid[CellKey{static_cast<std::int32_t>(std::floor(p.x / cell)),
+                 static_cast<std::int32_t>(std::floor(p.y / cell))}]
+        .push_back(i);
+  }
+
+  DisjointSet ds(cloud.size());
+  const double r2 = merge_radius * merge_radius;
+  for (const auto& [key, indices] : grid) {
+    // Check the 3x3 neighbourhood (half to avoid double work).
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const auto it = grid.find(CellKey{key.x + dx, key.y + dy});
+        if (it == grid.end()) continue;
+        for (const auto i : indices) {
+          for (const auto j : it->second) {
+            if (j <= i) continue;
+            const double ddx = cloud[i].position.x - cloud[j].position.x;
+            const double ddy = cloud[i].position.y - cloud[j].position.y;
+            if (ddx * ddx + ddy * ddy <= r2) ds.Union(i, j);
+          }
+        }
+      }
+    }
+  }
+
+  std::unordered_map<std::size_t, Cluster> by_root;
+  for (std::uint32_t i = 0; i < cloud.size(); ++i) {
+    by_root[ds.Find(i)].points.push_back(cloud[i]);
+  }
+  std::vector<Cluster> out;
+  for (auto& [root, c] : by_root) {
+    if (c.points.size() >= min_points) out.push_back(std::move(c));
+  }
+  // Deterministic order: by first point position.
+  std::sort(out.begin(), out.end(), [](const Cluster& a, const Cluster& b) {
+    const auto& pa = a.points[0].position;
+    const auto& pb = b.points[0].position;
+    return std::tie(pa.x, pa.y, pa.z) < std::tie(pb.x, pb.y, pb.z);
+  });
+  return out;
+}
+
+geom::Box3 FitOrientedBox(const pc::PointCloud& cluster) {
+  geom::Box3 best;
+  double best_area = std::numeric_limits<double>::infinity();
+  constexpr int kSteps = 45;  // 2-degree resolution
+  for (int s = 0; s < kSteps; ++s) {
+    const double yaw = geom::DegToRad(90.0 * s / kSteps);
+    const double c = std::cos(yaw), si = std::sin(yaw);
+    double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+    double ymin = xmin, ymax = -xmin;
+    for (const auto& p : cluster) {
+      const double lx = c * p.position.x + si * p.position.y;
+      const double ly = -si * p.position.x + c * p.position.y;
+      xmin = std::min(xmin, lx); xmax = std::max(xmax, lx);
+      ymin = std::min(ymin, ly); ymax = std::max(ymax, ly);
+    }
+    const double area = (xmax - xmin) * (ymax - ymin);
+    if (area < best_area) {
+      best_area = area;
+      const double cx = 0.5 * (xmin + xmax), cy = 0.5 * (ymin + ymax);
+      best.center = {c * cx - si * cy, si * cx + c * cy, 0.0};
+      best.length = xmax - xmin;
+      best.width = ymax - ymin;
+      best.yaw = yaw;
+    }
+  }
+  // Convention: length >= width, yaw along the long axis.
+  if (best.width > best.length) {
+    std::swap(best.length, best.width);
+    best.yaw = geom::WrapAngle(best.yaw + geom::DegToRad(90.0));
+  }
+  double zmin = std::numeric_limits<double>::infinity(), zmax = -zmin;
+  for (const auto& p : cluster) {
+    zmin = std::min(zmin, p.position.z);
+    zmax = std::max(zmax, p.position.z);
+  }
+  best.height = std::max(0.1, zmax - zmin);
+  best.center.z = 0.5 * (zmin + zmax);
+  return best;
+}
+
+}  // namespace cooper::spod

@@ -1,0 +1,32 @@
+// Cluster extraction and oriented-box fitting for SPOD's proposal stage.
+//
+// After the sparse middle layers, active voxels above the ground plane are
+// grouped into connected components in the BEV plane; each component's
+// source points are fitted with a minimum-area oriented rectangle (yaw
+// search), producing the box proposals the confidence model scores.
+#pragma once
+
+#include <vector>
+
+#include "geom/box.h"
+#include "pointcloud/point_cloud.h"
+
+namespace cooper::spod {
+
+struct Cluster {
+  pc::PointCloud points;
+};
+
+/// Groups points whose BEV distance is below `merge_radius` into connected
+/// components (grid-hashed single-linkage). Components smaller than
+/// `min_points` are discarded.
+std::vector<Cluster> ClusterPoints(const pc::PointCloud& cloud,
+                                   double merge_radius,
+                                   std::size_t min_points);
+
+/// Minimum-area oriented bounding box of a cluster: yaw is searched over
+/// [0, 90) degrees (the rectangle is symmetric beyond that), extents come
+/// from the rotated axis-aligned bounds, height from the z extent.
+geom::Box3 FitOrientedBox(const pc::PointCloud& cluster);
+
+}  // namespace cooper::spod

@@ -1,0 +1,97 @@
+// SPOD — Sparse Point-cloud Object Detection (paper §III, Fig. 1).
+//
+// Stage structure mirrors the paper exactly:
+//   1. preprocessing      — invalid-point removal, spherical-projection
+//                           densification for sparse input [27], ground cut;
+//   2. voxel feature      — voxelisation + VFE encoding [31];
+//   3. sparse middle      — submanifold + strided sparse 3D convs [15];
+//   4. RPN head           — SSD-style conv stack over the BEV map [16, 21];
+//   5. proposals + score  — BEV clustering, oriented-box fit and completion,
+//                           evidence-calibrated confidence (DESIGN.md §4.3),
+//                           NMS and thresholding.
+//
+// The same detector instance works on dense 64-beam clouds, sparse 16-beam
+// clouds and fused multi-vehicle clouds — the property Cooper depends on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/sparse_conv.h"
+#include "nn/vfe.h"
+#include "spod/confidence.h"
+#include "spod/detection.h"
+
+namespace cooper::spod {
+
+/// Per-stage wall-clock cost of one Detect() call, microseconds.
+struct StageTimings {
+  double preprocess_us = 0.0;
+  double voxelize_us = 0.0;
+  double vfe_us = 0.0;
+  double middle_us = 0.0;
+  double rpn_us = 0.0;
+  double proposals_us = 0.0;
+  double TotalUs() const {
+    return preprocess_us + voxelize_us + vfe_us + middle_us + rpn_us +
+           proposals_us;
+  }
+};
+
+struct SpodResult {
+  std::vector<Detection> detections;
+  StageTimings timings;
+  std::size_t num_input_points = 0;
+  std::size_t num_voxels = 0;
+};
+
+class SpodDetector {
+ public:
+  /// `sensor` describes the angular resolution of the *receiving* vehicle's
+  /// sensor (for fused clouds the receiver's own; extra transmitter points
+  /// only raise evidence, as in the paper).
+  SpodDetector(const SpodConfig& config, const SensorResolution& sensor,
+               std::uint64_t weight_seed = 42);
+
+  /// Full pipeline, including spherical densification when the config asks
+  /// for it.  Use only on clouds from a single sensor origin — densification
+  /// assumes one viewpoint.
+  SpodResult Detect(const pc::PointCloud& cloud) const;
+
+  /// Pipeline minus the densification step — for fused multi-origin clouds,
+  /// whose sources must be densified separately (in their own sensor frames)
+  /// before merging; a single receiver-centred range image would discard
+  /// remote points hidden behind local occluders.
+  SpodResult DetectPreprocessed(const pc::PointCloud& cloud) const;
+
+  /// The densification preprocessing step alone (no-op unless the config
+  /// enables it).  The cloud must be in its own sensor frame.
+  pc::PointCloud Densify(const pc::PointCloud& cloud) const;
+
+  const SpodConfig& config() const { return config_; }
+  const SensorResolution& sensor() const { return sensor_; }
+
+ private:
+  // Network stages (fixed deterministic weights; see DESIGN.md §4.3).
+  struct Net {
+    nn::VoxelFeatureEncoder vfe;
+    nn::SparseConv3d mid_sub1;  // submanifold 8->8
+    nn::SparseConv3d mid_down;  // regular stride-2 8->16
+    nn::SparseConv3d mid_sub2;  // submanifold 16->16
+    nn::Conv2d rpn_conv1;       // BEV 16->16 stride 2
+    nn::Conv2d rpn_conv2;       // BEV 16->16
+  };
+  static Net MakeNet(std::uint64_t seed);
+
+  SpodConfig config_;
+  SensorResolution sensor_;
+  Net net_;
+};
+
+/// Convenience: sensor resolution from beam geometry.
+SensorResolution MakeSensorResolution(int beams, double fov_up_deg,
+                                      double fov_down_deg, int azimuth_steps);
+
+}  // namespace cooper::spod

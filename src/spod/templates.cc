@@ -1,0 +1,56 @@
+#include "spod/detection.h"
+
+#include "common/status.h"
+
+namespace cooper::spod {
+
+const char* ObjectClassName(ObjectClass cls) {
+  switch (cls) {
+    case ObjectClass::kCar: return "car";
+    case ObjectClass::kPedestrian: return "pedestrian";
+    case ObjectClass::kCyclist: return "cyclist";
+  }
+  return "unknown";
+}
+
+const std::vector<ClassTemplate>& StandardTemplates() {
+  static const std::vector<ClassTemplate> templates = [] {
+    std::vector<ClassTemplate> t;
+    // Car: the defaults in the struct.
+    t.push_back(ClassTemplate{});
+
+    ClassTemplate ped;
+    ped.cls = ObjectClass::kPedestrian;
+    ped.max_fit_length = 1.1;
+    ped.max_fit_width = 1.1;
+    ped.complete_length = 0.5;
+    ped.complete_width = 0.5;
+    ped.complete_height = 1.6;
+    ped.silhouette_height = 1.7;
+    ped.min_height_extent = 0.9;
+    t.push_back(ped);
+
+    ClassTemplate cyc;
+    cyc.cls = ObjectClass::kCyclist;
+    cyc.max_fit_length = 2.3;
+    cyc.max_fit_width = 1.0;
+    cyc.complete_length = 1.7;
+    cyc.complete_width = 0.6;
+    cyc.complete_height = 1.6;
+    cyc.silhouette_height = 1.6;
+    cyc.min_height_extent = 0.9;
+    t.push_back(cyc);
+    return t;
+  }();
+  return templates;
+}
+
+const ClassTemplate& TemplateFor(ObjectClass cls) {
+  for (const auto& t : StandardTemplates()) {
+    if (t.cls == cls) return t;
+  }
+  COOPER_CHECK(false);
+  return StandardTemplates().front();
+}
+
+}  // namespace cooper::spod

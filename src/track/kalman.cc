@@ -1,0 +1,90 @@
+#include "track/kalman.h"
+
+#include <cmath>
+
+namespace cooper::track {
+
+KalmanCv2d::KalmanCv2d(const geom::Vec3& initial_position, const Config& config)
+    : config_(config) {
+  x_ = {initial_position.x, initial_position.y, 0.0, 0.0};
+  const double r = config.measurement_noise * config.measurement_noise;
+  p_[0][0] = r;
+  p_[1][1] = r;
+  p_[2][2] = config.initial_vel_var;
+  p_[3][3] = config.initial_vel_var;
+}
+
+void KalmanCv2d::Predict(double dt) {
+  // x <- F x with F = [I, dt*I; 0, I].
+  x_[0] += dt * x_[2];
+  x_[1] += dt * x_[3];
+
+  // P <- F P F^T + Q.  Expand blockwise: with P = [A B; B^T C],
+  //   A' = A + dt(B + B^T) + dt^2 C,  B' = B + dt C,  C' = C.
+  double a[2][2], b[2][2], bt[2][2], c[2][2];
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      a[i][j] = p_[i][j];
+      b[i][j] = p_[i][j + 2];
+      bt[i][j] = p_[i + 2][j];
+      c[i][j] = p_[i + 2][j + 2];
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      p_[i][j] = a[i][j] + dt * (b[i][j] + bt[i][j]) + dt * dt * c[i][j];
+      p_[i][j + 2] = b[i][j] + dt * c[i][j];
+      p_[i + 2][j] = bt[i][j] + dt * c[i][j];
+    }
+  }
+  const double qp = config_.process_noise_pos * config_.process_noise_pos * dt;
+  const double qv = config_.process_noise_vel * config_.process_noise_vel * dt;
+  p_[0][0] += qp;
+  p_[1][1] += qp;
+  p_[2][2] += qv;
+  p_[3][3] += qv;
+}
+
+void KalmanCv2d::Update(const geom::Vec3& measured_position) {
+  // H = [I 0]; innovation covariance S = P_pos + R (2x2).
+  const double r = config_.measurement_noise * config_.measurement_noise;
+  const double s00 = p_[0][0] + r, s01 = p_[0][1];
+  const double s10 = p_[1][0], s11 = p_[1][1] + r;
+  const double det = s00 * s11 - s01 * s10;
+  if (std::abs(det) < 1e-12) return;
+  const double i00 = s11 / det, i01 = -s01 / det;
+  const double i10 = -s10 / det, i11 = s00 / det;
+
+  // Kalman gain K = P H^T S^-1: 4x2, rows are P[:, 0:2] * S^-1.
+  double k[4][2];
+  for (int i = 0; i < 4; ++i) {
+    k[i][0] = p_[i][0] * i00 + p_[i][1] * i10;
+    k[i][1] = p_[i][0] * i01 + p_[i][1] * i11;
+  }
+  const double y0 = measured_position.x - x_[0];
+  const double y1 = measured_position.y - x_[1];
+  for (int i = 0; i < 4; ++i) x_[static_cast<std::size_t>(i)] += k[i][0] * y0 + k[i][1] * y1;
+
+  // P <- (I - K H) P; KH affects columns 0..1 of the identity.
+  double np[4][4];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      np[i][j] = p_[i][j] - (k[i][0] * p_[0][j] + k[i][1] * p_[1][j]);
+    }
+  }
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) p_[i][j] = np[i][j];
+}
+
+double KalmanCv2d::GatingDistance(const geom::Vec3& m) const {
+  const double r = config_.measurement_noise * config_.measurement_noise;
+  const double s00 = p_[0][0] + r, s01 = p_[0][1];
+  const double s10 = p_[1][0], s11 = p_[1][1] + r;
+  const double det = s00 * s11 - s01 * s10;
+  if (std::abs(det) < 1e-12) return 1e300;
+  const double y0 = m.x - x_[0], y1 = m.y - x_[1];
+  // y^T S^-1 y.
+  return (y0 * (s11 * y0 - s01 * y1) + y1 * (-s10 * y0 + s00 * y1)) / det;
+}
+
+}  // namespace cooper::track

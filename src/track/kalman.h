@@ -1,0 +1,48 @@
+// Constant-velocity Kalman filter in the ground plane.
+//
+// State x = [px, py, vx, vy]; measurements are detected box centers.  This
+// is the standard BEV tracking filter: detection gives position only, the
+// filter infers velocity and rides through missed frames — exactly where
+// cooperative perception helps (fewer misses => fewer coasting gaps).
+#pragma once
+
+#include <array>
+
+#include "geom/vec3.h"
+
+namespace cooper::track {
+
+/// Symmetric 4x4 covariance and the filter state.
+class KalmanCv2d {
+ public:
+  struct Config {
+    double process_noise_pos = 0.05;   // m / sqrt(s), position diffusion
+    double process_noise_vel = 0.8;    // m/s per sqrt(s), velocity diffusion
+    double measurement_noise = 0.4;    // m, detection center jitter
+    double initial_vel_var = 25.0;     // (m/s)^2, unknown initial velocity
+  };
+
+  KalmanCv2d(const geom::Vec3& initial_position, const Config& config);
+
+  /// Advances the state by dt seconds.
+  void Predict(double dt);
+
+  /// Fuses a position measurement.
+  void Update(const geom::Vec3& measured_position);
+
+  geom::Vec3 position() const { return {x_[0], x_[1], 0.0}; }
+  geom::Vec3 velocity() const { return {x_[2], x_[3], 0.0}; }
+
+  /// Positional uncertainty (trace of the position block).
+  double PositionVariance() const { return p_[0][0] + p_[1][1]; }
+
+  /// Squared Mahalanobis distance of a measurement in position space.
+  double GatingDistance(const geom::Vec3& measurement) const;
+
+ private:
+  Config config_;
+  std::array<double, 4> x_{};
+  double p_[4][4] = {};
+};
+
+}  // namespace cooper::track

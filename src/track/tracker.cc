@@ -1,0 +1,80 @@
+#include "track/tracker.h"
+
+#include <algorithm>
+
+namespace cooper::track {
+
+void Tracker::Step(const std::vector<spod::Detection>& detections, double dt) {
+  for (auto& t : tracks_) {
+    t.filter.Predict(dt);
+    ++t.age;
+  }
+
+  std::vector<const spod::Detection*> usable;
+  for (const auto& d : detections) {
+    if (d.score >= config_.min_detection_score) usable.push_back(&d);
+  }
+
+  // Greedy association: repeatedly take the globally closest (gated)
+  // track-detection pair.  n is small, so O(n^2 m) is fine.
+  std::vector<bool> track_used(tracks_.size(), false);
+  std::vector<bool> det_used(usable.size(), false);
+  while (true) {
+    double best = config_.gate_mahalanobis2;
+    int best_t = -1, best_d = -1;
+    for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
+      if (track_used[ti]) continue;
+      for (std::size_t di = 0; di < usable.size(); ++di) {
+        if (det_used[di]) continue;
+        const double g = tracks_[ti].filter.GatingDistance(usable[di]->box.center);
+        if (g < best) {
+          best = g;
+          best_t = static_cast<int>(ti);
+          best_d = static_cast<int>(di);
+        }
+      }
+    }
+    if (best_t < 0) break;
+    track_used[static_cast<std::size_t>(best_t)] = true;
+    det_used[static_cast<std::size_t>(best_d)] = true;
+    Track& t = tracks_[static_cast<std::size_t>(best_t)];
+    const spod::Detection& d = *usable[static_cast<std::size_t>(best_d)];
+    t.filter.Update(d.box.center);
+    t.box = d.box;
+    t.last_score = d.score;
+    ++t.hits;
+    t.consecutive_misses = 0;
+    if (t.state == TrackState::kTentative && t.hits >= config_.min_hits_to_confirm) {
+      t.state = TrackState::kConfirmed;
+      ++total_confirmed_;
+    }
+  }
+
+  // Miss handling and pruning.
+  for (std::size_t ti = 0; ti < tracks_.size(); ++ti) {
+    if (track_used[ti]) continue;
+    Track& t = tracks_[ti];
+    ++t.consecutive_misses;
+    if (t.consecutive_misses > config_.max_consecutive_misses ||
+        (t.state == TrackState::kTentative && t.consecutive_misses >= 2)) {
+      t.state = TrackState::kDeleted;
+    }
+  }
+  std::erase_if(tracks_, [](const Track& t) { return t.state == TrackState::kDeleted; });
+
+  // Births from unassociated detections.
+  for (std::size_t di = 0; di < usable.size(); ++di) {
+    if (det_used[di]) continue;
+    tracks_.emplace_back(next_id_++, *usable[di], config_.kalman);
+  }
+}
+
+std::vector<const Track*> Tracker::ConfirmedTracks() const {
+  std::vector<const Track*> out;
+  for (const auto& t : tracks_) {
+    if (t.state == TrackState::kConfirmed) out.push_back(&t);
+  }
+  return out;
+}
+
+}  // namespace cooper::track

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "eval/ap.h"
+
+namespace cooper::eval {
+namespace {
+
+spod::Detection Det(double x, double y, double score) {
+  spod::Detection d;
+  d.box = geom::Box3{{x, y, 0.75}, 4.5, 1.8, 1.5, 0.0};
+  d.score = score;
+  return d;
+}
+
+geom::Box3 Gt(double x, double y) {
+  return geom::Box3{{x, y, 0.75}, 4.5, 1.8, 1.5, 0.0};
+}
+
+TEST(ApTest, PerfectDetectionsGiveApOne) {
+  const std::vector<std::vector<spod::Detection>> dets{
+      {Det(10, 0, 0.9), Det(20, 0, 0.8)}};
+  const std::vector<std::vector<geom::Box3>> gt{{Gt(10, 0), Gt(20, 0)}};
+  const auto r = ComputeAp(dets, gt);
+  EXPECT_NEAR(r.ap, 1.0, 1e-12);
+  EXPECT_EQ(r.true_positives, 2u);
+  EXPECT_EQ(r.false_positives, 0u);
+}
+
+TEST(ApTest, NoDetectionsGiveApZero) {
+  const std::vector<std::vector<spod::Detection>> dets{{}};
+  const std::vector<std::vector<geom::Box3>> gt{{Gt(10, 0)}};
+  EXPECT_DOUBLE_EQ(ComputeAp(dets, gt).ap, 0.0);
+}
+
+TEST(ApTest, NoGroundTruthGivesApZero) {
+  const std::vector<std::vector<spod::Detection>> dets{{Det(10, 0, 0.9)}};
+  const std::vector<std::vector<geom::Box3>> gt{{}};
+  EXPECT_DOUBLE_EQ(ComputeAp(dets, gt).ap, 0.0);
+}
+
+TEST(ApTest, HighScoredFalsePositiveHurtsMore) {
+  // A confident FP above all TPs caps precision early.
+  const std::vector<std::vector<spod::Detection>> dets_fp_high{
+      {Det(50, 20, 0.95), Det(10, 0, 0.9)}};
+  const std::vector<std::vector<spod::Detection>> dets_fp_low{
+      {Det(50, 20, 0.1), Det(10, 0, 0.9)}};
+  const std::vector<std::vector<geom::Box3>> gt{{Gt(10, 0)}};
+  EXPECT_LT(ComputeAp(dets_fp_high, gt).ap, ComputeAp(dets_fp_low, gt).ap);
+  EXPECT_NEAR(ComputeAp(dets_fp_low, gt).ap, 1.0, 1e-12);
+  EXPECT_NEAR(ComputeAp(dets_fp_high, gt).ap, 0.5, 1e-12);
+}
+
+TEST(ApTest, MissedGroundTruthCapsRecall) {
+  const std::vector<std::vector<spod::Detection>> dets{{Det(10, 0, 0.9)}};
+  const std::vector<std::vector<geom::Box3>> gt{{Gt(10, 0), Gt(40, 0)}};
+  const auto r = ComputeAp(dets, gt);
+  EXPECT_NEAR(r.ap, 0.5, 1e-12);  // perfect precision, recall 0.5
+  ASSERT_FALSE(r.curve.empty());
+  EXPECT_NEAR(r.curve.back().recall, 0.5, 1e-12);
+}
+
+TEST(ApTest, DetectionsDoNotMatchAcrossFrames) {
+  // Frame 0's detection must not consume frame 1's ground truth.
+  const std::vector<std::vector<spod::Detection>> dets{{Det(10, 0, 0.9)}, {}};
+  const std::vector<std::vector<geom::Box3>> gt{{}, {Gt(10, 0)}};
+  const auto r = ComputeAp(dets, gt);
+  EXPECT_EQ(r.true_positives, 0u);
+  EXPECT_EQ(r.false_positives, 1u);
+}
+
+TEST(ApTest, DuplicateDetectionsCountOnceAsTp) {
+  const std::vector<std::vector<spod::Detection>> dets{
+      {Det(10, 0, 0.9), Det(10.2, 0, 0.8)}};
+  const std::vector<std::vector<geom::Box3>> gt{{Gt(10, 0)}};
+  const auto r = ComputeAp(dets, gt);
+  EXPECT_EQ(r.true_positives, 1u);
+  EXPECT_EQ(r.false_positives, 1u);
+}
+
+TEST(ApTest, CurveIsScoreOrdered) {
+  const std::vector<std::vector<spod::Detection>> dets{
+      {Det(10, 0, 0.5), Det(20, 0, 0.9), Det(30, 0, 0.7)}};
+  const std::vector<std::vector<geom::Box3>> gt{
+      {Gt(10, 0), Gt(20, 0), Gt(30, 0)}};
+  const auto r = ComputeAp(dets, gt);
+  ASSERT_EQ(r.curve.size(), 3u);
+  EXPECT_GE(r.curve[0].score, r.curve[1].score);
+  EXPECT_GE(r.curve[1].score, r.curve[2].score);
+  EXPECT_NEAR(r.ap, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cooper::eval

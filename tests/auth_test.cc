@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/auth.h"
+
+namespace cooper::net {
+namespace {
+
+MacKey TestKey(std::uint8_t seed = 0) {
+  MacKey key;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i + seed);
+  }
+  return key;
+}
+
+// --- SipHash-2-4 ---
+
+TEST(SipHashTest, ReferenceVector) {
+  // Official SipHash-2-4 test vector: key 00 01 ... 0f, input 00 01 ... 3e
+  // (63 bytes); expected digests are published with the reference code.
+  const MacKey key = TestKey();
+  std::vector<std::uint8_t> msg;
+  // First published vector: empty message -> 0x726fdb47dd0e0e31.
+  EXPECT_EQ(SipHash24(key, msg.data(), 0), 0x726fdb47dd0e0e31ull);
+  // Second: single byte 0x00 -> 0x74f839c593dc67fd.
+  msg.push_back(0);
+  EXPECT_EQ(SipHash24(key, msg.data(), 1), 0x74f839c593dc67fdull);
+  // Eight bytes 00..07 -> 0x93f5f5799a932462.
+  for (std::uint8_t b = 1; b < 8; ++b) msg.push_back(b);
+  EXPECT_EQ(SipHash24(key, msg.data(), 8), 0x93f5f5799a932462ull);
+}
+
+TEST(SipHashTest, KeySensitivity) {
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4, 5};
+  EXPECT_NE(SipHash24(TestKey(0), msg.data(), msg.size()),
+            SipHash24(TestKey(1), msg.data(), msg.size()));
+}
+
+TEST(SipHashTest, MessageSensitivity) {
+  std::vector<std::uint8_t> a{1, 2, 3, 4, 5};
+  std::vector<std::uint8_t> b = a;
+  b[2] ^= 0x01;
+  EXPECT_NE(SipHash24(TestKey(), a.data(), a.size()),
+            SipHash24(TestKey(), b.data(), b.size()));
+}
+
+TEST(SipHashTest, LengthExtensionDiffers) {
+  // "abc" vs "abc\0" must differ (length is folded into the final block).
+  const std::vector<std::uint8_t> a{'a', 'b', 'c'};
+  const std::vector<std::uint8_t> b{'a', 'b', 'c', 0};
+  EXPECT_NE(SipHash24(TestKey(), a.data(), a.size()),
+            SipHash24(TestKey(), b.data(), b.size()));
+}
+
+// --- Seal / Verify ---
+
+TEST(AuthTest, SealThenVerifySucceeds) {
+  PackageAuthenticator auth;
+  auth.RegisterSender(7, TestKey());
+  const auto sealed = Seal(TestKey(), {10, 20, 30, 40});
+  EXPECT_TRUE(auth.Verify(7, 1.0, sealed).ok());
+}
+
+TEST(AuthTest, UnknownSenderRejected) {
+  PackageAuthenticator auth;
+  const auto sealed = Seal(TestKey(), {1, 2, 3});
+  EXPECT_EQ(auth.Verify(99, 1.0, sealed).code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(auth.IsRegistered(99));
+}
+
+TEST(AuthTest, TamperedPayloadRejected) {
+  PackageAuthenticator auth;
+  auth.RegisterSender(7, TestKey());
+  auto sealed = Seal(TestKey(), {10, 20, 30, 40});
+  sealed.wire_bytes[1] ^= 0x80;  // attacker flips a bit in flight
+  EXPECT_EQ(auth.Verify(7, 1.0, sealed).code(), StatusCode::kDataLoss);
+}
+
+TEST(AuthTest, ForgedMacRejected) {
+  PackageAuthenticator auth;
+  auth.RegisterSender(7, TestKey());
+  auto sealed = Seal(TestKey(), {10, 20, 30, 40});
+  sealed.mac[0] ^= 0x01;
+  EXPECT_EQ(auth.Verify(7, 1.0, sealed).code(), StatusCode::kDataLoss);
+}
+
+TEST(AuthTest, WrongKeyRejected) {
+  PackageAuthenticator auth;
+  auth.RegisterSender(7, TestKey(1));     // receiver holds key 1
+  const auto sealed = Seal(TestKey(2), {10, 20});  // sender used key 2
+  EXPECT_EQ(auth.Verify(7, 1.0, sealed).code(), StatusCode::kDataLoss);
+}
+
+TEST(AuthTest, ReplayRejected) {
+  PackageAuthenticator auth;
+  auth.RegisterSender(7, TestKey());
+  const auto sealed = Seal(TestKey(), {10, 20, 30});
+  ASSERT_TRUE(auth.Verify(7, 5.0, sealed).ok());
+  // The very same message replayed later must fail.
+  EXPECT_EQ(auth.Verify(7, 5.0, sealed).code(),
+            StatusCode::kFailedPrecondition);
+  // An older timestamp likewise.
+  EXPECT_EQ(auth.Verify(7, 4.0, sealed).code(),
+            StatusCode::kFailedPrecondition);
+  // Fresh timestamps continue to verify.
+  EXPECT_TRUE(auth.Verify(7, 6.0, sealed).ok());
+}
+
+TEST(AuthTest, ReplayWindowsArePerSender) {
+  PackageAuthenticator auth;
+  auth.RegisterSender(1, TestKey(1));
+  auth.RegisterSender(2, TestKey(2));
+  ASSERT_TRUE(auth.Verify(1, 5.0, Seal(TestKey(1), {1})).ok());
+  // Sender 2's window is independent of sender 1's progress.
+  EXPECT_TRUE(auth.Verify(2, 1.0, Seal(TestKey(2), {2})).ok());
+}
+
+TEST(AuthTest, KeyRotationResetsWindow) {
+  PackageAuthenticator auth;
+  auth.RegisterSender(7, TestKey(1));
+  ASSERT_TRUE(auth.Verify(7, 10.0, Seal(TestKey(1), {1})).ok());
+  auth.RegisterSender(7, TestKey(2));  // rotate
+  EXPECT_TRUE(auth.Verify(7, 1.0, Seal(TestKey(2), {1})).ok());
+  // Old key no longer verifies.
+  EXPECT_EQ(auth.Verify(7, 2.0, Seal(TestKey(1), {1})).code(),
+            StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace cooper::net

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/background_map.h"
+#include "sim/lidar.h"
+#include "sim/scene.h"
+
+namespace cooper::core {
+namespace {
+
+pc::PointCloud SinglePoint(double x, double y, double z) {
+  pc::PointCloud c;
+  c.Add({x, y, z}, 0.5f);
+  return c;
+}
+
+TEST(BackgroundMapTest, EmptyMapHasNoBackground) {
+  const BackgroundMap map;
+  EXPECT_FALSE(map.IsBackground({0, 0, 0}));
+  EXPECT_EQ(map.num_voxels(), 0u);
+  EXPECT_EQ(map.num_traversals(), 0);
+}
+
+TEST(BackgroundMapTest, BecomesBackgroundAfterMinTraversals) {
+  BackgroundMapConfig cfg;
+  cfg.min_traversals = 3;
+  BackgroundMap map(cfg);
+  const auto cloud = SinglePoint(10, 5, 1);
+  for (int i = 0; i < 2; ++i) map.AddTraversal(cloud, geom::Pose::Identity());
+  EXPECT_FALSE(map.IsBackground({10, 5, 1}));
+  map.AddTraversal(cloud, geom::Pose::Identity());
+  EXPECT_TRUE(map.IsBackground({10, 5, 1}));
+  EXPECT_EQ(map.num_traversals(), 3);
+  EXPECT_EQ(map.num_background_voxels(), 1u);
+}
+
+TEST(BackgroundMapTest, RepeatedReturnsInOneScanCountOnce) {
+  BackgroundMapConfig cfg;
+  cfg.min_traversals = 2;
+  BackgroundMap map(cfg);
+  pc::PointCloud cloud;
+  for (int i = 0; i < 50; ++i) cloud.Add({10.1, 5.1, 1.1}, 0.5f);
+  map.AddTraversal(cloud, geom::Pose::Identity());
+  // 50 points in one traversal must not fake two traversals.
+  EXPECT_FALSE(map.IsBackground({10, 5, 1}));
+}
+
+TEST(BackgroundMapTest, AccountsForSensorPose) {
+  BackgroundMapConfig cfg;
+  cfg.min_traversals = 1;
+  BackgroundMap map(cfg);
+  // A point at sensor-frame (5, 0, 0) from a vehicle at world (20, 0, 0).
+  const geom::Pose pose = geom::Pose::FromGpsImu({20, 0, 0}, {0, 0, 0});
+  map.AddTraversal(SinglePoint(5, 0, 0), pose);
+  EXPECT_TRUE(map.IsBackground({25, 0, 0}));
+  EXPECT_FALSE(map.IsBackground({5, 0, 0}));
+}
+
+TEST(BackgroundMapTest, SubtractKeepsForegroundOnly) {
+  BackgroundMapConfig cfg;
+  cfg.min_traversals = 1;
+  BackgroundMap map(cfg);
+  map.AddTraversal(SinglePoint(10, 0, 1), geom::Pose::Identity());
+
+  pc::PointCloud cloud;
+  cloud.Add({10.1, 0.1, 1.1}, 0.5f);  // on known background
+  cloud.Add({30, 0, 1}, 0.5f);        // new object
+  const auto fg = map.SubtractKnownBackground(cloud, geom::Pose::Identity());
+  ASSERT_EQ(fg.size(), 1u);
+  EXPECT_DOUBLE_EQ(fg[0].position.x, 30.0);
+}
+
+TEST(BackgroundMapTest, StaticStructureLearnedMovingCarsKept) {
+  // The paper's use case: after several traversals the walls are mapped,
+  // so a car that appears later survives subtraction while walls vanish.
+  sim::Scene static_scene;
+  static_scene.AddObject(sim::ObjectClass::kWall,
+                         sim::MakeWallBox({15, 0, 0}, 90.0, 20.0, 3.0), 0.3);
+  sim::LidarConfig lidar_cfg = sim::Vlp16Config();
+  lidar_cfg.azimuth_steps = 720;
+  const sim::LidarSimulator lidar(lidar_cfg);
+
+  BackgroundMapConfig cfg;
+  cfg.min_traversals = 3;
+  BackgroundMap map(cfg);
+  Rng rng(5);
+  const geom::Pose sensor{geom::Mat3::Identity(), {0, 0, lidar_cfg.sensor_height}};
+  for (int i = 0; i < 4; ++i) {
+    map.AddTraversal(lidar.Scan(static_scene, geom::Pose::Identity(), rng),
+                     sensor);
+  }
+  EXPECT_GT(map.num_background_voxels(), 50u);
+
+  // A car parks in front of the wall on the next visit.
+  sim::Scene with_car = static_scene;
+  const auto car_box = sim::MakeCarBox({9, 1, 0}, 20.0);
+  with_car.AddObject(sim::ObjectClass::kCar, car_box, 0.6);
+  const auto scan = lidar.Scan(with_car, geom::Pose::Identity(), rng);
+  const auto fg = map.SubtractKnownBackground(scan, sensor);
+
+  EXPECT_LT(fg.size(), scan.size() / 2);  // walls and ground subtracted
+  geom::Box3 car_sensor = car_box;
+  car_sensor.center.z -= lidar_cfg.sensor_height;
+  // The new car survives mostly intact (its lowest points share voxels with
+  // the mapped ground, so a small fraction is subtracted with it).
+  EXPECT_GT(fg.CountInBox(car_sensor.Expanded(0.2)),
+            scan.CountInBox(car_sensor.Expanded(0.2)) * 3 / 4);
+}
+
+TEST(BackgroundMapTest, VoxelSizeControlsGranularity) {
+  BackgroundMapConfig coarse;
+  coarse.voxel_size = 2.0;
+  coarse.min_traversals = 1;
+  BackgroundMap map(coarse);
+  map.AddTraversal(SinglePoint(1.0, 1.0, 0.0), geom::Pose::Identity());
+  // A point 1.5 m away but in the same 2 m voxel counts as background.
+  EXPECT_TRUE(map.IsBackground({0.5, 1.9, 0.5}));
+  EXPECT_FALSE(map.IsBackground({2.5, 1.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace cooper::core

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "eval/bev_render.h"
+
+namespace cooper::eval {
+namespace {
+
+spod::Detection Det(double x, double y, double score,
+                    spod::ObjectClass cls = spod::ObjectClass::kCar) {
+  spod::Detection d;
+  d.box = geom::Box3{{x, y, 0.75}, 4.5, 1.8, 1.5, 0.0};
+  d.score = score;
+  d.cls = cls;
+  return d;
+}
+
+TEST(BevRenderTest, EmptyCanvasHasDimensionsAndLegend) {
+  BevRenderConfig cfg;
+  cfg.min_x = 0;
+  cfg.max_x = 10;
+  cfg.min_y = 0;
+  cfg.max_y = 5;
+  const std::string out = BevCanvas(cfg).Render();
+  // 5 grid rows of 10 chars + newline each, plus the legend line.
+  EXPECT_EQ(out.find("legend:"), 5u * 11u);
+}
+
+TEST(BevRenderTest, SensorMarkerAtOrigin) {
+  BevCanvas canvas;
+  canvas.DrawSensor();
+  EXPECT_NE(canvas.Render().find('@'), std::string::npos);
+}
+
+TEST(BevRenderTest, PointsDensityGlyphs) {
+  BevRenderConfig cfg;
+  BevCanvas canvas(cfg);
+  pc::PointCloud sparse;
+  sparse.Add({5, 5, 0}, 0.5f);
+  canvas.DrawPoints(sparse);
+  EXPECT_NE(canvas.Render().find('.'), std::string::npos);
+
+  pc::PointCloud dense;
+  for (std::size_t i = 0; i < cfg.dense_points + 2; ++i) dense.Add({8, 8, 0}, 0.5f);
+  canvas.DrawPoints(dense);
+  EXPECT_NE(canvas.Render().find(':'), std::string::npos);
+}
+
+TEST(BevRenderTest, ClassGlyphs) {
+  BevCanvas canvas;
+  canvas.DrawDetections({Det(10, 0, 0.9, spod::ObjectClass::kCar),
+                         Det(20, 5, 0.8, spod::ObjectClass::kPedestrian),
+                         Det(30, -5, 0.7, spod::ObjectClass::kCyclist),
+                         Det(40, 10, 0.3)});
+  const std::string out = canvas.Render();
+  EXPECT_NE(out.find('C'), std::string::npos);
+  EXPECT_NE(out.find('P'), std::string::npos);
+  EXPECT_NE(out.find('B'), std::string::npos);
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(BevRenderTest, GroundTruthOutlineDrawn) {
+  BevCanvas canvas;
+  canvas.DrawGroundTruth({geom::Box3{{20, 0, 0.75}, 8, 6, 1.5, 0.5}});
+  const std::string out = canvas.Render();
+  std::size_t hashes = 0;
+  for (const char c : out) hashes += c == '#';
+  EXPECT_GT(hashes, 10u);
+}
+
+TEST(BevRenderTest, OutOfBoundsContentIgnored) {
+  BevCanvas canvas;
+  pc::PointCloud cloud;
+  cloud.Add({1000, 1000, 0}, 0.5f);
+  canvas.DrawPoints(cloud);
+  canvas.DrawDetections({Det(-500, 0, 0.9)});
+  const std::string out = canvas.Render();
+  // Inspect only the grid (the legend line itself contains '.' and 'C').
+  const std::string grid = out.substr(0, out.find("legend:"));
+  EXPECT_EQ(grid.find('.'), std::string::npos);
+  EXPECT_EQ(grid.find('C'), std::string::npos);
+}
+
+TEST(BevRenderTest, DetectionsOverwritePoints) {
+  BevCanvas canvas;
+  pc::PointCloud cloud;
+  cloud.Add({10, 0, 0}, 0.5f);
+  canvas.DrawPoints(cloud);
+  canvas.DrawDetections({Det(10, 0, 0.9)});
+  const std::string out = canvas.Render();
+  EXPECT_NE(out.find('C'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cooper::eval

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "core/demand.h"
+#include "sim/camera.h"
+#include "sim/scene.h"
+
+namespace cooper::core {
+namespace {
+
+// --- Camera substrate ---
+
+TEST(CameraTest, RenderSeesObjectAndGround) {
+  sim::Scene scene;
+  const int car_id =
+      scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({8, 0, 0}, 90.0), 0.6);
+  const auto camera = sim::PinholeCamera::FrontCamera();
+  const auto image = camera.Render(scene, geom::Pose::Identity());
+  EXPECT_GT(image.CountObjectPixels(car_id), 200u);
+  EXPECT_GT(image.CountObjectPixels(-1), 500u);   // ground below the horizon
+  EXPECT_GT(image.CountObjectPixels(-2), 500u);   // sky above it
+}
+
+TEST(CameraTest, NearerObjectOccludes) {
+  sim::Scene scene;
+  const int near_id =
+      scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({8, 0, 0}, 90.0), 0.6);
+  const int far_id =
+      scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({14, 0, 0}, 90.0), 0.6);
+  const auto camera = sim::PinholeCamera::FrontCamera();
+  const auto image = camera.Render(scene, geom::Pose::Identity());
+  EXPECT_GT(image.CountObjectPixels(near_id), 3 * image.CountObjectPixels(far_id));
+}
+
+TEST(CameraTest, DepthIncreasesWithDistance) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({10, 0, 0}, 90.0), 0.6);
+  const auto camera = sim::PinholeCamera::FrontCamera();
+  const auto image = camera.Render(scene, geom::Pose::Identity());
+  const auto& center = image.At(camera.intrinsics().width / 2,
+                                camera.intrinsics().height / 2);
+  ASSERT_GE(center.object_id, 0);
+  EXPECT_NEAR(center.depth, 7.0, 1.5);  // nose of the car ~ 10 - 0.9 - mount 1.2
+}
+
+TEST(CameraTest, ProjectBoxBoundsObjectPixels) {
+  sim::Scene scene;
+  const auto box = sim::MakeCarBox({9, 1, 0}, 45.0);
+  const int id = scene.AddObject(sim::ObjectClass::kCar, box, 0.6);
+  const auto camera = sim::PinholeCamera::FrontCamera();
+  const auto image = camera.Render(scene, geom::Pose::Identity());
+  int x0, y0, x1, y1;
+  ASSERT_TRUE(camera.ProjectBox(box, geom::Pose::Identity(), &x0, &y0, &x1, &y1));
+  // Every car pixel falls inside the projected rectangle.
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      if (image.At(x, y).object_id == id) {
+        EXPECT_GE(x, x0);
+        EXPECT_LE(x, x1);
+        EXPECT_GE(y, y0);
+        EXPECT_LE(y, y1);
+      }
+    }
+  }
+}
+
+TEST(CameraTest, BoxBehindCameraRejected) {
+  const auto camera = sim::PinholeCamera::FrontCamera();
+  int x0, y0, x1, y1;
+  EXPECT_FALSE(camera.ProjectBox(sim::MakeCarBox({-15, 0, 0}, 0.0),
+                                 geom::Pose::Identity(), &x0, &y0, &x1, &y1));
+}
+
+// --- Demand-driven fragments ---
+
+struct DemandFixture {
+  sim::Scene scene;
+  int car_id = 0;
+  geom::Box3 car_box;
+  sim::PinholeCamera camera = sim::PinholeCamera::FrontCamera();
+  sim::CameraImage image{1, 1};
+  geom::Pose vehicle_pose = geom::Pose::Identity();
+
+  DemandFixture() {
+    car_box = sim::MakeCarBox({9, -1, 0}, 80.0);
+    car_id = scene.AddObject(sim::ObjectClass::kCar, car_box, 0.6);
+    image = camera.Render(scene, vehicle_pose);
+  }
+};
+
+TEST(DemandTest, FragmentCoversRequestedObject) {
+  DemandFixture fx;
+  FragmentRequest request{1, 42, fx.car_box};
+  const auto fragment = ServeFragmentRequest(request, 7, fx.image, fx.camera,
+                                             fx.vehicle_pose);
+  ASSERT_TRUE(fragment.ok());
+  EXPECT_EQ(fragment->request_id, 42u);
+  EXPECT_EQ(fragment->sender_id, 7u);
+  // The crop contains the car's pixels.
+  std::size_t car_pixels = 0;
+  for (const auto& px : fragment->pixels) car_pixels += px.object_id == fx.car_id;
+  EXPECT_GT(car_pixels, 100u);
+  // And is a small fraction of the full frame (the point of demand-driven).
+  EXPECT_LT(fragment->pixels.size(),
+            static_cast<std::size_t>(fx.image.width()) * fx.image.height());
+}
+
+TEST(DemandTest, OutOfViewRegionIsNotFound) {
+  DemandFixture fx;
+  FragmentRequest request{1, 1, sim::MakeCarBox({-20, 0, 0}, 0.0)};
+  EXPECT_EQ(ServeFragmentRequest(request, 7, fx.image, fx.camera,
+                                 fx.vehicle_pose)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DemandTest, FragmentWireRoundTrip) {
+  DemandFixture fx;
+  FragmentRequest request{1, 9, fx.car_box};
+  const auto fragment = ServeFragmentRequest(request, 7, fx.image, fx.camera,
+                                             fx.vehicle_pose);
+  ASSERT_TRUE(fragment.ok());
+  const auto bytes = SerializeFragment(*fragment);
+  const auto back = DeserializeFragment(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->width, fragment->width);
+  EXPECT_EQ(back->height, fragment->height);
+  ASSERT_EQ(back->pixels.size(), fragment->pixels.size());
+  for (std::size_t i = 0; i < back->pixels.size(); ++i) {
+    EXPECT_EQ(back->pixels[i].object_id, fragment->pixels[i].object_id);
+    EXPECT_FLOAT_EQ(back->pixels[i].depth, fragment->pixels[i].depth);
+    EXPECT_EQ(back->pixels[i].shade, fragment->pixels[i].shade);
+  }
+}
+
+TEST(DemandTest, TruncatedFragmentRejected) {
+  DemandFixture fx;
+  FragmentRequest request{1, 9, fx.car_box};
+  const auto fragment = ServeFragmentRequest(request, 7, fx.image, fx.camera,
+                                             fx.vehicle_pose);
+  ASSERT_TRUE(fragment.ok());
+  auto bytes = SerializeFragment(*fragment);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DeserializeFragment(bytes).ok());
+}
+
+TEST(DemandTest, ImplausibleExtentRejected) {
+  std::vector<std::uint8_t> bytes(24, 0);
+  // width = 0 in the header.
+  EXPECT_FALSE(DeserializeFragment(bytes).ok());
+}
+
+TEST(DemandTest, FragmentIsCheaperThanCloud) {
+  // The rationale of §II-C: a plate-sized image fragment costs a few KB,
+  // orders of magnitude below a point-cloud frame (~hundreds of KB).
+  DemandFixture fx;
+  // Request just the front of the car (plate-sized region).
+  geom::Box3 plate = fx.car_box;
+  plate.length = 0.6;
+  plate.height = 0.3;
+  plate.center.z = 0.5;
+  FragmentRequest request{1, 5, plate};
+  const auto fragment = ServeFragmentRequest(request, 7, fx.image, fx.camera,
+                                             fx.vehicle_pose);
+  ASSERT_TRUE(fragment.ok());
+  EXPECT_LT(fragment->SizeBytes(), 20u * 1024u);
+}
+
+}  // namespace
+}  // namespace cooper::core

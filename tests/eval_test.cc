@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/matching.h"
+#include "eval/stats.h"
+
+namespace cooper::eval {
+namespace {
+
+spod::Detection Det(double x, double y, double score) {
+  spod::Detection d;
+  d.box = geom::Box3{{x, y, 0.75}, 4.5, 1.8, 1.5, 0.0};
+  d.score = score;
+  return d;
+}
+
+geom::Box3 Gt(double x, double y) {
+  return geom::Box3{{x, y, 0.75}, 4.5, 1.8, 1.5, 0.0};
+}
+
+// --- Matching ---
+
+TEST(MatchingTest, ExactOverlapMatches) {
+  const auto m = MatchDetections({Det(10, 0, 0.8)}, {Gt(10, 0)});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m[0].matched);
+  EXPECT_DOUBLE_EQ(m[0].score, 0.8);
+  EXPECT_EQ(m[0].detection_index, 0);
+}
+
+TEST(MatchingTest, FarDetectionDoesNotMatch) {
+  const auto m = MatchDetections({Det(20, 0, 0.8)}, {Gt(10, 0)});
+  EXPECT_FALSE(m[0].matched);
+}
+
+TEST(MatchingTest, OneDetectionMatchesOnlyOneGt) {
+  const auto m = MatchDetections({Det(10, 0, 0.8)}, {Gt(10, 0.5), Gt(10, -1.2)});
+  int matched = 0;
+  for (const auto& g : m) matched += g.matched ? 1 : 0;
+  EXPECT_EQ(matched, 1);
+}
+
+TEST(MatchingTest, HigherScoreMatchesFirst) {
+  // Two detections near one GT: the higher-scoring one wins the assignment.
+  const auto m = MatchDetections({Det(10.5, 0, 0.6), Det(10, 0, 0.9)},
+                                 {Gt(10, 0)});
+  ASSERT_TRUE(m[0].matched);
+  EXPECT_DOUBLE_EQ(m[0].score, 0.9);
+  EXPECT_EQ(m[0].detection_index, 1);
+}
+
+TEST(MatchingTest, NearestGtWinsForSharedDetection) {
+  const auto m = MatchDetections({Det(10, 0, 0.8)}, {Gt(10, 1.5), Gt(10, 0.2)});
+  EXPECT_FALSE(m[0].matched);
+  EXPECT_TRUE(m[1].matched);
+}
+
+TEST(MatchingTest, CenterGateConfigurable) {
+  MatchConfig cfg;
+  cfg.max_center_distance = 0.1;
+  cfg.strong_iou = 1.1;  // disable the IoU override for this gate test
+  const auto m = MatchDetections({Det(10.5, 0, 0.8)}, {Gt(10, 0)}, cfg);
+  EXPECT_FALSE(m[0].matched);
+}
+
+TEST(MatchingTest, StrongIouOverridesCenterGate) {
+  // A small-class box hugging the object's visible edge: center outside the
+  // gate, overlap real.
+  spod::Detection d;
+  d.box = geom::Box3{{11.5, 0, 0.75}, 1.8, 0.6, 1.6, 0.0};
+  d.score = 0.8;
+  MatchConfig cfg;
+  cfg.max_center_distance = 1.0;
+  const auto m = MatchDetections({d}, {Gt(10, 0)}, cfg);
+  EXPECT_TRUE(m[0].matched);
+}
+
+TEST(MatchingTest, EmptyInputs) {
+  EXPECT_TRUE(MatchDetections({}, {}).empty());
+  const auto m = MatchDetections({}, {Gt(5, 5)});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_FALSE(m[0].matched);
+}
+
+// --- Difficulty / improvement stats ---
+
+TargetOutcome Outcome(double a, double b, double coop) {
+  TargetOutcome t;
+  t.score_a = a;
+  t.score_b = b;
+  t.score_coop = coop;
+  t.detected_a = a >= kScoreThreshold;
+  t.detected_b = b >= kScoreThreshold;
+  t.detected_coop = coop >= kScoreThreshold;
+  t.in_range_a = t.in_range_b = true;
+  return t;
+}
+
+TEST(StatsTest, DifficultyClasses) {
+  EXPECT_EQ(ClassifyTarget(Outcome(0.8, 0.7, 0.9)), Difficulty::kEasy);
+  EXPECT_EQ(ClassifyTarget(Outcome(0.8, 0.2, 0.9)), Difficulty::kModerate);
+  EXPECT_EQ(ClassifyTarget(Outcome(0.0, 0.3, 0.6)), Difficulty::kHard);
+}
+
+TEST(StatsTest, ImprovementAgainstBestSingle) {
+  EXPECT_NEAR(ScoreImprovement(Outcome(0.6, 0.7, 0.8)), 10.0, 1e-9);
+  EXPECT_NEAR(ScoreImprovement(Outcome(0.0, 0.0, 0.55)), 55.0, 1e-9);
+  EXPECT_NEAR(ScoreImprovement(Outcome(0.8, 0.0, 0.75)), -5.0, 1e-9);
+}
+
+TEST(StatsTest, HardObjectsGainAtLeastThreshold) {
+  // A hard object detected by Cooper jumped from < 0.5 to >= 0.5: the raw
+  // improvement is at least (threshold - best_single) > 0.
+  const auto t = Outcome(0.4, 0.3, 0.62);
+  ASSERT_EQ(ClassifyTarget(t), Difficulty::kHard);
+  EXPECT_GT(ScoreImprovement(t), 20.0);
+}
+
+TEST(StatsTest, ImprovementsByDifficultyFilters) {
+  CaseOutcome c;
+  c.targets = {Outcome(0.8, 0.7, 0.9),   // easy
+               Outcome(0.6, 0.0, 0.7),   // moderate
+               Outcome(0.0, 0.0, 0.6),   // hard, detected by cooper
+               Outcome(0.0, 0.0, 0.2)};  // hard, still missed -> excluded
+  const std::vector<CaseOutcome> cases{c};
+  EXPECT_EQ(ImprovementsByDifficulty(cases, Difficulty::kEasy).size(), 1u);
+  EXPECT_EQ(ImprovementsByDifficulty(cases, Difficulty::kModerate).size(), 1u);
+  EXPECT_EQ(ImprovementsByDifficulty(cases, Difficulty::kHard).size(), 1u);
+}
+
+TEST(StatsTest, OutOfRangeTargetsExcluded) {
+  CaseOutcome c;
+  TargetOutcome t = Outcome(0.8, 0.8, 0.9);
+  t.in_range_a = t.in_range_b = false;
+  c.targets = {t};
+  EXPECT_TRUE(ImprovementsByDifficulty({c}, Difficulty::kEasy).empty());
+}
+
+TEST(StatsTest, EmpiricalCdfSortedAndComplete) {
+  const auto cdf = EmpiricalCdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+  EXPECT_NEAR(cdf[0].second, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].first, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+}
+
+TEST(StatsTest, EmpiricalCdfEmpty) {
+  EXPECT_TRUE(EmpiricalCdf({}).empty());
+}
+
+TEST(StatsTest, SummarizeCountsAndAccuracy) {
+  CaseOutcome c;
+  c.scenario_name = "s";
+  c.case_name = "a+b";
+  auto t1 = Outcome(0.8, 0.0, 0.9);   // detected by a only
+  t1.in_range_b = false;              // not even visible to b
+  auto t2 = Outcome(0.7, 0.6, 0.8);   // both
+  auto t3 = Outcome(0.0, 0.0, 0.7);   // cooper only
+  c.targets = {t1, t2, t3};
+  const auto s = Summarize(c);
+  EXPECT_EQ(s.detected_a, 2);
+  EXPECT_EQ(s.detected_b, 1);
+  EXPECT_EQ(s.detected_coop, 3);
+  EXPECT_EQ(s.in_range_total, 3);
+  EXPECT_NEAR(s.accuracy_a, 100.0 * 2 / 3, 1e-9);
+  EXPECT_NEAR(s.accuracy_b, 100.0 * 1 / 2, 1e-9);  // 2 in range of b
+  EXPECT_NEAR(s.accuracy_coop, 100.0, 1e-9);
+}
+
+TEST(StatsTest, DifficultyNames) {
+  EXPECT_STREQ(DifficultyName(Difficulty::kEasy), "easy");
+  EXPECT_STREQ(DifficultyName(Difficulty::kHard), "hard");
+}
+
+}  // namespace
+}  // namespace cooper::eval

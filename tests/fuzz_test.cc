@@ -1,0 +1,149 @@
+// Deterministic fuzz tests: every parser that consumes bytes from the radio
+// must survive arbitrary corruption — truncation, bit flips, random garbage
+// — by returning an error, never by crashing or accepting silently-wrong
+// data.  Seeds are fixed, so failures reproduce.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/demand.h"
+#include "net/auth.h"
+#include "net/serialize.h"
+#include "pointcloud/codec.h"
+#include "pointcloud/io.h"
+
+namespace cooper {
+namespace {
+
+std::vector<std::uint8_t> Mutate(std::vector<std::uint8_t> bytes, Rng& rng) {
+  if (bytes.empty()) return bytes;
+  const int op = static_cast<int>(rng.UniformInt(4));
+  switch (op) {
+    case 0: {  // flip random bits
+      const int flips = 1 + static_cast<int>(rng.UniformInt(8));
+      for (int i = 0; i < flips; ++i) {
+        bytes[rng.UniformInt(bytes.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.UniformInt(8));
+      }
+      break;
+    }
+    case 1:  // truncate
+      bytes.resize(rng.UniformInt(bytes.size()));
+      break;
+    case 2: {  // duplicate a chunk at the end
+      const std::size_t n = rng.UniformInt(bytes.size()) + 1;
+      bytes.insert(bytes.end(), bytes.begin(),
+                   bytes.begin() + static_cast<std::ptrdiff_t>(n));
+      break;
+    }
+    default: {  // overwrite a run with a random byte
+      const std::size_t start = rng.UniformInt(bytes.size());
+      const std::size_t len = std::min(bytes.size() - start,
+                                       rng.UniformInt(64) + 1);
+      const std::uint8_t v = static_cast<std::uint8_t>(rng.NextU64());
+      for (std::size_t i = 0; i < len; ++i) bytes[start + i] = v;
+      break;
+    }
+  }
+  return bytes;
+}
+
+core::ExchangePackage MakePackage() {
+  pc::PointCloud cloud;
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    cloud.Add({rng.Uniform(-30, 30), rng.Uniform(-30, 30), rng.Uniform(-2, 2)},
+              static_cast<float>(rng.Uniform()));
+  }
+  return core::BuildPackage(3, 7.5, core::RoiCategory::kFrontSector,
+                            core::NavMetadata{{1, 2, 0}, {0.2, 0, 0}, {0, 0, 1.7}},
+                            cloud, pc::CloudCodec());
+}
+
+TEST(FuzzTest, PackageDeserializerNeverCrashes) {
+  const auto wire = net::SerializePackage(MakePackage());
+  Rng rng(42);
+  int accepted = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto mutated = Mutate(wire, rng);
+    const auto result = net::DeserializePackage(mutated);
+    if (result.ok()) {
+      ++accepted;
+      // Anything the CRC accepts must byte-equal the original message
+      // (the mutation landed outside the meaningful prefix, or round-trips).
+      EXPECT_EQ(net::SerializePackage(*result).size(), wire.size());
+    }
+  }
+  // The CRC should catch essentially every mutation of the checked prefix.
+  EXPECT_LT(accepted, 40);
+}
+
+TEST(FuzzTest, CodecDecoderNeverCrashes) {
+  pc::PointCloud cloud;
+  Rng data_rng(2);
+  for (int i = 0; i < 500; ++i) {
+    cloud.Add({data_rng.Uniform(-50, 50), data_rng.Uniform(-50, 50),
+               data_rng.Uniform(-3, 3)},
+              0.5f);
+  }
+  const auto bytes = pc::CloudCodec().Encode(cloud);
+  Rng rng(43);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto mutated = Mutate(bytes, rng);
+    const auto result = pc::CloudCodec::Decode(mutated);
+    if (result.ok()) {
+      // Header intact but payload corrupt can still decode (the varint
+      // stream is self-terminating); the cloud must at least be bounded by
+      // the declared point count.
+      EXPECT_LE(result->size(), 4096u);
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FuzzTest, KittiBytesParserNeverCrashes) {
+  Rng rng(44);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.UniformInt(4096));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.NextU64());
+    const auto result = pc::FromKittiBytes(garbage);
+    if (result.ok()) {
+      EXPECT_EQ(garbage.size() % 16, 0u);
+    }
+  }
+}
+
+TEST(FuzzTest, FragmentParserNeverCrashes) {
+  Rng rng(45);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.UniformInt(2048));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.NextU64());
+    const auto result = core::DeserializeFragment(garbage);
+    if (result.ok()) {
+      EXPECT_EQ(static_cast<std::size_t>(result->width) *
+                    static_cast<std::size_t>(result->height),
+                result->pixels.size());
+    }
+  }
+}
+
+TEST(FuzzTest, TamperedSealedMessagesAlwaysRejected) {
+  net::PackageAuthenticator auth;
+  net::MacKey key{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i);
+  auth.RegisterSender(1, key);
+
+  const auto wire = net::SerializePackage(MakePackage());
+  Rng rng(46);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto sealed = net::Seal(key, wire);
+    // Tamper with the payload but keep the original MAC.
+    auto tampered = Mutate(sealed.wire_bytes, rng);
+    if (tampered == sealed.wire_bytes) continue;
+    sealed.wire_bytes = std::move(tampered);
+    const auto s = auth.Verify(1, 1000.0 + trial, sealed);
+    EXPECT_FALSE(s.ok()) << "tampered message accepted at trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cooper

@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geom/box.h"
+#include "geom/pose.h"
+#include "geom/rotation.h"
+#include "geom/vec3.h"
+
+namespace cooper::geom {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+void ExpectVecNear(const Vec3& a, const Vec3& b, double tol = 1e-9) {
+  EXPECT_NEAR(a.x, b.x, tol);
+  EXPECT_NEAR(a.y, b.y, tol);
+  EXPECT_NEAR(a.z, b.z, tol);
+}
+
+// --- Vec3 / Mat3 ---
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  ExpectVecNear(a + b, {5, 7, 9});
+  ExpectVecNear(b - a, {3, 3, 3});
+  ExpectVecNear(a * 2.0, {2, 4, 6});
+  ExpectVecNear(2.0 * a, {2, 4, 6});
+  ExpectVecNear(a / 2.0, {0.5, 1, 1.5});
+  ExpectVecNear(-a, {-1, -2, -3});
+}
+
+TEST(Vec3Test, DotCrossNorm) {
+  const Vec3 a{1, 0, 0}, b{0, 1, 0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  ExpectVecNear(a.Cross(b), {0, 0, 1});
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 0).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(3, 4, 12).NormXY(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec3(2, 0, 0).SquaredNorm(), 4.0);
+}
+
+TEST(Vec3Test, NormalizedUnitLength) {
+  const Vec3 v = Vec3(3, -4, 12).Normalized();
+  EXPECT_NEAR(v.Norm(), 1.0, kTol);
+  ExpectVecNear(Vec3().Normalized(), {0, 0, 0});  // zero-safe
+}
+
+TEST(Mat3Test, IdentityActsTrivially) {
+  const Mat3 I = Mat3::Identity();
+  ExpectVecNear(I * Vec3{1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(I.Trace(), 3.0);
+}
+
+TEST(Mat3Test, MultiplicationAssociativity) {
+  const Mat3 a = Rz(0.3), b = Ry(-0.7), c = Rx(1.1);
+  EXPECT_LT(MaxAbsDiff((a * b) * c, a * (b * c)), kTol);
+}
+
+TEST(Mat3Test, TransposeOfRotationIsInverse) {
+  const Mat3 r = RotationFromEuler({0.4, -0.2, 0.9});
+  EXPECT_LT(MaxAbsDiff(r * r.Transposed(), Mat3::Identity()), kTol);
+}
+
+// --- Rotations (Eq. 1) ---
+
+TEST(RotationTest, BasicRotationsMoveAxes) {
+  // Rz(90 deg) maps x -> y.
+  ExpectVecNear(Rz(DegToRad(90)) * Vec3{1, 0, 0}, {0, 1, 0});
+  // Ry(90 deg) maps z -> x.
+  ExpectVecNear(Ry(DegToRad(90)) * Vec3{0, 0, 1}, {1, 0, 0});
+  // Rx(90 deg) maps y -> z.
+  ExpectVecNear(Rx(DegToRad(90)) * Vec3{0, 1, 0}, {0, 0, 1});
+}
+
+TEST(RotationTest, Eq1CompositionOrder) {
+  // Eq. 1: R = Rz(alpha) Ry(beta) Rx(gamma).
+  const EulerAngles e{0.5, -0.3, 0.8};
+  const Mat3 expected = Rz(e.yaw) * Ry(e.pitch) * Rx(e.roll);
+  EXPECT_LT(MaxAbsDiff(RotationFromEuler(e), expected), kTol);
+}
+
+TEST(RotationTest, AllBasicRotationsAreProper) {
+  for (double a = -3.0; a <= 3.0; a += 0.37) {
+    EXPECT_TRUE(IsRotation(Rz(a)));
+    EXPECT_TRUE(IsRotation(Ry(a)));
+    EXPECT_TRUE(IsRotation(Rx(a)));
+  }
+}
+
+TEST(RotationTest, DeterminantOfRotationIsOne) {
+  EXPECT_NEAR(Determinant(RotationFromEuler({1.1, 0.2, -0.4})), 1.0, kTol);
+}
+
+TEST(RotationTest, ZeroAnglesGiveIdentity) {
+  EXPECT_LT(MaxAbsDiff(RotationFromEuler({0, 0, 0}), Mat3::Identity()), kTol);
+}
+
+// Property: Euler -> matrix -> Euler round trip over a dense sweep.
+class EulerRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EulerRoundTripTest, RoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const EulerAngles e{rng.Uniform(-3.1, 3.1), rng.Uniform(-1.5, 1.5),
+                      rng.Uniform(-3.1, 3.1)};
+  const Mat3 r = RotationFromEuler(e);
+  ASSERT_TRUE(IsRotation(r, 1e-9));
+  const EulerAngles back = EulerFromRotation(r);
+  const Mat3 r2 = RotationFromEuler(back);
+  EXPECT_LT(MaxAbsDiff(r, r2), 1e-9) << "yaw=" << e.yaw << " pitch=" << e.pitch
+                                     << " roll=" << e.roll;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomAngles, EulerRoundTripTest,
+                         ::testing::Range(0, 50));
+
+TEST(RotationTest, GimbalLockHandled) {
+  const EulerAngles e{0.7, DegToRad(90.0), 0.0};
+  const Mat3 r = RotationFromEuler(e);
+  const EulerAngles back = EulerFromRotation(r);
+  EXPECT_LT(MaxAbsDiff(r, RotationFromEuler(back)), 1e-9);
+}
+
+TEST(WrapAngleTest, WrapsIntoHalfOpenInterval) {
+  EXPECT_NEAR(WrapAngle(0.0), 0.0, kTol);
+  EXPECT_NEAR(WrapAngle(4.0 * 3.14159265358979), 0.0, 1e-9);
+  EXPECT_NEAR(WrapAngle(3.5), 3.5 - 2 * 3.141592653589793, 1e-9);
+  EXPECT_NEAR(WrapAngle(-3.5), -3.5 + 2 * 3.141592653589793, 1e-9);
+}
+
+// --- Pose ---
+
+TEST(PoseTest, IdentityLeavesPointsUnchanged) {
+  ExpectVecNear(Pose::Identity() * Vec3{3, 1, 4}, {3, 1, 4});
+}
+
+TEST(PoseTest, ApplyRotationThenTranslation) {
+  const Pose p(Rz(DegToRad(90)), {10, 0, 0});
+  ExpectVecNear(p * Vec3{1, 0, 0}, {10, 1, 0}, 1e-9);
+}
+
+TEST(PoseTest, CompositionMatchesSequentialApplication) {
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    const Pose a(RotationFromEuler({rng.Uniform(-3, 3), rng.Uniform(-1, 1),
+                                    rng.Uniform(-3, 3)}),
+                 {rng.Uniform(-10, 10), rng.Uniform(-10, 10), rng.Uniform(-2, 2)});
+    const Pose b(RotationFromEuler({rng.Uniform(-3, 3), rng.Uniform(-1, 1),
+                                    rng.Uniform(-3, 3)}),
+                 {rng.Uniform(-10, 10), rng.Uniform(-10, 10), rng.Uniform(-2, 2)});
+    const Vec3 p{rng.Uniform(-5, 5), rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    ExpectVecNear((a * b) * p, a * (b * p), 1e-9);
+  }
+}
+
+TEST(PoseTest, InverseUndoesTransform) {
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    const Pose a(RotationFromEuler({rng.Uniform(-3, 3), rng.Uniform(-1, 1),
+                                    rng.Uniform(-3, 3)}),
+                 {rng.Uniform(-10, 10), rng.Uniform(-10, 10), rng.Uniform(-2, 2)});
+    const Vec3 p{rng.Uniform(-5, 5), rng.Uniform(-5, 5), rng.Uniform(-5, 5)};
+    ExpectVecNear(a.Inverse() * (a * p), p, 1e-9);
+  }
+}
+
+TEST(PoseTest, BetweenMapsFramesCorrectly) {
+  // A point fixed in the world, seen from two vehicle poses: Between(a, b)
+  // must map b-frame coordinates into a-frame coordinates.
+  const Pose a = Pose::FromGpsImu({10, 5, 0}, {DegToRad(30), 0, 0});
+  const Pose b = Pose::FromGpsImu({-3, 8, 0.5}, {DegToRad(-45), 0, 0});
+  const Vec3 world{2, -7, 1};
+  const Vec3 in_a = a.Inverse() * world;
+  const Vec3 in_b = b.Inverse() * world;
+  ExpectVecNear(Pose::Between(a, b) * in_b, in_a, 1e-9);
+}
+
+TEST(PoseTest, FromGpsImuUsesEq1Rotation) {
+  const EulerAngles e{0.3, 0.1, -0.2};
+  const Pose p = Pose::FromGpsImu({1, 2, 3}, e);
+  EXPECT_LT(MaxAbsDiff(p.rotation(), RotationFromEuler(e)), kTol);
+  ExpectVecNear(p.translation(), {1, 2, 3});
+}
+
+// --- Boxes ---
+
+TEST(BoxTest, VolumeAndArea) {
+  const Box3 b{{0, 0, 0}, 4.0, 2.0, 1.5, 0.0};
+  EXPECT_DOUBLE_EQ(b.Volume(), 12.0);
+  EXPECT_DOUBLE_EQ(b.BevArea(), 8.0);
+}
+
+TEST(BoxTest, AxisAlignedCorners) {
+  const Box3 b{{1, 1, 1}, 2.0, 2.0, 2.0, 0.0};
+  const auto c = b.Corners();
+  // Bottom corners at z = 0, top at z = 2.
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(c[i].z, 0.0);
+  for (int i = 4; i < 8; ++i) EXPECT_DOUBLE_EQ(c[i].z, 2.0);
+}
+
+TEST(BoxTest, ContainsRespectsYaw) {
+  const Box3 b{{0, 0, 0}, 4.0, 1.0, 2.0, DegToRad(90)};
+  // After 90-degree yaw the long axis lies along y.
+  EXPECT_TRUE(b.Contains({0.0, 1.9, 0.0}));
+  EXPECT_FALSE(b.Contains({1.9, 0.0, 0.0}));
+}
+
+TEST(BoxTest, ContainsBoundaryInclusive) {
+  const Box3 b{{0, 0, 0}, 2.0, 2.0, 2.0, 0.0};
+  EXPECT_TRUE(b.Contains({1.0, 1.0, 1.0}));
+  EXPECT_FALSE(b.Contains({1.0001, 0.0, 0.0}));
+}
+
+TEST(BoxTest, TransformedMovesCenterAndYaw) {
+  const Box3 b{{1, 0, 0}, 4.0, 2.0, 1.5, 0.0};
+  const Pose p(Rz(DegToRad(90)), {0, 0, 0});
+  const Box3 t = b.Transformed(p);
+  ExpectVecNear(t.center, {0, 1, 0}, 1e-9);
+  EXPECT_NEAR(t.yaw, DegToRad(90), 1e-9);
+}
+
+TEST(BoxTest, TransformRoundTripThroughInverse) {
+  const Box3 b{{3, -2, 0.5}, 4.5, 1.8, 1.5, 0.7};
+  const Pose p = Pose::FromGpsImu({10, 20, 0}, {1.2, 0, 0});
+  const Box3 back = b.Transformed(p).Transformed(p.Inverse());
+  ExpectVecNear(back.center, b.center, 1e-9);
+  EXPECT_NEAR(WrapAngle(back.yaw - b.yaw), 0.0, 1e-9);
+}
+
+TEST(BoxTest, ExpandedGrowsAllDims) {
+  const Box3 b{{0, 0, 0}, 4.0, 2.0, 1.0, 0.3};
+  const Box3 e = b.Expanded(0.5);
+  EXPECT_DOUBLE_EQ(e.length, 5.0);
+  EXPECT_DOUBLE_EQ(e.width, 3.0);
+  EXPECT_DOUBLE_EQ(e.height, 2.0);
+}
+
+// --- Polygon clipping & IoU ---
+
+TEST(PolygonTest, UnitSquareArea) {
+  const std::vector<Vec3> sq{{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0}};
+  EXPECT_DOUBLE_EQ(PolygonArea(sq), 1.0);
+}
+
+TEST(PolygonTest, DegeneratePolygonHasZeroArea) {
+  EXPECT_DOUBLE_EQ(PolygonArea({{0, 0, 0}, {1, 1, 0}}), 0.0);
+}
+
+TEST(PolygonTest, ClipOverlappingSquares) {
+  const std::vector<Vec3> a{{0, 0, 0}, {2, 0, 0}, {2, 2, 0}, {0, 2, 0}};
+  const std::vector<Vec3> b{{1, 1, 0}, {3, 1, 0}, {3, 3, 0}, {1, 3, 0}};
+  EXPECT_NEAR(PolygonArea(ClipConvexPolygon(a, b)), 1.0, 1e-9);
+}
+
+TEST(PolygonTest, ClipDisjointIsEmpty) {
+  const std::vector<Vec3> a{{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0}};
+  const std::vector<Vec3> b{{5, 5, 0}, {6, 5, 0}, {6, 6, 0}, {5, 6, 0}};
+  EXPECT_NEAR(PolygonArea(ClipConvexPolygon(a, b)), 0.0, 1e-12);
+}
+
+TEST(IouTest, IdenticalBoxesHaveIouOne) {
+  const Box3 b{{2, 3, 0}, 4.5, 1.8, 1.5, 0.6};
+  EXPECT_NEAR(BevIou(b, b), 1.0, 1e-9);
+  EXPECT_NEAR(Iou3d(b, b), 1.0, 1e-9);
+}
+
+TEST(IouTest, DisjointBoxesHaveIouZero) {
+  const Box3 a{{0, 0, 0}, 2, 2, 2, 0};
+  const Box3 b{{10, 0, 0}, 2, 2, 2, 0};
+  EXPECT_DOUBLE_EQ(BevIou(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(Iou3d(a, b), 0.0);
+}
+
+TEST(IouTest, KnownPartialOverlap) {
+  const Box3 a{{0, 0, 0}, 2, 2, 2, 0};
+  const Box3 b{{1, 0, 0}, 2, 2, 2, 0};
+  // Overlap 1x2 = 2; union 4+4-2 = 6.
+  EXPECT_NEAR(BevIou(a, b), 2.0 / 6.0, 1e-9);
+}
+
+TEST(IouTest, ZOffsetReducesOnly3dIou) {
+  const Box3 a{{0, 0, 0}, 2, 2, 2, 0};
+  Box3 b = a;
+  b.center.z = 1.0;  // half the height offset
+  EXPECT_NEAR(BevIou(a, b), 1.0, 1e-9);
+  // Overlap z = 1 of 2; inter = 4, union = 8+8-4 = 12.
+  EXPECT_NEAR(Iou3d(a, b), 4.0 / 12.0, 1e-9);
+}
+
+TEST(IouTest, RotatedBoxOverlap) {
+  const Box3 a{{0, 0, 0}, 2, 2, 2, 0};
+  const Box3 b{{0, 0, 0}, 2, 2, 2, DegToRad(45)};
+  const double iou = BevIou(a, b);
+  // A square rotated 45 degrees inside the same square: intersection is the
+  // regular octagon, area 8(sqrt(2)-1) ~ 3.3137; union 8 - inter.
+  const double inter = 8.0 * (std::sqrt(2.0) - 1.0);
+  EXPECT_NEAR(iou, inter / (8.0 - inter), 1e-6);
+}
+
+// Property sweep: IoU is symmetric and within [0, 1] for random box pairs.
+class IouPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IouPropertyTest, SymmetricAndBounded) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const Box3 a{{rng.Uniform(-5, 5), rng.Uniform(-5, 5), rng.Uniform(-1, 1)},
+               rng.Uniform(1, 6), rng.Uniform(1, 4), rng.Uniform(1, 3),
+               rng.Uniform(-3, 3)};
+  const Box3 b{{rng.Uniform(-5, 5), rng.Uniform(-5, 5), rng.Uniform(-1, 1)},
+               rng.Uniform(1, 6), rng.Uniform(1, 4), rng.Uniform(1, 3),
+               rng.Uniform(-3, 3)};
+  const double ab = BevIou(a, b), ba = BevIou(b, a);
+  EXPECT_NEAR(ab, ba, 1e-9);
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0 + 1e-12);
+  const double v = Iou3d(a, b);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 1.0 + 1e-12);
+  // 3D IoU never exceeds BEV IoU: dz <= min(h1, h2) implies
+  // I*dz/(A1 h1 + A2 h2 - I*dz) <= I/(A1 + A2 - I).
+  EXPECT_LE(v, ab + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBoxes, IouPropertyTest, ::testing::Range(0, 60));
+
+TEST(IouTest, CenterDistance) {
+  const Box3 a{{0, 0, 0}, 1, 1, 1, 0};
+  const Box3 b{{3, 4, 10}, 1, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(BevCenterDistance(a, b), 5.0);  // z ignored
+}
+
+}  // namespace
+}  // namespace cooper::geom

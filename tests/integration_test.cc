@@ -1,0 +1,178 @@
+// Cross-module integration tests: full Cooper pipeline on library scenarios,
+// checking the system-level invariants the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/stats.h"
+#include "net/serialize.h"
+
+namespace cooper {
+namespace {
+
+using eval::CaseOutcome;
+using eval::ExperimentOptions;
+
+const CaseOutcome& TJunctionOutcome() {
+  static const CaseOutcome outcome = [] {
+    const auto sc = sim::MakeKittiTJunction();
+    return eval::RunCoopCase(sc, sc.cases[0]);
+  }();
+  return outcome;
+}
+
+const CaseOutcome& ParkingLotOutcome() {
+  static const CaseOutcome outcome = [] {
+    const auto sc = sim::MakeTjScenario(1);
+    return eval::RunCoopCase(sc, sc.cases[0]);
+  }();
+  return outcome;
+}
+
+TEST(IntegrationTest, CooperDetectsAtLeastAsManyAsEitherSingle) {
+  for (const auto* outcome : {&TJunctionOutcome(), &ParkingLotOutcome()}) {
+    const auto s = eval::Summarize(*outcome);
+    EXPECT_GE(s.detected_coop, s.detected_a) << outcome->scenario_name;
+    EXPECT_GE(s.detected_coop, s.detected_b) << outcome->scenario_name;
+  }
+}
+
+TEST(IntegrationTest, CooperExtendsSensingArea) {
+  // Some targets are out of detection area for one viewpoint but in the
+  // cooperative result — the paper's "extended sensing range" claim.
+  const auto& outcome = TJunctionOutcome();
+  int gained = 0;
+  for (const auto& t : outcome.targets) {
+    if (!t.in_range_b && t.in_range_a && t.detected_coop) ++gained;
+    if (!t.in_range_a && t.in_range_b && t.detected_coop) ++gained;
+  }
+  EXPECT_GT(gained, 0);
+}
+
+TEST(IntegrationTest, CooperRecoversAtLeastOneMissedTarget) {
+  // Objects missed by both single shots ("hard") get detected after fusion
+  // somewhere in the scenario suite.  The long-baseline parking-lot case
+  // (car1+car4) is where complementary coverage recovers hidden cars.
+  const auto sc = sim::MakeTjScenario(1);
+  const auto far_case = eval::RunCoopCase(sc, sc.cases[2]);
+  int recovered = 0;
+  for (const auto* outcome :
+       {&TJunctionOutcome(), &ParkingLotOutcome(), &far_case}) {
+    for (const auto& t : outcome->targets) {
+      if (!t.detected_a && !t.detected_b && t.detected_coop) ++recovered;
+    }
+  }
+  EXPECT_GT(recovered, 0);
+}
+
+TEST(IntegrationTest, FusedCloudIsUnionOfSingleShots) {
+  const auto& outcome = ParkingLotOutcome();
+  EXPECT_GT(outcome.points_a, 1000u);
+  EXPECT_GT(outcome.points_b, 1000u);
+  EXPECT_GT(outcome.result_coop.num_input_points,
+            outcome.result_a.num_input_points);
+}
+
+TEST(IntegrationTest, RunCoopCaseIsDeterministic) {
+  const auto sc = sim::MakeTjScenario(1);
+  const auto a = eval::RunCoopCase(sc, sc.cases[0]);
+  const auto b = eval::RunCoopCase(sc, sc.cases[0]);
+  ASSERT_EQ(a.targets.size(), b.targets.size());
+  for (std::size_t i = 0; i < a.targets.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.targets[i].score_a, b.targets[i].score_a);
+    EXPECT_DOUBLE_EQ(a.targets[i].score_coop, b.targets[i].score_coop);
+  }
+  EXPECT_EQ(a.package_payload_bytes, b.package_payload_bytes);
+}
+
+TEST(IntegrationTest, SeedOffsetChangesScansButNotStory) {
+  const auto sc = sim::MakeTjScenario(1);
+  ExperimentOptions opt;
+  opt.seed_offset = 1234;
+  const auto alt = eval::RunCoopCase(sc, sc.cases[0], opt);
+  const auto& base = ParkingLotOutcome();
+  // Different noise draws -> different point counts; same coop dominance.
+  const auto s_alt = eval::Summarize(alt);
+  EXPECT_GE(s_alt.detected_coop, s_alt.detected_a);
+  EXPECT_NE(alt.points_a, base.points_a);
+}
+
+TEST(IntegrationTest, GpsDriftWithinBoundsIsTolerated) {
+  const auto sc = sim::MakeTjScenario(1);
+  ExperimentOptions skewed;
+  skewed.skew = sim::GpsSkewMode::kBothAxesMax;
+  const auto drift = eval::RunCoopCase(sc, sc.cases[0], skewed);
+  const auto& base = ParkingLotOutcome();
+  const auto s_base = eval::Summarize(base);
+  const auto s_drift = eval::Summarize(drift);
+  // Fusion robustness (Fig. 10): drift at the bound costs at most one
+  // detection in this scene.
+  EXPECT_GE(s_drift.detected_coop, s_base.detected_coop - 1);
+}
+
+TEST(IntegrationTest, PerfectNavMatchesMeasuredNavClosely) {
+  const auto sc = sim::MakeTjScenario(1);
+  ExperimentOptions perfect;
+  perfect.use_measured_nav = false;
+  const auto ideal = eval::RunCoopCase(sc, sc.cases[0], perfect);
+  const auto s_ideal = eval::Summarize(ideal);
+  const auto s_measured = eval::Summarize(ParkingLotOutcome());
+  EXPECT_LE(std::abs(s_ideal.detected_coop - s_measured.detected_coop), 1);
+}
+
+TEST(IntegrationTest, PackagePayloadSurvivesWireRoundTrip) {
+  // Exchange package -> wire bytes -> package -> cloud, end to end.
+  const auto sc = sim::MakeTjScenario(1);
+  const auto cfg = eval::MakeCooperConfig(sc.lidar);
+  const core::CooperPipeline pipeline(cfg);
+  Rng rng(sc.seed);
+  const sim::LidarSimulator lidar(sc.lidar);
+  const auto cloud = lidar.Scan(sc.scene, sc.viewpoints[0].ToPose(), rng);
+  const core::NavMetadata nav{sc.viewpoints[0].position,
+                              sc.viewpoints[0].attitude,
+                              {0, 0, sc.lidar.sensor_height}};
+  const auto package = pipeline.MakePackage(1, 0.5, core::RoiCategory::kFullFrame,
+                                            nav, cloud);
+  const auto wire = net::SerializePackage(package);
+  const auto back = net::DeserializePackage(wire);
+  ASSERT_TRUE(back.ok());
+  const auto decoded = core::UnpackCloud(*back);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), cloud.size());
+}
+
+TEST(IntegrationTest, DetectionTimeOverheadIsBounded) {
+  // Fig. 9's qualitative claim: Cooper costs more than single shot, but far
+  // less than running the detector twice.
+  const auto& outcome = ParkingLotOutcome();
+  const double single_us = outcome.result_a.timings.TotalUs();
+  const double coop_us = outcome.result_coop.timings.TotalUs();
+  EXPECT_GT(coop_us, 0.8 * single_us);
+  EXPECT_LT(coop_us, 4.0 * single_us);
+}
+
+TEST(IntegrationTest, ScoresAreCalibratedlyBounded) {
+  for (const auto* outcome : {&TJunctionOutcome(), &ParkingLotOutcome()}) {
+    for (const auto& t : outcome->targets) {
+      for (const double s : {t.score_a, t.score_b, t.score_coop}) {
+        EXPECT_GE(s, 0.0);
+        EXPECT_LT(s, 1.0);
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, EveryScenarioHasPaperScaleTargets) {
+  auto scenarios = sim::AllKittiScenarios();
+  for (auto& s : sim::AllTjScenarios()) scenarios.push_back(s);
+  for (const auto& sc : scenarios) {
+    std::size_t cars = 0;
+    for (const auto& o : sc.scene.objects()) {
+      cars += o.cls == sim::ObjectClass::kCar ? 1 : 0;
+    }
+    EXPECT_GE(cars, 6u) << sc.name;   // Fig. 3/6 tables have 7-17 rows
+    EXPECT_LE(cars, 24u) << sc.name;
+  }
+}
+
+}  // namespace
+}  // namespace cooper

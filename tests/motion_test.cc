@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "pointcloud/kdtree.h"
+#include "pointcloud/motion.h"
+#include "sim/lidar.h"
+#include "sim/scene.h"
+
+namespace cooper::pc {
+namespace {
+
+// --- EgoMotion kinematics ---
+
+TEST(EgoMotionTest, StationaryIsIdentity) {
+  const EgoMotion still{0.0, 0.0};
+  const geom::Pose p = still.PoseAt(0.5);
+  EXPECT_NEAR(p.translation().Norm(), 0.0, 1e-12);
+}
+
+TEST(EgoMotionTest, StraightLineMotion) {
+  const EgoMotion motion{10.0, 0.0};
+  const geom::Pose p = motion.PoseAt(0.1);
+  EXPECT_NEAR(p.translation().x, 1.0, 1e-12);
+  EXPECT_NEAR(p.translation().y, 0.0, 1e-12);
+}
+
+TEST(EgoMotionTest, ConstantTwistArc) {
+  // Quarter circle: v = r * w; after t = (pi/2)/w the vehicle is at (r, r).
+  const double w = 0.5, r = 8.0;
+  const EgoMotion motion{r * w, w};
+  const double t = (3.141592653589793 / 2.0) / w;
+  const geom::Pose p = motion.PoseAt(t);
+  EXPECT_NEAR(p.translation().x, r, 1e-9);
+  EXPECT_NEAR(p.translation().y, r, 1e-9);
+  // Heading rotated 90 degrees.
+  const geom::Vec3 heading = p.RotateOnly({1, 0, 0});
+  EXPECT_NEAR(heading.x, 0.0, 1e-9);
+  EXPECT_NEAR(heading.y, 1.0, 1e-9);
+}
+
+TEST(EgoMotionTest, ArcConvergesToLineForSmallYawRate) {
+  const EgoMotion arc{12.0, 1e-10};
+  const EgoMotion line{12.0, 0.0};
+  const geom::Pose pa = arc.PoseAt(0.1), pl = line.PoseAt(0.1);
+  EXPECT_NEAR(pa.translation().x, pl.translation().x, 1e-6);
+  EXPECT_NEAR(pa.translation().y, pl.translation().y, 1e-6);
+}
+
+// --- Deskew ---
+
+TEST(DeskewTest, ZeroMotionIsIdentity) {
+  PointCloud cloud;
+  cloud.Add({3, 4, -1}, 0.5f);
+  const PointCloud out = DeskewScan(cloud, EgoMotion{0.0, 0.0});
+  EXPECT_NEAR(out[0].position.x, 3.0, 1e-12);
+  EXPECT_NEAR(out[0].position.y, 4.0, 1e-12);
+}
+
+TEST(DeskewTest, AzimuthZeroPointUnmoved) {
+  // A point at azimuth 0 was captured at t = 0 — no correction.
+  PointCloud cloud;
+  cloud.Add({10, 0, 0}, 0.5f);
+  const PointCloud out = DeskewScan(cloud, EgoMotion{15.0, 0.2});
+  EXPECT_NEAR(out[0].position.x, 10.0, 1e-9);
+  EXPECT_NEAR(out[0].position.y, 0.0, 1e-9);
+}
+
+TEST(DeskewTest, LateAzimuthPointShiftedByTravel) {
+  // A point just short of azimuth 2*pi was captured ~one revolution later;
+  // at 10 m/s and T = 0.1 s the ego moved ~1 m forward, so the corrected
+  // point shifts ~+1 m in x.
+  PointCloud cloud;
+  cloud.Add({10, -1e-6, 0}, 0.5f);  // azimuth ~ 2*pi - epsilon
+  const PointCloud out = DeskewScan(cloud, EgoMotion{10.0, 0.0});
+  EXPECT_NEAR(out[0].position.x, 11.0, 1e-3);
+}
+
+TEST(DeskewTest, MovingScanOfStaticWorldMatchesStaticScanAfterDeskew) {
+  // The end-to-end property: scan a static scene while driving, deskew, and
+  // compare against the instantaneous scan from the start pose.
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({15, 6, 0}, 40.0), 0.6);
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({12, -8, 0}, 150.0), 0.6);
+  scene.AddObject(sim::ObjectClass::kWall, sim::MakeWallBox({25, 0, 0}, 90.0, 30.0), 0.3);
+
+  sim::LidarConfig cfg = sim::Hdl64Config();
+  cfg.azimuth_steps = 720;
+  cfg.range_noise_stddev = 0.0;
+  cfg.dropout_prob = 0.0;
+  const sim::LidarSimulator lidar(cfg);
+  const EgoMotion motion{12.0, 0.15};  // fast, turning
+
+  Rng rng1(3), rng2(3);
+  const PointCloud skewed =
+      lidar.ScanMoving(scene, geom::Pose::Identity(), motion, rng1, 0.1);
+  const PointCloud reference = lidar.Scan(scene, geom::Pose::Identity(), rng2);
+  const PointCloud deskewed = DeskewScan(skewed, motion, 0.1);
+
+  // Without correction the late-azimuth region is off by up to ~1.2 m; with
+  // correction the cloud matches the reference geometry.  Compare via the
+  // mean nearest-neighbour distance on the wall/car structure (z > -1).
+  const KdTree ref_tree(reference.FilterMinZ(-1.0));
+  auto mean_nn = [&](const PointCloud& cloud) {
+    const PointCloud structure = cloud.FilterMinZ(-1.0);
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& p : structure) {
+      const auto nn = ref_tree.Nearest(p.position);
+      if (!nn) continue;
+      sum += std::sqrt(nn->squared_distance);
+      ++n;
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 1e9;
+  };
+  const double skewed_err = mean_nn(skewed);
+  const double deskewed_err = mean_nn(deskewed);
+  EXPECT_GT(skewed_err, 0.2);           // motion smear is real
+  EXPECT_LT(deskewed_err, 0.08);        // and the correction removes it
+  EXPECT_LT(deskewed_err, skewed_err / 3.0);
+}
+
+TEST(DeskewTest, PointCountPreserved) {
+  Rng rng(5);
+  PointCloud cloud;
+  for (int i = 0; i < 500; ++i) {
+    const double az = rng.Uniform(0, 6.28);
+    const double r = rng.Uniform(2, 40);
+    cloud.Add({r * std::cos(az), r * std::sin(az), rng.Uniform(-1.5, 1.0)}, 0.4f);
+  }
+  EXPECT_EQ(DeskewScan(cloud, EgoMotion{20.0, 0.3}).size(), cloud.size());
+}
+
+}  // namespace
+}  // namespace cooper::pc

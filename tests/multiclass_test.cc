@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/lidar.h"
+#include "sim/scene.h"
+#include "spod/detector.h"
+
+namespace cooper::spod {
+namespace {
+
+// --- Templates ---
+
+TEST(TemplatesTest, ThreeStandardClasses) {
+  const auto& templates = StandardTemplates();
+  ASSERT_EQ(templates.size(), 3u);
+  EXPECT_EQ(templates[0].cls, ObjectClass::kCar);  // cars first (class prior)
+}
+
+TEST(TemplatesTest, LookupByClass) {
+  EXPECT_EQ(TemplateFor(ObjectClass::kPedestrian).cls, ObjectClass::kPedestrian);
+  EXPECT_LT(TemplateFor(ObjectClass::kPedestrian).max_fit_length,
+            TemplateFor(ObjectClass::kCar).max_fit_length);
+  EXPECT_GT(TemplateFor(ObjectClass::kPedestrian).silhouette_height,
+            TemplateFor(ObjectClass::kCar).silhouette_height);
+}
+
+TEST(TemplatesTest, ClassNames) {
+  EXPECT_STREQ(ObjectClassName(ObjectClass::kCar), "car");
+  EXPECT_STREQ(ObjectClassName(ObjectClass::kPedestrian), "pedestrian");
+  EXPECT_STREQ(ObjectClassName(ObjectClass::kCyclist), "cyclist");
+}
+
+// --- End-to-end classification ---
+
+pc::PointCloud ScanScene(const sim::Scene& scene, std::uint64_t seed = 5) {
+  sim::LidarConfig cfg = sim::Hdl64Config();
+  cfg.azimuth_steps = 1024;
+  Rng rng(seed);
+  return sim::LidarSimulator(cfg).Scan(scene, geom::Pose::Identity(), rng);
+}
+
+SpodDetector Detector() {
+  SpodConfig cfg = MakeDenseSpodConfig();
+  cfg.min_cluster_points = 4;
+  return SpodDetector(cfg, MakeSensorResolution(64, 2.0, -24.8, 1024));
+}
+
+const Detection* FindNear(const std::vector<Detection>& dets, double x, double y,
+                          double tol = 1.5) {
+  for (const auto& d : dets) {
+    if (std::abs(d.box.center.x - x) < tol && std::abs(d.box.center.y - y) < tol) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+TEST(MulticlassTest, PedestrianDetectedAndClassified) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kPedestrian, sim::MakePedestrianBox({8, 2, 0}),
+                  0.5);
+  const auto result = Detector().Detect(ScanScene(scene));
+  const Detection* d = FindNear(result.detections, 8, 2);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->cls, ObjectClass::kPedestrian);
+  EXPECT_GT(d->score, 0.5);
+  EXPECT_LT(d->box.length, 1.0);
+}
+
+TEST(MulticlassTest, CarStillClassifiedAsCar) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({12, -3, 0}, 30.0), 0.6);
+  const auto result = Detector().Detect(ScanScene(scene));
+  const Detection* d = FindNear(result.detections, 12, -3, 2.0);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->cls, ObjectClass::kCar);
+  EXPECT_GT(d->score, 0.5);
+}
+
+TEST(MulticlassTest, MixedSceneSeparatesClasses) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({14, 4, 0}, 0.0), 0.6);
+  scene.AddObject(sim::ObjectClass::kPedestrian,
+                  sim::MakePedestrianBox({10, -4, 0}), 0.5);
+  const auto result = Detector().Detect(ScanScene(scene));
+  const Detection* car = FindNear(result.detections, 14, 4, 2.0);
+  const Detection* ped = FindNear(result.detections, 10, -4);
+  ASSERT_NE(car, nullptr);
+  ASSERT_NE(ped, nullptr);
+  EXPECT_EQ(car->cls, ObjectClass::kCar);
+  EXPECT_EQ(ped->cls, ObjectClass::kPedestrian);
+}
+
+TEST(MulticlassTest, PedestrianBoxNotInflatedToCar) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kPedestrian, sim::MakePedestrianBox({7, 0, 0}),
+                  0.5);
+  const auto result = Detector().Detect(ScanScene(scene));
+  const Detection* d = FindNear(result.detections, 7, 0);
+  ASSERT_NE(d, nullptr);
+  EXPECT_LT(d->box.BevArea(), 1.0);  // not a 3.6 x 1.55 completed car box
+  EXPECT_GT(d->box.height, 1.4);     // but person-tall
+}
+
+TEST(MulticlassTest, SmallObjectsHarderAtRange) {
+  // The paper's §III-A point: pedestrian detection degrades with distance
+  // much faster than car detection.
+  sim::Scene near_scene, far_scene;
+  near_scene.AddObject(sim::ObjectClass::kPedestrian,
+                       sim::MakePedestrianBox({10, 0, 0}), 0.5);
+  far_scene.AddObject(sim::ObjectClass::kPedestrian,
+                      sim::MakePedestrianBox({45, 0, 0}), 0.5);
+  const SpodDetector detector = Detector();
+  const auto near_result = detector.Detect(ScanScene(near_scene));
+  const auto far_result = detector.Detect(ScanScene(far_scene));
+  const Detection* near_d = FindNear(near_result.detections, 10, 0);
+  ASSERT_NE(near_d, nullptr);
+  const Detection* far_d = FindNear(far_result.detections, 45, 0);
+  const double far_score = far_d ? far_d->score : 0.0;
+  EXPECT_GT(near_d->score, far_score + 0.15);
+}
+
+}  // namespace
+}  // namespace cooper::spod

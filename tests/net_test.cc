@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/dsrc.h"
+#include "net/serialize.h"
+
+namespace cooper::net {
+namespace {
+
+core::ExchangePackage MakeTestPackage(std::size_t payload_size = 64) {
+  core::ExchangePackage p;
+  p.sender_id = 7;
+  p.timestamp_s = 12.5;
+  p.roi = core::RoiCategory::kFrontSector;
+  p.nav.gps_position = {1.5, -2.5, 0.25};
+  p.nav.imu_attitude = {0.1, -0.05, 0.025};
+  p.nav.lidar_mount = {0, 0, 1.73};
+  p.payload.resize(payload_size);
+  for (std::size_t i = 0; i < payload_size; ++i) {
+    p.payload[i] = static_cast<std::uint8_t>(i * 37);
+  }
+  return p;
+}
+
+// --- CRC ---
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (standard check value).
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32(nullptr, 0), 0u); }
+
+TEST(Crc32Test, SensitiveToSingleBit) {
+  std::vector<std::uint8_t> a{1, 2, 3, 4};
+  std::vector<std::uint8_t> b{1, 2, 3, 5};
+  EXPECT_NE(Crc32(a.data(), a.size()), Crc32(b.data(), b.size()));
+}
+
+// --- Serialization ---
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const auto p = MakeTestPackage(333);
+  const auto back = DeserializePackage(SerializePackage(p));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->sender_id, 7u);
+  EXPECT_DOUBLE_EQ(back->timestamp_s, 12.5);
+  EXPECT_EQ(back->roi, core::RoiCategory::kFrontSector);
+  EXPECT_DOUBLE_EQ(back->nav.gps_position.y, -2.5);
+  EXPECT_DOUBLE_EQ(back->nav.imu_attitude.yaw, 0.1);
+  EXPECT_DOUBLE_EQ(back->nav.lidar_mount.z, 1.73);
+  EXPECT_EQ(back->payload, p.payload);
+}
+
+TEST(SerializeTest, WireOverheadMatchesEmptyPayload) {
+  auto p = MakeTestPackage(0);
+  EXPECT_EQ(SerializePackage(p).size(), WireOverheadBytes());
+}
+
+TEST(SerializeTest, BadMagicRejected) {
+  auto bytes = SerializePackage(MakeTestPackage());
+  bytes[0] ^= 0xff;
+  EXPECT_EQ(DeserializePackage(bytes).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeTest, WrongVersionRejected) {
+  auto bytes = SerializePackage(MakeTestPackage());
+  bytes[4] = 99;  // version lives right after the magic
+  const auto r = DeserializePackage(bytes);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, CorruptPayloadFailsCrc) {
+  auto bytes = SerializePackage(MakeTestPackage(128));
+  bytes[bytes.size() - 10] ^= 0x01;  // flip a payload bit
+  const auto r = DeserializePackage(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("CRC"), std::string::npos);
+}
+
+TEST(SerializeTest, CorruptNavFieldFailsCrc) {
+  auto bytes = SerializePackage(MakeTestPackage());
+  bytes[20] ^= 0x80;  // somewhere in the nav block
+  EXPECT_FALSE(DeserializePackage(bytes).ok());
+}
+
+TEST(SerializeTest, BadRoiCategoryRejected) {
+  auto p = MakeTestPackage();
+  auto bytes = SerializePackage(p);
+  // roi byte offset: magic(4) + version(2) + sender(4) + timestamp(8) = 18.
+  bytes[18] = 9;
+  const auto r = DeserializePackage(bytes);
+  ASSERT_FALSE(r.ok());  // either bad ROI or CRC mismatch — both rejected
+}
+
+class TruncationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationTest, EveryPrefixFailsCleanly) {
+  const auto bytes = SerializePackage(MakeTestPackage(64));
+  const std::size_t cut = bytes.size() * static_cast<std::size_t>(GetParam()) / 10;
+  const std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+  EXPECT_FALSE(DeserializePackage(prefix).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, TruncationTest, ::testing::Range(0, 10));
+
+TEST(SerializeTest, PayloadSizeLieRejected) {
+  auto bytes = SerializePackage(MakeTestPackage(64));
+  // Payload-size field precedes the payload; inflate it so the payload read
+  // runs past the buffer.
+  const std::size_t size_off = WireOverheadBytes() - 8;  // before payload+crc
+  bytes[size_off] = 0xff;
+  bytes[size_off + 1] = 0xff;
+  EXPECT_FALSE(DeserializePackage(bytes).ok());
+}
+
+// --- DSRC ---
+
+TEST(DsrcTest, LatencyScalesWithSize) {
+  const DsrcChannel ch(DsrcConfig{6.0, 2.0, 0.0, 1.0});
+  // 6 Mbit payload at 6 Mbps = 1000 ms + 2 ms access.
+  EXPECT_NEAR(ch.LatencyMs(750000), 1002.0, 1e-6);
+  EXPECT_NEAR(ch.LatencyMs(0), 2.0, 1e-9);
+}
+
+TEST(DsrcTest, EffectiveThroughputHaircut) {
+  const DsrcChannel ch(DsrcConfig{27.0, 2.0, 0.0, 0.9});
+  EXPECT_NEAR(ch.EffectiveMbps(), 24.3, 1e-9);
+}
+
+TEST(DsrcTest, LosslessChannelDeliversEverything) {
+  DsrcChannel ch(DsrcConfig{6.0, 2.0, 0.0, 0.9});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ch.Transmit(1000, rng).delivered);
+  }
+  EXPECT_EQ(ch.total_messages(), 100u);
+  EXPECT_EQ(ch.total_dropped(), 0u);
+  EXPECT_EQ(ch.total_bytes_sent(), 100000u);
+}
+
+TEST(DsrcTest, LossyChannelDropsExpectedFraction) {
+  DsrcChannel ch(DsrcConfig{6.0, 2.0, 0.25, 0.9});
+  Rng rng(2);
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) ch.Transmit(100, rng);
+  EXPECT_NEAR(static_cast<double>(ch.total_dropped()) / kN, 0.25, 0.02);
+  // Dropped bytes are not counted as sent.
+  EXPECT_EQ(ch.total_bytes_sent(), (kN - ch.total_dropped()) * 100u);
+}
+
+TEST(DsrcTest, DroppedMessageHasNoLatency) {
+  DsrcChannel ch(DsrcConfig{6.0, 2.0, 1.0, 0.9});  // always drop
+  Rng rng(3);
+  const auto report = ch.Transmit(1000, rng);
+  EXPECT_FALSE(report.delivered);
+  EXPECT_DOUBLE_EQ(report.latency_ms, 0.0);
+}
+
+// --- Traffic accounting ---
+
+TEST(TrafficTest, PerSecondBucketsAtOneHz) {
+  // 1 Hz: one frame per second, one bucket each.
+  const std::vector<std::size_t> frames{125000, 250000, 125000};  // bytes
+  const auto vol = PerSecondVolumeMbit(frames, 1.0);
+  ASSERT_EQ(vol.size(), 3u);
+  EXPECT_NEAR(vol[0], 1.0, 1e-9);
+  EXPECT_NEAR(vol[1], 2.0, 1e-9);
+}
+
+TEST(TrafficTest, PerSecondBucketsAtTenHz) {
+  const std::vector<std::size_t> frames(20, 12500);  // 0.1 Mbit each, 10 Hz
+  const auto vol = PerSecondVolumeMbit(frames, 10.0);
+  ASSERT_EQ(vol.size(), 2u);
+  EXPECT_NEAR(vol[0], 1.0, 1e-9);
+  EXPECT_NEAR(vol[1], 1.0, 1e-9);
+}
+
+TEST(TrafficTest, EmptyInput) {
+  EXPECT_TRUE(PerSecondVolumeMbit({}, 1.0).empty());
+  EXPECT_TRUE(PerSecondVolumeMbit({100}, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace cooper::net

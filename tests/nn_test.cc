@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/sparse_conv.h"
+#include "nn/tensor.h"
+#include "nn/vfe.h"
+
+namespace cooper::nn {
+namespace {
+
+// --- Tensor ---
+
+TEST(TensorTest, ShapeAndFill) {
+  Tensor t({2, 3}, 1.5f);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_FLOAT_EQ(t.At(1, 2), 1.5f);
+}
+
+TEST(TensorTest, IndexedAccessLayouts) {
+  Tensor t({2, 3, 4});
+  t.At(1, 2, 3) = 7.0f;
+  EXPECT_FLOAT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+  Tensor u({2, 2, 2, 2});
+  u.At(1, 0, 1, 0) = 3.0f;
+  EXPECT_FLOAT_EQ(u[1 * 8 + 0 * 4 + 1 * 2 + 0], 3.0f);
+}
+
+TEST(TensorTest, ReluClampsNegatives) {
+  Tensor t({3});
+  t[0] = -1.0f;
+  t[1] = 0.0f;
+  t[2] = 2.0f;
+  t.Relu();
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+  EXPECT_FLOAT_EQ(t[2], 2.0f);
+}
+
+TEST(TensorTest, MaxAndSum) {
+  Tensor t({4});
+  t[0] = 1;
+  t[1] = -5;
+  t[2] = 3;
+  t[3] = 0.5;
+  EXPECT_FLOAT_EQ(t.MaxValue(), 3.0f);
+  EXPECT_NEAR(t.Sum(), -0.5f, 1e-6);
+}
+
+TEST(TensorTest, MatMulKnownValues) {
+  Tensor a({2, 2});
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  Tensor b({2, 1});
+  b.At(0, 0) = 5;
+  b.At(1, 0) = 6;
+  const Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 17.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 39.0f);
+}
+
+// --- Dense layers ---
+
+TEST(LinearTest, OutputShapeAndDeterminism) {
+  Rng r1(42), r2(42);
+  const Linear l1(4, 8, r1), l2(4, 8, r2);
+  Tensor x({3, 4}, 0.5f);
+  const Tensor y1 = l1.Forward(x), y2 = l2.Forward(x);
+  ASSERT_EQ(y1.dim(0), 3u);
+  ASSERT_EQ(y1.dim(1), 8u);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+}
+
+TEST(LinearTest, IdentityWeights) {
+  Rng rng(1);
+  Linear l(2, 2, rng);
+  // Overwrite with identity.
+  l.weight().At(0, 0) = 1;
+  l.weight().At(0, 1) = 0;
+  l.weight().At(1, 0) = 0;
+  l.weight().At(1, 1) = 1;
+  l.bias()[0] = 10;
+  l.bias()[1] = -10;
+  Tensor x({1, 2});
+  x.At(0, 0) = 3;
+  x.At(0, 1) = 4;
+  const Tensor y = l.Forward(x);
+  EXPECT_FLOAT_EQ(y.At(0, 0), 13.0f);
+  EXPECT_FLOAT_EQ(y.At(0, 1), -6.0f);
+}
+
+TEST(Conv2dTest, IdentityKernelPreservesInput) {
+  Rng rng(2);
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  // Zero all weights, set centre tap to 1.
+  for (std::size_t i = 0; i < conv.weight().size(); ++i) conv.weight()[i] = 0;
+  conv.weight().At(0, 0, 1, 1) = 1.0f;
+  Tensor x({1, 5, 5});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const Tensor y = conv.Forward(x);
+  ASSERT_EQ(y.dim(1), 5u);
+  ASSERT_EQ(y.dim(2), 5u);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2dTest, StrideHalvesResolution) {
+  Rng rng(3);
+  const Conv2d conv(2, 4, 3, 2, 1, rng);
+  Tensor x({2, 8, 8}, 1.0f);
+  const Tensor y = conv.Forward(x);
+  EXPECT_EQ(y.dim(0), 4u);
+  EXPECT_EQ(y.dim(1), 4u);
+  EXPECT_EQ(y.dim(2), 4u);
+}
+
+TEST(Conv2dTest, SumKernelCountsNeighbours) {
+  Rng rng(4);
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  for (std::size_t i = 0; i < conv.weight().size(); ++i) conv.weight()[i] = 1.0f;
+  Tensor x({1, 3, 3}, 1.0f);
+  const Tensor y = conv.Forward(x);
+  EXPECT_FLOAT_EQ(y.At(0, 1, 1), 9.0f);  // full 3x3 support
+  EXPECT_FLOAT_EQ(y.At(0, 0, 0), 4.0f);  // corner sees 2x2
+}
+
+TEST(ConvTranspose2dTest, UpsamplesResolution) {
+  Rng rng(5);
+  const ConvTranspose2d up(3, 2, 2, 2, rng);
+  Tensor x({3, 4, 4}, 0.3f);
+  const Tensor y = up.Forward(x);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 8u);
+  EXPECT_EQ(y.dim(2), 8u);
+}
+
+TEST(BatchNormTest, DefaultIsIdentity) {
+  const BatchNorm bn(4);
+  Tensor x({4, 3}, 2.5f);
+  const Tensor y = bn.Forward(x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 2.5f);
+}
+
+// --- Sparse conv ---
+
+SparseTensor MakeRandomSparse(std::size_t channels, int extent, double density,
+                              Rng& rng) {
+  SparseTensor s;
+  s.spatial_shape = {extent, extent, extent};
+  for (int z = 0; z < extent; ++z) {
+    for (int y = 0; y < extent; ++y) {
+      for (int x = 0; x < extent; ++x) {
+        if (rng.Uniform() < density) s.coords.push_back({x, y, z});
+      }
+    }
+  }
+  s.features = Tensor({s.coords.size(), channels});
+  for (std::size_t i = 0; i < s.features.size(); ++i) {
+    s.features[i] = static_cast<float>(rng.Normal());
+  }
+  return s;
+}
+
+TEST(SparseConvTest, SubmanifoldPreservesActiveSet) {
+  Rng rng(6);
+  const SparseTensor x = MakeRandomSparse(4, 8, 0.1, rng);
+  const SparseConv3d conv(4, 4, 3, 1, SparseConvMode::kSubmanifold, rng);
+  const SparseTensor y = conv.Forward(x);
+  ASSERT_EQ(y.coords.size(), x.coords.size());
+  for (std::size_t i = 0; i < x.coords.size(); ++i) {
+    EXPECT_EQ(y.coords[i], x.coords[i]);
+  }
+  EXPECT_EQ(y.spatial_shape, x.spatial_shape);
+}
+
+TEST(SparseConvTest, RegularDilatesActiveSet) {
+  Rng rng(7);
+  SparseTensor x;
+  x.spatial_shape = {8, 8, 8};
+  x.coords.push_back({4, 4, 4});
+  x.features = Tensor({1, 2}, 1.0f);
+  const SparseConv3d conv(2, 3, 3, 1, SparseConvMode::kRegular, rng);
+  const SparseTensor y = conv.Forward(x);
+  // A single input site activates up to 3^3 output sites (clipped to grid).
+  EXPECT_EQ(y.coords.size(), 27u);
+}
+
+// Property: the sparse path matches the dense reference at every active
+// output site, for both modes and several random fields.
+class SparseVsDenseTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SparseVsDenseTest, MatchesDenseReference) {
+  const int seed = std::get<0>(GetParam());
+  const bool submanifold = std::get<1>(GetParam()) == 0;
+  Rng rng(static_cast<std::uint64_t>(seed) * 101 + 3);
+  const SparseTensor x = MakeRandomSparse(3, 6, 0.15, rng);
+  if (x.coords.empty()) GTEST_SKIP();
+  const int stride = submanifold ? 1 : 2;
+  const SparseConv3d conv(3, 5, 3, stride,
+                          submanifold ? SparseConvMode::kSubmanifold
+                                      : SparseConvMode::kRegular,
+                          rng);
+  const SparseTensor y = conv.Forward(x);
+  const Tensor dense = conv.ForwardDenseReference(x);
+  // dense is (Cout x Z x (Y*X)) over the output grid; the sparse result
+  // already carries the output spatial shape.
+  const std::size_t ox = static_cast<std::size_t>(y.spatial_shape.x);
+  for (std::size_t i = 0; i < y.coords.size(); ++i) {
+    const auto& c = y.coords[i];
+    for (std::size_t ch = 0; ch < 5; ++ch) {
+      const float ref = dense.At(ch, static_cast<std::size_t>(c.z),
+                                 static_cast<std::size_t>(c.y) * ox +
+                                     static_cast<std::size_t>(c.x));
+      EXPECT_NEAR(y.features.At(i, ch), ref, 1e-4)
+          << "site (" << c.x << "," << c.y << "," << c.z << ") ch " << ch;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SparseVsDenseTest,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Values(0, 1)));
+
+TEST(SparseConvTest, CostScalesWithOccupancyNotVolume) {
+  // An empty field is free regardless of the nominal grid volume.
+  Rng rng(8);
+  SparseTensor x;
+  x.spatial_shape = {1000, 1000, 100};
+  x.features = Tensor({0, 4});
+  const SparseConv3d conv(4, 4, 3, 1, SparseConvMode::kSubmanifold, rng);
+  const SparseTensor y = conv.Forward(x);
+  EXPECT_EQ(y.num_active(), 0u);
+}
+
+TEST(SparseConvTest, StrideTwoHalvesSpatialShape) {
+  Rng rng(9);
+  const SparseTensor x = MakeRandomSparse(2, 9, 0.2, rng);
+  const SparseConv3d conv(2, 2, 3, 2, SparseConvMode::kRegular, rng);
+  const SparseTensor y = conv.Forward(x);
+  EXPECT_EQ(y.spatial_shape.x, (9 - 3) / 2 + 1);
+  EXPECT_EQ(y.spatial_shape.y, 4);
+  EXPECT_EQ(y.spatial_shape.z, 4);
+}
+
+TEST(SparseToBevTest, SumsOverZ) {
+  SparseTensor s;
+  s.spatial_shape = {4, 4, 3};
+  s.coords = {{1, 2, 0}, {1, 2, 2}};  // same BEV cell, different z
+  s.features = Tensor({2, 1});
+  s.features.At(0, 0) = 1.5f;
+  s.features.At(1, 0) = 2.5f;
+  const Tensor bev = SparseToBev(s);
+  ASSERT_EQ(bev.dim(0), 1u);
+  ASSERT_EQ(bev.dim(1), 4u);  // y
+  ASSERT_EQ(bev.dim(2), 4u);  // x
+  EXPECT_FLOAT_EQ(bev.At(0, 2, 1), 4.0f);
+  EXPECT_FLOAT_EQ(bev.At(0, 0, 0), 0.0f);
+}
+
+// --- VFE ---
+
+TEST(VfeTest, EncodesOneFeatureRowPerVoxel) {
+  Rng rng(10);
+  const VoxelFeatureEncoder vfe(8, rng);
+  pc::PointCloud cloud;
+  cloud.Add({0.5, 0.5, 0.5}, 0.3f);
+  cloud.Add({0.6, 0.5, 0.5}, 0.4f);
+  cloud.Add({5.5, 5.5, 0.5}, 0.5f);
+  pc::VoxelGridConfig cfg;
+  cfg.min_bound = {0, 0, 0};
+  cfg.max_bound = {10, 10, 2};
+  cfg.voxel_size = {1, 1, 1};
+  const pc::VoxelGrid grid(cloud, cfg);
+  const SparseTensor out = vfe.Encode(cloud, grid);
+  EXPECT_EQ(out.num_active(), 2u);
+  EXPECT_EQ(out.channels(), 8u);
+  EXPECT_EQ(out.spatial_shape.x, 10);
+}
+
+TEST(VfeTest, FeaturesAreNonNegativeAfterRelu) {
+  Rng rng(11);
+  const VoxelFeatureEncoder vfe(16, rng);
+  pc::PointCloud cloud;
+  for (int i = 0; i < 50; ++i) {
+    cloud.Add({0.1 * i, 0.5, 0.5}, 0.1f * (i % 10));
+  }
+  pc::VoxelGridConfig cfg;
+  cfg.min_bound = {0, 0, 0};
+  cfg.max_bound = {10, 10, 2};
+  cfg.voxel_size = {1, 1, 1};
+  const SparseTensor out = vfe.Encode(cloud, pc::VoxelGrid(cloud, cfg));
+  for (std::size_t i = 0; i < out.features.size(); ++i) {
+    EXPECT_GE(out.features[i], 0.0f);
+  }
+}
+
+TEST(VfeTest, DeterministicAcrossInstancesWithSameSeed) {
+  pc::PointCloud cloud;
+  cloud.Add({1.5, 1.5, 0.5}, 0.7f);
+  cloud.Add({1.6, 1.4, 0.6}, 0.2f);
+  pc::VoxelGridConfig cfg;
+  cfg.min_bound = {0, 0, 0};
+  cfg.max_bound = {4, 4, 2};
+  cfg.voxel_size = {1, 1, 1};
+  const pc::VoxelGrid grid(cloud, cfg);
+  Rng r1(77), r2(77);
+  const SparseTensor a = VoxelFeatureEncoder(8, r1).Encode(cloud, grid);
+  const SparseTensor b = VoxelFeatureEncoder(8, r2).Encode(cloud, grid);
+  ASSERT_EQ(a.features.size(), b.features.size());
+  for (std::size_t i = 0; i < a.features.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.features[i], b.features[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cooper::nn

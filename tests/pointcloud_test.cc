@@ -1,0 +1,507 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+#include "common/rng.h"
+#include "pointcloud/codec.h"
+#include "pointcloud/io.h"
+#include "pointcloud/point_cloud.h"
+#include "pointcloud/spherical_projection.h"
+#include "pointcloud/voxel_grid.h"
+
+namespace cooper::pc {
+namespace {
+
+PointCloud RandomCloud(std::size_t n, Rng& rng, double extent = 50.0) {
+  PointCloud cloud;
+  cloud.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cloud.Add({rng.Uniform(-extent, extent), rng.Uniform(-extent, extent),
+               rng.Uniform(-2.0, 3.0)},
+              static_cast<float>(rng.Uniform()));
+  }
+  return cloud;
+}
+
+// --- PointCloud basics ---
+
+TEST(PointCloudTest, BasicAccessors) {
+  PointCloud c;
+  EXPECT_TRUE(c.empty());
+  c.Add({1, 2, 3}, 0.5f);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_DOUBLE_EQ(c[0].position.x, 1.0);
+  EXPECT_FLOAT_EQ(c[0].reflectance, 0.5f);
+}
+
+TEST(PointCloudTest, TransformAppliesRigidMotion) {
+  PointCloud c;
+  c.Add({1, 0, 0}, 0.0f);
+  c.Transform(geom::Pose(geom::Rz(geom::DegToRad(90)), {0, 0, 5}));
+  EXPECT_NEAR(c[0].position.x, 0.0, 1e-12);
+  EXPECT_NEAR(c[0].position.y, 1.0, 1e-12);
+  EXPECT_NEAR(c[0].position.z, 5.0, 1e-12);
+}
+
+TEST(PointCloudTest, TransformedLeavesOriginalUntouched) {
+  PointCloud c;
+  c.Add({1, 0, 0}, 0.0f);
+  const PointCloud t = c.Transformed(geom::Pose(geom::Mat3::Identity(), {9, 0, 0}));
+  EXPECT_DOUBLE_EQ(c[0].position.x, 1.0);
+  EXPECT_DOUBLE_EQ(t[0].position.x, 10.0);
+}
+
+TEST(PointCloudTest, MergeConcatenates) {
+  Rng rng(1);
+  PointCloud a = RandomCloud(100, rng);
+  const PointCloud b = RandomCloud(50, rng);
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 150u);
+  EXPECT_DOUBLE_EQ(a[100].position.x, b[0].position.x);
+}
+
+TEST(PointCloudTest, CropBoxKeepsOnlyInside) {
+  PointCloud c;
+  c.Add({0, 0, 0}, 0.0f);
+  c.Add({5, 0, 0}, 0.0f);
+  const geom::Box3 box{{0, 0, 0}, 2, 2, 2, 0};
+  EXPECT_EQ(c.CropBox(box).size(), 1u);
+}
+
+TEST(PointCloudTest, AzimuthSectorFilter) {
+  PointCloud c;
+  c.Add({1, 0, 0}, 0.0f);     // 0 deg
+  c.Add({0, 1, 0}, 0.0f);     // 90 deg
+  c.Add({-1, 0, 0}, 0.0f);    // 180 deg
+  const PointCloud front = c.FilterAzimuthSector(0.0, geom::DegToRad(60));
+  EXPECT_EQ(front.size(), 1u);
+  const PointCloud left = c.FilterAzimuthSector(geom::DegToRad(90), geom::DegToRad(10));
+  EXPECT_EQ(left.size(), 1u);
+  EXPECT_DOUBLE_EQ(left[0].position.y, 1.0);
+}
+
+TEST(PointCloudTest, AzimuthSectorWrapsAroundPi) {
+  PointCloud c;
+  c.Add({-1, 0.01, 0}, 0.0f);   // ~180 deg
+  c.Add({-1, -0.01, 0}, 0.0f);  // ~-180 deg
+  const PointCloud rear = c.FilterAzimuthSector(geom::DegToRad(180), geom::DegToRad(5));
+  EXPECT_EQ(rear.size(), 2u);
+}
+
+TEST(PointCloudTest, RangeFilter) {
+  PointCloud c;
+  c.Add({1, 0, 10}, 0.0f);
+  c.Add({30, 0, -5}, 0.0f);
+  EXPECT_EQ(c.FilterRange(0, 5).size(), 1u);   // z ignored in ground range
+  EXPECT_EQ(c.FilterRange(5, 100).size(), 1u);
+}
+
+TEST(PointCloudTest, MinZFilter) {
+  PointCloud c;
+  c.Add({0, 0, -1}, 0.0f);
+  c.Add({0, 0, 1}, 0.0f);
+  EXPECT_EQ(c.FilterMinZ(0.0).size(), 1u);
+}
+
+TEST(PointCloudTest, RemoveInvalidDropsNanAndInf) {
+  PointCloud c;
+  c.Add({0, 0, 0}, 0.0f);
+  c.Add({std::numeric_limits<double>::quiet_NaN(), 0, 0}, 0.0f);
+  c.Add({0, std::numeric_limits<double>::infinity(), 0}, 0.0f);
+  c.Add({1, 1, 1}, std::numeric_limits<float>::quiet_NaN());
+  EXPECT_EQ(c.RemoveInvalid(), 3u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(PointCloudTest, BoundsComputed) {
+  PointCloud c;
+  c.Add({-1, 5, 0}, 0.0f);
+  c.Add({3, -2, 7}, 0.0f);
+  const auto [lo, hi] = c.Bounds();
+  EXPECT_DOUBLE_EQ(lo.x, -1);
+  EXPECT_DOUBLE_EQ(lo.y, -2);
+  EXPECT_DOUBLE_EQ(hi.z, 7);
+}
+
+TEST(PointCloudTest, CountInBox) {
+  Rng rng(3);
+  const PointCloud c = RandomCloud(1000, rng, 10.0);
+  const geom::Box3 box{{0, 0, 0.5}, 4, 4, 5, 0.3};
+  std::size_t manual = 0;
+  for (const auto& p : c) manual += box.Contains(p.position) ? 1 : 0;
+  EXPECT_EQ(c.CountInBox(box), manual);
+}
+
+// --- Fusion (Eq. 2-3) ---
+
+TEST(FusionTest, FuseCloudsAlignsWorldPoints) {
+  // A world point observed by two vehicles must land at the same coordinates
+  // in the receiver frame after fusion.
+  const geom::Vec3 world{12, -5, 1};
+  const geom::Pose rx = geom::Pose::FromGpsImu({2, 3, 0}, {0.4, 0, 0});
+  const geom::Pose tx = geom::Pose::FromGpsImu({-7, 9, 0}, {-1.1, 0, 0});
+  PointCloud rx_cloud, tx_cloud;
+  rx_cloud.Add(rx.Inverse() * world, 0.1f);
+  tx_cloud.Add(tx.Inverse() * world, 0.2f);
+
+  const PointCloud fused = FuseClouds(rx_cloud, tx_cloud, rx, tx);
+  ASSERT_EQ(fused.size(), 2u);
+  EXPECT_NEAR(fused[0].position.x, fused[1].position.x, 1e-9);
+  EXPECT_NEAR(fused[0].position.y, fused[1].position.y, 1e-9);
+  EXPECT_NEAR(fused[0].position.z, fused[1].position.z, 1e-9);
+}
+
+TEST(FusionTest, PointCountConserved) {
+  Rng rng(4);
+  const PointCloud a = RandomCloud(123, rng);
+  const PointCloud b = RandomCloud(77, rng);
+  const PointCloud fused = FuseClouds(a, b, geom::Pose::Identity(),
+                                      geom::Pose::Identity());
+  EXPECT_EQ(fused.size(), 200u);
+}
+
+TEST(FusionTest, IdentityPosesArePlainUnion) {
+  PointCloud a, b;
+  a.Add({1, 1, 1}, 0.0f);
+  b.Add({2, 2, 2}, 0.0f);
+  const PointCloud fused = FuseClouds(a, b, geom::Pose::Identity(),
+                                      geom::Pose::Identity());
+  EXPECT_DOUBLE_EQ(fused[1].position.x, 2.0);
+}
+
+// --- Voxel grid ---
+
+TEST(VoxelGridTest, GroupsPointsByVoxel) {
+  VoxelGridConfig cfg;
+  cfg.min_bound = {0, 0, 0};
+  cfg.max_bound = {10, 10, 10};
+  cfg.voxel_size = {1, 1, 1};
+  PointCloud c;
+  c.Add({0.5, 0.5, 0.5}, 0.0f);
+  c.Add({0.6, 0.4, 0.5}, 0.0f);  // same voxel
+  c.Add({5.5, 5.5, 5.5}, 0.0f);  // different voxel
+  const VoxelGrid grid(c, cfg);
+  EXPECT_EQ(grid.voxels().size(), 2u);
+  EXPECT_EQ(grid.voxels()[0].point_indices.size(), 2u);
+}
+
+TEST(VoxelGridTest, OutOfBoundsPointsIgnored) {
+  VoxelGridConfig cfg;
+  cfg.min_bound = {0, 0, 0};
+  cfg.max_bound = {1, 1, 1};
+  cfg.voxel_size = {1, 1, 1};
+  PointCloud c;
+  c.Add({-5, 0.5, 0.5}, 0.0f);
+  c.Add({0.5, 0.5, 0.5}, 0.0f);
+  EXPECT_EQ(VoxelGrid(c, cfg).voxels().size(), 1u);
+}
+
+TEST(VoxelGridTest, MaxPointsPerVoxelCap) {
+  VoxelGridConfig cfg;
+  cfg.min_bound = {0, 0, 0};
+  cfg.max_bound = {1, 1, 1};
+  cfg.voxel_size = {1, 1, 1};
+  cfg.max_points_per_voxel = 3;
+  PointCloud c;
+  for (int i = 0; i < 10; ++i) c.Add({0.5, 0.5, 0.5}, 0.0f);
+  EXPECT_EQ(VoxelGrid(c, cfg).voxels()[0].point_indices.size(), 3u);
+}
+
+TEST(VoxelGridTest, GridShapeCeils) {
+  VoxelGridConfig cfg;
+  cfg.min_bound = {0, 0, 0};
+  cfg.max_bound = {10, 4.5, 3};
+  cfg.voxel_size = {2, 2, 2};
+  const VoxelGrid grid(PointCloud{}, cfg);
+  const auto shape = grid.GridShape();
+  EXPECT_EQ(shape.x, 5);
+  EXPECT_EQ(shape.y, 3);
+  EXPECT_EQ(shape.z, 2);
+}
+
+TEST(VoxelGridTest, VoxelCenterGeometry) {
+  VoxelGridConfig cfg;
+  cfg.min_bound = {0, 0, 0};
+  cfg.max_bound = {10, 10, 10};
+  cfg.voxel_size = {2, 2, 2};
+  const VoxelGrid grid(PointCloud{}, cfg);
+  const auto c = grid.VoxelCenter({1, 0, 2});
+  EXPECT_DOUBLE_EQ(c.x, 3.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+  EXPECT_DOUBLE_EQ(c.z, 5.0);
+}
+
+TEST(VoxelGridTest, FindLocatesVoxelOfPoint) {
+  VoxelGridConfig cfg;
+  cfg.min_bound = {0, 0, 0};
+  cfg.max_bound = {10, 10, 10};
+  cfg.voxel_size = {1, 1, 1};
+  PointCloud c;
+  c.Add({2.5, 3.5, 4.5}, 0.0f);
+  const VoxelGrid grid(c, cfg);
+  ASSERT_NE(grid.Find({2.7, 3.2, 4.9}), nullptr);
+  EXPECT_EQ(grid.Find({9.5, 9.5, 9.5}), nullptr);
+  EXPECT_EQ(grid.Find({-1, 0, 0}), nullptr);
+}
+
+TEST(VoxelGridTest, OccupancyFractionSane) {
+  VoxelGridConfig cfg;
+  cfg.min_bound = {0, 0, 0};
+  cfg.max_bound = {10, 10, 10};
+  cfg.voxel_size = {1, 1, 1};
+  PointCloud c;
+  c.Add({0.5, 0.5, 0.5}, 0.0f);
+  EXPECT_NEAR(VoxelGrid(c, cfg).Occupancy(), 1.0 / 1000.0, 1e-12);
+}
+
+TEST(VoxelGridTest, DownsampleAveragesVoxelPoints) {
+  VoxelGridConfig cfg;
+  cfg.min_bound = {0, 0, 0};
+  cfg.max_bound = {10, 10, 10};
+  cfg.voxel_size = {1, 1, 1};
+  PointCloud c;
+  c.Add({0.25, 0.5, 0.5}, 0.2f);
+  c.Add({0.75, 0.5, 0.5}, 0.4f);
+  const PointCloud down = VoxelGrid(c, cfg).Downsample(c);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_NEAR(down[0].position.x, 0.5, 1e-12);
+  EXPECT_NEAR(down[0].reflectance, 0.3f, 1e-6);
+}
+
+// --- Spherical projection ---
+
+SphericalProjectionConfig SmallProjection() {
+  SphericalProjectionConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 90;
+  cfg.fov_up_deg = 15.0;
+  cfg.fov_down_deg = -15.0;
+  return cfg;
+}
+
+TEST(RangeImageTest, ProjectsPointToExpectedPixel) {
+  RangeImage img(SmallProjection());
+  PointCloud c;
+  c.Add({10, 0, 0}, 0.5f);  // azimuth 0, elevation 0 -> middle of the image
+  img.Project(c);
+  int valid = 0;
+  for (int r = 0; r < img.rows(); ++r) {
+    for (int col = 0; col < img.cols(); ++col) {
+      if (img.At(r, col).valid) {
+        ++valid;
+        EXPECT_NEAR(img.At(r, col).range, 10.0f, 1e-4);
+        EXPECT_EQ(col, img.cols() / 2);  // azimuth 0 in [-180, 180)
+        EXPECT_EQ(r, img.rows() / 2);    // elevation 0 at mid FOV
+      }
+    }
+  }
+  EXPECT_EQ(valid, 1);
+}
+
+TEST(RangeImageTest, KeepsNearestPerPixel) {
+  RangeImage img(SmallProjection());
+  PointCloud c;
+  c.Add({10, 0, 0}, 0.1f);
+  c.Add({5, 0, 0}, 0.9f);  // same direction, nearer
+  img.Project(c);
+  EXPECT_NEAR(img.At(img.rows() / 2, img.cols() / 2).range, 5.0f, 1e-4);
+  EXPECT_FLOAT_EQ(img.At(img.rows() / 2, img.cols() / 2).reflectance, 0.9f);
+}
+
+TEST(RangeImageTest, OutOfFovIgnored) {
+  RangeImage img(SmallProjection());
+  PointCloud c;
+  c.Add({1, 0, 10}, 0.0f);  // elevation ~84 deg, outside +-15
+  img.Project(c);
+  EXPECT_DOUBLE_EQ(img.Fill(), 0.0);
+}
+
+TEST(RangeImageTest, BackProjectionPreservesValidPoints) {
+  Rng rng(5);
+  RangeImage img(SmallProjection());
+  PointCloud c;
+  for (int i = 0; i < 500; ++i) {
+    const double az = rng.Uniform(-3.1, 3.1);
+    const double el = rng.Uniform(-0.25, 0.25);
+    const double r = rng.Uniform(2.0, 50.0);
+    c.Add({r * std::cos(el) * std::cos(az), r * std::cos(el) * std::sin(az),
+           r * std::sin(el)},
+          0.5f);
+  }
+  img.Project(c);
+  const PointCloud back = img.ToPointCloud();
+  // One point per valid pixel, each exactly equal to some input point.
+  std::size_t valid = 0;
+  for (int r = 0; r < img.rows(); ++r)
+    for (int col = 0; col < img.cols(); ++col) valid += img.At(r, col).valid;
+  EXPECT_EQ(back.size(), valid);
+  EXPECT_GT(back.size(), 100u);
+}
+
+TEST(RangeImageTest, DensifyFillsSupportedHoles) {
+  RangeImage img(SmallProjection());
+  // Fill a full block except one centre pixel by hand.
+  for (int r = 5; r <= 9; ++r) {
+    for (int c = 20; c <= 24; ++c) {
+      if (r == 7 && c == 22) continue;
+      auto& px = img.At(r, c);
+      px.valid = true;
+      px.range = 10.0f;
+      px.x = 10.0f;
+    }
+  }
+  EXPECT_FALSE(img.At(7, 22).valid);
+  img.Densify(1);
+  EXPECT_TRUE(img.At(7, 22).valid);
+  EXPECT_NEAR(img.At(7, 22).range, 10.0f, 1e-5);
+}
+
+TEST(RangeImageTest, DensifyLeavesUnsupportedHoles) {
+  RangeImage img(SmallProjection());
+  auto& px = img.At(3, 3);  // a single isolated valid pixel
+  px.valid = true;
+  px.range = 5.0f;
+  img.Densify(2);
+  // Neighbours have at most one valid neighbour each -> not filled.
+  EXPECT_FALSE(img.At(3, 4).valid);
+  EXPECT_FALSE(img.At(2, 3).valid);
+}
+
+TEST(DecimateBeamsTest, ReducesDensityByFactor) {
+  Rng rng(6);
+  SphericalProjectionConfig cfg;
+  cfg.rows = 64;
+  cfg.cols = 512;
+  cfg.fov_up_deg = 2.0;
+  cfg.fov_down_deg = -24.8;
+  PointCloud c;
+  for (int i = 0; i < 20000; ++i) {
+    const double az = rng.Uniform(-3.1, 3.1);
+    const double el = rng.Uniform(geom::DegToRad(-24.0), geom::DegToRad(1.5));
+    const double r = rng.Uniform(2.0, 60.0);
+    c.Add({r * std::cos(el) * std::cos(az), r * std::cos(el) * std::sin(az),
+           r * std::sin(el)},
+          0.5f);
+  }
+  const PointCloud thin = DecimateBeams(c, 4, cfg);
+  const double ratio = static_cast<double>(thin.size()) / c.size();
+  EXPECT_NEAR(ratio, 0.25, 0.05);  // keeps every 4th beam row
+  EXPECT_EQ(DecimateBeams(c, 1, cfg).size(), c.size());
+}
+
+// --- KITTI I/O ---
+
+TEST(IoTest, BytesRoundTrip) {
+  Rng rng(7);
+  const PointCloud c = RandomCloud(257, rng);
+  const auto bytes = ToKittiBytes(c);
+  EXPECT_EQ(bytes.size(), 257u * 16u);
+  const auto back = FromKittiBytes(bytes);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(back.value()[i].position.x, c[i].position.x, 1e-4);
+    EXPECT_FLOAT_EQ(back.value()[i].reflectance, c[i].reflectance);
+  }
+}
+
+TEST(IoTest, TruncatedBytesRejected) {
+  std::vector<std::uint8_t> bytes(15, 0);
+  EXPECT_EQ(FromKittiBytes(bytes).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(IoTest, FileRoundTrip) {
+  Rng rng(8);
+  const PointCloud c = RandomCloud(100, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cooper_io_test.bin").string();
+  ASSERT_TRUE(WriteKittiBin(path, c).ok());
+  const auto back = ReadKittiBin(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 100u);
+  std::filesystem::remove(path);
+}
+
+TEST(IoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadKittiBin("/nonexistent/nope.bin").status().code(),
+            StatusCode::kNotFound);
+}
+
+// --- Codec ---
+
+class CodecResolutionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CodecResolutionTest, RoundTripWithinResolution) {
+  const double res = GetParam();
+  Rng rng(9);
+  const PointCloud c = RandomCloud(500, rng);
+  const CloudCodec codec(CodecConfig{res, true});
+  const auto back = CloudCodec::Decode(codec.Encode(c));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(back.value()[i].position.x, c[i].position.x, res * 0.51);
+    EXPECT_NEAR(back.value()[i].position.y, c[i].position.y, res * 0.51);
+    EXPECT_NEAR(back.value()[i].position.z, c[i].position.z, res * 0.51);
+    EXPECT_NEAR(back.value()[i].reflectance, c[i].reflectance, 1.0 / 255.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, CodecResolutionTest,
+                         ::testing::Values(0.001, 0.01, 0.05, 0.1));
+
+TEST(CodecTest, NonDeltaModeRoundTrips) {
+  Rng rng(10);
+  const PointCloud c = RandomCloud(200, rng);
+  const CloudCodec codec(CodecConfig{0.01, false});
+  const auto back = CloudCodec::Decode(codec.Encode(c));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 200u);
+}
+
+TEST(CodecTest, EmptyCloudRoundTrips) {
+  const CloudCodec codec;
+  const auto back = CloudCodec::Decode(codec.Encode(PointCloud{}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(CodecTest, CompressesVsRawLayout) {
+  // Scan-ordered points delta-encode well; expect at least ~2x over the raw
+  // 16-byte layout.
+  PointCloud c;
+  for (int i = 0; i < 5000; ++i) {
+    const double az = 0.002 * i;
+    c.Add({20 * std::cos(az), 20 * std::sin(az), -1.5}, 0.3f);
+  }
+  EXPECT_GT(CompressionRatio(c), 2.0);
+}
+
+TEST(CodecTest, BadMagicRejected) {
+  std::vector<std::uint8_t> bytes{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(CloudCodec::Decode(bytes).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CodecTest, TruncationRejectedAtEveryPrefix) {
+  Rng rng(11);
+  const PointCloud c = RandomCloud(20, rng);
+  const auto bytes = CloudCodec().Encode(c);
+  // Every strict prefix must fail cleanly (never crash, never succeed).
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 7) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(CloudCodec::Decode(prefix).ok()) << "prefix " << cut;
+  }
+}
+
+TEST(CodecTest, EncodedSizeMatchesEncode) {
+  Rng rng(12);
+  const PointCloud c = RandomCloud(321, rng);
+  const CloudCodec codec;
+  EXPECT_EQ(codec.EncodedSize(c), codec.Encode(c).size());
+}
+
+}  // namespace
+}  // namespace cooper::pc

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "eval/experiment.h"
+#include "eval/matching.h"
+#include "sim/lidar.h"
+#include "sim/scenario.h"
+
+namespace cooper::core {
+namespace {
+
+CooperConfig TestConfig() {
+  sim::LidarConfig lidar = sim::Vlp16Config();
+  lidar.azimuth_steps = 900;
+  return eval::MakeCooperConfig(lidar);
+}
+
+ExchangePackage TinyPackage(std::uint32_t sender, double timestamp) {
+  pc::PointCloud cloud;
+  cloud.Add({5, 0, 0}, 0.5f);
+  cloud.Add({5.1, 0, 0.4}, 0.5f);
+  const pc::CloudCodec codec;
+  return BuildPackage(sender, timestamp, RoiCategory::kFullFrame,
+                      NavMetadata{{0, 0, 0}, {0, 0, 0}, {0, 0, 1.9}}, cloud,
+                      codec);
+}
+
+TEST(SessionTest, AcceptsFreshPackages) {
+  CooperativeSession session(TestConfig());
+  EXPECT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.1).ok());
+  EXPECT_TRUE(session.ReceivePackage(TinyPackage(2, 10.0), 10.1).ok());
+  EXPECT_EQ(session.num_cooperators(), 2u);
+  EXPECT_EQ(session.Cooperators(), (std::vector<std::uint32_t>{1, 2}));
+}
+
+TEST(SessionTest, NewerFrameReplacesOlder) {
+  CooperativeSession session(TestConfig());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 11.0), 11.0).ok());
+  EXPECT_EQ(session.num_cooperators(), 1u);
+  EXPECT_EQ(session.stats().packages_replaced, 1u);
+}
+
+TEST(SessionTest, RegressingTimestampRejected) {
+  CooperativeSession session(TestConfig());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 11.0), 11.0).ok());
+  const Status s = session.ReceivePackage(TinyPackage(1, 10.0), 11.0);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionTest, StaleOnArrivalRejected) {
+  CooperativeSession session(TestConfig());
+  const Status s = session.ReceivePackage(TinyPackage(1, 10.0), 20.0);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.num_cooperators(), 0u);
+}
+
+TEST(SessionTest, CooperatorCapEnforced) {
+  SessionConfig sc;
+  sc.max_cooperators = 2;
+  CooperativeSession session(TestConfig(), sc);
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(2, 10.0), 10.0).ok());
+  EXPECT_EQ(session.ReceivePackage(TinyPackage(3, 10.0), 10.0).code(),
+            StatusCode::kResourceExhausted);
+  // Replacing a held sender still works at the cap.
+  EXPECT_TRUE(session.ReceivePackage(TinyPackage(2, 10.5), 10.5).ok());
+}
+
+TEST(SessionTest, PackagesExpireOverTime) {
+  CooperativeSession session(TestConfig());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(2, 12.0), 12.0).ok());
+  // At t = 13, sender 1's frame (age 3 s) is stale, sender 2's is fresh.
+  pc::PointCloud local;
+  local.Add({3, 0, 0}, 0.5f);
+  session.DetectCooperative(local, NavMetadata{{0, 0, 0}, {0, 0, 0}, {0, 0, 1.9}},
+                            13.0);
+  EXPECT_EQ(session.num_cooperators(), 1u);
+  EXPECT_EQ(session.stats().packages_expired, 1u);
+}
+
+TEST(SessionTest, MoreCooperatorsNeverDetectFewer) {
+  // Three vehicles in the dense lot: each added cooperator's points can only
+  // add evidence.
+  const auto scenario = sim::MakeTjScenario(2);
+  const auto cfg = eval::MakeCooperConfig(scenario.lidar);
+  const sim::LidarSimulator lidar(scenario.lidar);
+  Rng rng(5);
+
+  std::vector<pc::PointCloud> clouds;
+  std::vector<NavMetadata> navs;
+  const geom::Vec3 mount{0, 0, scenario.lidar.sensor_height};
+  for (const auto& vp : scenario.viewpoints) {
+    clouds.push_back(lidar.Scan(scenario.scene, vp.ToPose(), rng));
+    navs.push_back(NavMetadata{vp.position, vp.attitude, mount});
+  }
+
+  // GT boxes in viewpoint 0's sensor frame.
+  const geom::Pose sensor0 =
+      scenario.viewpoints[0].ToPose() * geom::Pose(geom::Mat3::Identity(), mount);
+  std::vector<geom::Box3> gt;
+  for (const auto& obj : scenario.scene.objects()) {
+    if (obj.cls == sim::ObjectClass::kCar) {
+      gt.push_back(obj.box.Transformed(sensor0.Inverse()));
+    }
+  }
+  auto matched_count = [&](const spod::SpodResult& result) {
+    std::vector<spod::Detection> confident;
+    for (const auto& d : result.detections) {
+      if (d.score >= eval::kScoreThreshold) confident.push_back(d);
+    }
+    int n = 0;
+    for (const auto& m : eval::MatchDetections(confident, gt)) n += m.matched;
+    return n;
+  };
+
+  CooperativeSession session(cfg);
+  const int alone = matched_count(session.DetectSingleShot(clouds[0]));
+  int prev = alone;
+  for (std::size_t k = 1; k < scenario.viewpoints.size(); ++k) {
+    ASSERT_TRUE(session
+                    .ReceivePackage(session.pipeline().MakePackage(
+                                        static_cast<std::uint32_t>(k), 0.0,
+                                        RoiCategory::kFullFrame, navs[k],
+                                        clouds[k]),
+                                    0.0)
+                    .ok());
+    const int with_k = matched_count(
+        session.DetectCooperative(clouds[0], navs[0], 0.0).fused);
+    EXPECT_GE(with_k, prev - 1) << "cooperators: " << k;  // allow 1 flake
+    prev = std::max(prev, with_k);
+  }
+  EXPECT_GT(prev, alone);
+}
+
+TEST(SessionTest, CorruptCooperatorSkippedNotFatal) {
+  CooperativeSession session(TestConfig());
+  ExchangePackage bad = TinyPackage(1, 10.0);
+  bad.payload = {0xff, 0xee, 0xdd};
+  ASSERT_TRUE(session.ReceivePackage(bad, 10.0).ok());  // accepted at face value
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(2, 10.0), 10.0).ok());
+  pc::PointCloud local;
+  local.Add({3, 0, 0}, 0.5f);
+  const auto out = session.DetectCooperative(
+      local, NavMetadata{{0, 0, 0}, {0, 0, 0}, {0, 0, 1.9}}, 10.0);
+  // Only the healthy cooperator's 2 points arrive.
+  EXPECT_EQ(out.transmitter_points, 2u);
+}
+
+}  // namespace
+}  // namespace cooper::core

@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/lidar.h"
+#include "sim/scenario.h"
+#include "sim/scene.h"
+#include "sim/sensors.h"
+
+namespace cooper::sim {
+namespace {
+
+// --- Ray-box intersection ---
+
+TEST(RayBoxTest, HeadOnHitDistance) {
+  const geom::Box3 box{{10, 0, 0}, 2, 2, 2, 0};
+  const auto t = RayBoxIntersect({0, 0, 0}, {1, 0, 0}, box, 0.0, 100.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 9.0, 1e-9);
+}
+
+TEST(RayBoxTest, MissesOffsetBox) {
+  const geom::Box3 box{{10, 5, 0}, 2, 2, 2, 0};
+  EXPECT_FALSE(RayBoxIntersect({0, 0, 0}, {1, 0, 0}, box, 0.0, 100.0));
+}
+
+TEST(RayBoxTest, RespectsTminTmax) {
+  const geom::Box3 box{{10, 0, 0}, 2, 2, 2, 0};
+  EXPECT_FALSE(RayBoxIntersect({0, 0, 0}, {1, 0, 0}, box, 0.0, 5.0));
+  EXPECT_FALSE(RayBoxIntersect({0, 0, 0}, {1, 0, 0}, box, 20.0, 100.0));
+}
+
+TEST(RayBoxTest, RotatedBoxHit) {
+  // A 45-degree rotated long box straddling the x-axis.
+  const geom::Box3 box{{10, 0, 0}, 6, 1, 2, geom::DegToRad(45)};
+  const auto t = RayBoxIntersect({0, 0, 0}, {1, 0, 0}, box, 0.0, 100.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GT(*t, 8.0);
+  EXPECT_LT(*t, 10.0);
+}
+
+TEST(RayBoxTest, RayStartingInsideReturnsClampedEntry) {
+  const geom::Box3 box{{0, 0, 0}, 4, 4, 4, 0};
+  const auto t = RayBoxIntersect({0, 0, 0}, {1, 0, 0}, box, 0.5, 100.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.5, 1e-9);  // clamped to t_min while inside
+}
+
+TEST(RayBoxTest, ParallelRayOutsideSlabMisses) {
+  const geom::Box3 box{{10, 0, 0}, 2, 2, 2, 0};
+  EXPECT_FALSE(RayBoxIntersect({0, 5, 0}, {1, 0, 0}, box, 0.0, 100.0));
+}
+
+// --- Scene casting ---
+
+TEST(SceneTest, NearestObjectWins) {
+  Scene scene;
+  scene.AddObject(ObjectClass::kCar, geom::Box3{{20, 0, 1}, 2, 2, 2, 0});
+  const int near_id =
+      scene.AddObject(ObjectClass::kCar, geom::Box3{{10, 0, 1}, 2, 2, 2, 0});
+  const auto hit = scene.CastRay({0, 0, 1}, {1, 0, 0}, 0.1, 100.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->object_id, near_id);
+  EXPECT_NEAR(hit->t, 9.0, 1e-9);
+}
+
+TEST(SceneTest, GroundPlaneReturnsWhenNothingElse) {
+  Scene scene;
+  const auto hit = scene.CastRay({0, 0, 2}, {std::sqrt(0.5), 0, -std::sqrt(0.5)},
+                                 0.1, 100.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->object_id, -1);
+  EXPECT_NEAR(hit->point.z, 0.0, 1e-9);
+}
+
+TEST(SceneTest, UpwardRayHitsNothing) {
+  Scene scene;
+  EXPECT_FALSE(scene.CastRay({0, 0, 2}, {0, 0, 1}, 0.1, 100.0));
+}
+
+TEST(SceneTest, ObjectOccludesGround) {
+  Scene scene;
+  const int id = scene.AddObject(ObjectClass::kWall,
+                                 MakeWallBox({5, 0, 0}, 90.0, 10.0, 3.0));
+  const auto hit = scene.CastRay({0, 0, 1.5}, {std::cos(-0.05), 0, std::sin(-0.05)},
+                                 0.1, 100.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->object_id, id);
+}
+
+TEST(SceneTest, TargetsFilterOccluders) {
+  Scene scene;
+  scene.AddObject(ObjectClass::kCar, MakeCarBox({5, 0, 0}, 0));
+  scene.AddObject(ObjectClass::kWall, MakeWallBox({9, 0, 0}, 0, 5));
+  scene.AddObject(ObjectClass::kBuilding, geom::Box3{{20, 0, 4}, 8, 8, 8, 0});
+  scene.AddObject(ObjectClass::kPedestrian, MakePedestrianBox({3, 3, 0}));
+  EXPECT_EQ(scene.Targets().size(), 2u);  // car + pedestrian
+}
+
+TEST(SceneTest, FindObjectById) {
+  Scene scene;
+  const int id = scene.AddObject(ObjectClass::kCar, MakeCarBox({5, 0, 0}, 0));
+  ASSERT_NE(scene.FindObject(id), nullptr);
+  EXPECT_EQ(scene.FindObject(id)->cls, ObjectClass::kCar);
+  EXPECT_EQ(scene.FindObject(id + 999), nullptr);
+}
+
+TEST(SceneTest, ObjectClassNames) {
+  EXPECT_STREQ(ObjectClassName(ObjectClass::kCar), "car");
+  EXPECT_STREQ(ObjectClassName(ObjectClass::kWall), "wall");
+  EXPECT_TRUE(IsTargetClass(ObjectClass::kCyclist));
+  EXPECT_FALSE(IsTargetClass(ObjectClass::kBuilding));
+}
+
+TEST(SceneTest, StandardBoxDimensions) {
+  const auto car = MakeCarBox({0, 0, 0}, 0);
+  EXPECT_NEAR(car.length, 4.5, 1e-9);
+  EXPECT_NEAR(car.center.z, 0.75, 1e-9);  // sits on the ground
+  const auto ped = MakePedestrianBox({0, 0, 0});
+  EXPECT_NEAR(ped.height, 1.8, 1e-9);
+}
+
+// --- LiDAR simulator ---
+
+LidarConfig FastLidar(int beams) {
+  LidarConfig c = beams >= 32 ? Hdl64Config() : Vlp16Config();
+  c.azimuth_steps = 360;  // keep tests fast
+  c.range_noise_stddev = 0.0;
+  c.dropout_prob = 0.0;
+  return c;
+}
+
+// World box expressed in the sensor frame of a vehicle at `pose` (the scan's
+// frame): shift by the sensor mount height.
+geom::Box3 InSensorFrame(const geom::Box3& box, const LidarConfig& cfg) {
+  geom::Box3 b = box;
+  b.center.z -= cfg.sensor_height;
+  return b;
+}
+
+TEST(LidarTest, ScanReturnsPointsOnCar) {
+  Scene scene;
+  const auto box = MakeCarBox({10, 0, 0}, 0);
+  scene.AddObject(ObjectClass::kCar, box);
+  Rng rng(1);
+  const LidarConfig cfg = FastLidar(64);
+  const LidarSimulator lidar(cfg);
+  const auto cloud = lidar.Scan(scene, geom::Pose::Identity(), rng);
+  EXPECT_GT(cloud.CountInBox(InSensorFrame(box, cfg).Expanded(0.1)), 50u);
+}
+
+TEST(LidarTest, CloudIsInSensorFrame) {
+  Scene scene;  // flat ground only
+  Rng rng(2);
+  LidarConfig cfg = FastLidar(64);
+  const LidarSimulator lidar(cfg);
+  // Vehicle far from the origin; sensor-frame points must still be near 0.
+  const auto pose = geom::Pose::FromGpsImu({500, -300, 0}, {1.0, 0, 0});
+  const auto cloud = lidar.Scan(scene, pose, rng);
+  ASSERT_GT(cloud.size(), 100u);
+  for (const auto& p : cloud) {
+    EXPECT_LT(p.position.NormXY(), cfg.max_range + 1.0);
+    // Ground points sit ~sensor_height below the sensor.
+    EXPECT_NEAR(p.position.z, -cfg.sensor_height, 0.2);
+  }
+}
+
+TEST(LidarTest, OcclusionCreatesShadow) {
+  Scene scene;
+  scene.AddObject(ObjectClass::kWall, MakeWallBox({8, 0, 0}, 90.0, 12.0, 3.0));
+  const auto hidden = MakeCarBox({15, 0, 0}, 0);
+  scene.AddObject(ObjectClass::kCar, hidden);
+  Rng rng(3);
+  const LidarConfig cfg = FastLidar(64);
+  const auto cloud = LidarSimulator(cfg).Scan(scene, geom::Pose::Identity(), rng);
+  EXPECT_EQ(cloud.CountInBox(InSensorFrame(hidden, cfg).Expanded(0.05)), 0u);
+}
+
+TEST(LidarTest, SixteenBeamIsSparserThanSixtyFour) {
+  Scene scene;
+  const auto box = MakeCarBox({12, 2, 0}, 25.0);
+  scene.AddObject(ObjectClass::kCar, box);
+  Rng rng(4);
+  const LidarConfig cfg64 = FastLidar(64), cfg16 = FastLidar(16);
+  const auto c64 = LidarSimulator(cfg64).Scan(scene, geom::Pose::Identity(), rng);
+  const auto c16 = LidarSimulator(cfg16).Scan(scene, geom::Pose::Identity(), rng);
+  const auto on64 = c64.CountInBox(InSensorFrame(box, cfg64).Expanded(0.1));
+  const auto on16 = c16.CountInBox(InSensorFrame(box, cfg16).Expanded(0.1));
+  EXPECT_GT(on64, on16 * 2);  // denser vertical sampling on the same target
+}
+
+TEST(LidarTest, DropoutReducesReturns) {
+  Scene scene;
+  Rng rng1(5), rng2(5);
+  LidarConfig clean = FastLidar(16);
+  LidarConfig lossy = clean;
+  lossy.dropout_prob = 0.5;
+  const auto full = LidarSimulator(clean).Scan(scene, geom::Pose::Identity(), rng1);
+  const auto half = LidarSimulator(lossy).Scan(scene, geom::Pose::Identity(), rng2);
+  EXPECT_NEAR(static_cast<double>(half.size()) / full.size(), 0.5, 0.05);
+}
+
+TEST(LidarTest, RangeNoisePerturbsGently) {
+  Scene scene;
+  scene.AddObject(ObjectClass::kWall, MakeWallBox({20, 0, 0}, 90.0, 40.0, 4.0));
+  LidarConfig noisy = FastLidar(64);
+  noisy.range_noise_stddev = 0.05;
+  Rng rng(6);
+  const auto cloud = LidarSimulator(noisy).Scan(scene, geom::Pose::Identity(), rng);
+  // Wall points should be near x = 19.85 (front face) +- noise.
+  std::size_t wallish = 0;
+  for (const auto& p : cloud) {
+    if (p.position.x > 15 && std::abs(p.position.y) < 15 && p.position.z > -1.0) {
+      ++wallish;
+      EXPECT_NEAR(p.position.x, 19.85, 0.5);
+    }
+  }
+  EXPECT_GT(wallish, 50u);
+}
+
+TEST(LidarTest, ExpectedPointsDecreasesWithRange) {
+  const LidarSimulator lidar(Hdl64Config());
+  EXPECT_GT(lidar.ExpectedPointsOnCar(10.0), lidar.ExpectedPointsOnCar(30.0));
+  EXPECT_GT(lidar.ExpectedPointsOnCar(30.0), lidar.ExpectedPointsOnCar(60.0));
+  EXPECT_EQ(lidar.ExpectedPointsOnCar(0.0), 0.0);
+}
+
+TEST(LidarTest, PresetConfigsMatchHardware) {
+  EXPECT_EQ(Hdl64Config().beams, 64);
+  EXPECT_EQ(Vlp16Config().beams, 16);
+  EXPECT_NEAR(Vlp16Config().fov_up_deg, 15.0, 1e-9);
+  EXPECT_NEAR(Hdl64Config().fov_down_deg, -24.8, 1e-9);
+}
+
+// --- GPS/IMU sensors ---
+
+TEST(SensorsTest, MeasurementNoiseIsCalibrated) {
+  const GpsImuModel model;
+  Rng rng(7);
+  double sq = 0.0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    const NavState s = model.Measure({10, 20, 0}, {0.5, 0, 0}, rng);
+    sq += (s.position - geom::Vec3{10, 20, 0}).SquaredNorm();
+  }
+  // 3 axes x (0.02)^2 each.
+  EXPECT_NEAR(sq / kN, 3 * 0.02 * 0.02, 2e-4);
+}
+
+TEST(SensorsTest, NavStateToPoseUsesGpsAndImu) {
+  NavState s;
+  s.position = {1, 2, 3};
+  s.attitude = {geom::DegToRad(90), 0, 0};
+  const geom::Pose p = s.ToPose();
+  const geom::Vec3 mapped = p * geom::Vec3{1, 0, 0};
+  EXPECT_NEAR(mapped.x, 1.0, 1e-9);
+  EXPECT_NEAR(mapped.y, 3.0, 1e-9);
+}
+
+TEST(SensorsTest, SkewMagnitudes) {
+  Rng rng(8);
+  NavState base;
+  base.position = {0, 0, 0};
+  for (int i = 0; i < 50; ++i) {
+    const auto both = ApplyGpsSkew(base, GpsSkewMode::kBothAxesMax, rng);
+    EXPECT_NEAR(std::abs(both.position.x), kMaxGpsDrift, 1e-12);
+    EXPECT_NEAR(std::abs(both.position.y), kMaxGpsDrift, 1e-12);
+
+    const auto one = ApplyGpsSkew(base, GpsSkewMode::kOneAxisMax, rng);
+    const double moved = std::abs(one.position.x) + std::abs(one.position.y);
+    EXPECT_NEAR(moved, kMaxGpsDrift, 1e-12);  // exactly one axis skewed
+
+    const auto dbl = ApplyGpsSkew(base, GpsSkewMode::kDoubleMax, rng);
+    EXPECT_NEAR(std::abs(dbl.position.x), 2 * kMaxGpsDrift, 1e-12);
+  }
+}
+
+TEST(SensorsTest, NoSkewIsIdentity) {
+  Rng rng(9);
+  NavState base;
+  base.position = {5, 6, 7};
+  const auto out = ApplyGpsSkew(base, GpsSkewMode::kNone, rng);
+  EXPECT_EQ(out.position, base.position);
+}
+
+TEST(SensorsTest, SkewModeNames) {
+  EXPECT_STREQ(GpsSkewModeName(GpsSkewMode::kNone), "baseline");
+  EXPECT_STREQ(GpsSkewModeName(GpsSkewMode::kDoubleMax), "double-max");
+}
+
+// --- Scenario library ---
+
+TEST(ScenarioTest, KittiScenariosMatchPaperDeltaD) {
+  // Fig. 3 annotations: 14.7, 13.3, 0, 48.1 metres.
+  const auto scenarios = AllKittiScenarios();
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_NEAR(CaseDeltaD(scenarios[0], scenarios[0].cases[0]), 14.7, 1e-6);
+  EXPECT_NEAR(CaseDeltaD(scenarios[1], scenarios[1].cases[0]), 13.3, 1e-6);
+  EXPECT_NEAR(CaseDeltaD(scenarios[2], scenarios[2].cases[0]), 0.0, 1e-6);
+  EXPECT_NEAR(CaseDeltaD(scenarios[3], scenarios[3].cases[0]), 48.1, 1.0);
+}
+
+TEST(ScenarioTest, KittiUsesDenseLidar) {
+  for (const auto& sc : AllKittiScenarios()) {
+    EXPECT_EQ(sc.lidar.beams, 64) << sc.name;
+  }
+}
+
+TEST(ScenarioTest, TjUsesSparseLidar) {
+  for (const auto& sc : AllTjScenarios()) {
+    EXPECT_EQ(sc.lidar.beams, 16) << sc.name;
+  }
+}
+
+TEST(ScenarioTest, TjCaseCountMatchesPaper) {
+  // 15 cooperative cases across the four T&J scenarios (3 + 4 + 4 + 4).
+  std::size_t cases = 0;
+  for (const auto& sc : AllTjScenarios()) cases += sc.cases.size();
+  EXPECT_EQ(cases, 15u);
+}
+
+TEST(ScenarioTest, NineteenScenariosTotal) {
+  // The paper evaluates 19 cooperative-perception cases in total.
+  std::size_t cases = 0;
+  for (const auto& sc : AllKittiScenarios()) cases += sc.cases.size();
+  for (const auto& sc : AllTjScenarios()) cases += sc.cases.size();
+  EXPECT_EQ(cases, 19u);
+}
+
+TEST(ScenarioTest, CasesReferenceValidViewpoints) {
+  auto all = AllKittiScenarios();
+  for (auto& sc : AllTjScenarios()) all.push_back(sc);
+  for (const auto& sc : all) {
+    EXPECT_FALSE(sc.viewpoints.empty()) << sc.name;
+    EXPECT_GE(sc.scene.Targets().size(), 5u) << sc.name;
+    for (const auto& cc : sc.cases) {
+      ASSERT_GE(cc.a, 0);
+      ASSERT_GE(cc.b, 0);
+      ASSERT_LT(static_cast<std::size_t>(cc.a), sc.viewpoints.size()) << sc.name;
+      ASSERT_LT(static_cast<std::size_t>(cc.b), sc.viewpoints.size()) << sc.name;
+      EXPECT_NE(cc.a, cc.b) << sc.name;
+    }
+  }
+}
+
+TEST(ScenarioTest, ScenariosAreDeterministic) {
+  const auto a = MakeTjScenario(2);
+  const auto b = MakeTjScenario(2);
+  ASSERT_EQ(a.scene.objects().size(), b.scene.objects().size());
+  for (std::size_t i = 0; i < a.scene.objects().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.scene.objects()[i].box.center.x,
+                     b.scene.objects()[i].box.center.x);
+  }
+}
+
+TEST(ScenarioTest, TjDistancesSpreadAcrossCases) {
+  // Fig. 6 samples fusion at increasing cooperator distances per scenario.
+  const auto sc = MakeTjScenario(1);
+  ASSERT_EQ(sc.cases.size(), 3u);
+  const double d0 = CaseDeltaD(sc, sc.cases[0]);
+  const double d1 = CaseDeltaD(sc, sc.cases[1]);
+  const double d2 = CaseDeltaD(sc, sc.cases[2]);
+  EXPECT_LT(d0, d1);
+  EXPECT_LT(d1, d2);
+}
+
+}  // namespace
+}  // namespace cooper::sim

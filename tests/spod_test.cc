@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/lidar.h"
+#include "sim/scene.h"
+#include "spod/clustering.h"
+#include "spod/confidence.h"
+#include "spod/detector.h"
+
+namespace cooper::spod {
+namespace {
+
+// --- Clustering ---
+
+pc::PointCloud GridPatch(double cx, double cy, double half, double step,
+                         double z = 0.5) {
+  pc::PointCloud cloud;
+  for (double x = cx - half; x <= cx + half; x += step) {
+    for (double y = cy - half; y <= cy + half; y += step) {
+      cloud.Add({x, y, z}, 0.5f);
+    }
+  }
+  return cloud;
+}
+
+TEST(ClusteringTest, SeparatedPatchesFormTwoClusters) {
+  pc::PointCloud cloud = GridPatch(0, 0, 1.0, 0.25);
+  cloud.Merge(GridPatch(10, 0, 1.0, 0.25));
+  const auto clusters = ClusterPoints(cloud, 0.9, 5);
+  ASSERT_EQ(clusters.size(), 2u);
+}
+
+TEST(ClusteringTest, NearbyPatchesMerge) {
+  pc::PointCloud cloud = GridPatch(0, 0, 1.0, 0.25);
+  cloud.Merge(GridPatch(2.5, 0, 1.0, 0.25));  // 0.5 m gap < radius
+  const auto clusters = ClusterPoints(cloud, 0.9, 5);
+  ASSERT_EQ(clusters.size(), 1u);
+}
+
+TEST(ClusteringTest, SmallClustersDiscarded) {
+  pc::PointCloud cloud;
+  cloud.Add({0, 0, 0}, 0.0f);
+  cloud.Add({0.1, 0, 0}, 0.0f);
+  cloud.Merge(GridPatch(20, 0, 1.0, 0.25));
+  const auto clusters = ClusterPoints(cloud, 0.9, 5);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_GT(clusters[0].points.size(), 5u);
+}
+
+TEST(ClusteringTest, EmptyCloudYieldsNoClusters) {
+  EXPECT_TRUE(ClusterPoints(pc::PointCloud{}, 0.9, 5).empty());
+}
+
+TEST(ClusteringTest, DeterministicOrder) {
+  pc::PointCloud cloud = GridPatch(5, 5, 1.0, 0.3);
+  cloud.Merge(GridPatch(-5, -5, 1.0, 0.3));
+  const auto a = ClusterPoints(cloud, 0.9, 5);
+  const auto b = ClusterPoints(cloud, 0.9, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].points.size(), b[i].points.size());
+  }
+}
+
+TEST(ClusteringTest, ZDoesNotSplitClusters) {
+  // BEV clustering: a tall object is one cluster.
+  pc::PointCloud cloud;
+  for (double z = 0.0; z < 2.0; z += 0.1) {
+    cloud.Add({0, 0, z}, 0.5f);
+    cloud.Add({0.3, 0.0, z}, 0.5f);
+  }
+  EXPECT_EQ(ClusterPoints(cloud, 0.9, 5).size(), 1u);
+}
+
+// --- Box fitting ---
+
+class BoxFitYawTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoxFitYawTest, RecoversOrientedRectangle) {
+  const double yaw = geom::DegToRad(GetParam());
+  pc::PointCloud cloud;
+  // Dense rectangle outline 4 x 1.6, rotated by yaw.
+  for (double lx = -2.0; lx <= 2.0; lx += 0.1) {
+    for (double ly : {-0.8, 0.8}) {
+      cloud.Add({lx * std::cos(yaw) - ly * std::sin(yaw),
+                 lx * std::sin(yaw) + ly * std::cos(yaw), 0.7},
+                0.5f);
+    }
+  }
+  for (double ly = -0.8; ly <= 0.8; ly += 0.1) {
+    for (double lx : {-2.0, 2.0}) {
+      cloud.Add({lx * std::cos(yaw) - ly * std::sin(yaw),
+                 lx * std::sin(yaw) + ly * std::cos(yaw), 0.7},
+                0.5f);
+    }
+  }
+  const geom::Box3 box = FitOrientedBox(cloud);
+  EXPECT_NEAR(box.length, 4.0, 0.15);
+  EXPECT_NEAR(box.width, 1.6, 0.15);
+  // Yaw is recovered modulo 180 degrees (box symmetry).
+  const double err = std::abs(geom::WrapAngle(box.yaw - yaw));
+  EXPECT_LT(std::min(err, 3.14159265 - err), geom::DegToRad(4.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(YawSweep, BoxFitYawTest,
+                         ::testing::Values(0.0, 15.0, 30.0, 45.0, 60.0, 85.0,
+                                           120.0, 170.0));
+
+TEST(BoxFitTest, HeightFromZExtent) {
+  pc::PointCloud cloud;
+  for (int i = 0; i <= 12; ++i) cloud.Add({0, 0, 0.2 + 0.1 * i}, 0.5f);
+  cloud.Add({1, 0, 0.2}, 0.5f);
+  cloud.Add({0, 1, 0.2}, 0.5f);
+  const geom::Box3 box = FitOrientedBox(cloud);
+  EXPECT_NEAR(box.height, 1.2, 1e-6);
+  EXPECT_NEAR(box.center.z, 0.8, 1e-6);
+}
+
+TEST(BoxFitTest, LengthIsAlwaysMajorAxis) {
+  pc::PointCloud cloud = GridPatch(0, 0, 0.5, 0.1);
+  for (double y = -3; y <= 3; y += 0.1) cloud.Add({0, y, 0.5}, 0.5f);
+  const geom::Box3 box = FitOrientedBox(cloud);
+  EXPECT_GE(box.length, box.width);
+}
+
+// --- Confidence model ---
+
+SensorResolution DenseSensor() {
+  return MakeSensorResolution(64, 2.0, -24.8, 1024);
+}
+SensorResolution SparseSensor() {
+  return MakeSensorResolution(16, 15.0, -15.0, 1800);
+}
+
+TEST(ConfidenceTest, ExpectedPointsDecreaseWithRange) {
+  const auto s = DenseSensor();
+  EXPECT_GT(ExpectedPointsOnCar(10, s), ExpectedPointsOnCar(20, s));
+  EXPECT_GT(ExpectedPointsOnCar(20, s), ExpectedPointsOnCar(40, s));
+  EXPECT_EQ(ExpectedPointsOnCar(0, s), 0.0);
+}
+
+TEST(ConfidenceTest, DenseSensorExpectsMorePoints) {
+  // HDL-64's elevation resolution is ~4.7x finer; the VLP-16 preset has a
+  // finer azimuth step, so the net expectation gap is ~2.7x.
+  EXPECT_GT(ExpectedPointsOnCar(20, DenseSensor()),
+            2.0 * ExpectedPointsOnCar(20, SparseSensor()));
+}
+
+TEST(ConfidenceTest, ProjectedWidthOrientationDependence) {
+  geom::Box3 side{{20, 0, 0}, 4.5, 1.8, 1.5, geom::DegToRad(90)};
+  geom::Box3 nose{{20, 0, 0}, 4.5, 1.8, 1.5, 0.0};
+  EXPECT_GT(ProjectedSilhouetteWidth(side), 4.0);   // broadside
+  EXPECT_LT(ProjectedSilhouetteWidth(nose), 2.0);   // end-on
+}
+
+pc::PointCloud CarCluster(double range, int n) {
+  pc::PointCloud cloud;
+  Rng rng(42);
+  for (int i = 0; i < n; ++i) {
+    cloud.Add({range + rng.Uniform(-0.2, 0.2), rng.Uniform(-2.2, 2.2),
+               rng.Uniform(0.1, 1.4)},
+              0.5f);
+  }
+  return cloud;
+}
+
+TEST(ConfidenceTest, MorePointsNeverLowerScore) {
+  const auto sensor = SparseSensor();
+  const geom::Box3 box{{20, 0, 0.75}, 4.5, 1.8, 1.5, geom::DegToRad(90)};
+  double prev = 0.0;
+  for (const int n : {5, 10, 20, 40, 80, 160}) {
+    const auto f = ComputeEvidence(CarCluster(20, n), box.Expanded(0.3), sensor);
+    const double s = ScoreFromEvidence(f);
+    EXPECT_GE(s + 1e-9, prev) << "n=" << n;
+    prev = s;
+  }
+}
+
+TEST(ConfidenceTest, FullyVisibleCarScoresHigh) {
+  const auto sensor = DenseSensor();
+  const geom::Box3 box{{15, 0, 0.75}, 4.5, 1.8, 1.5, geom::DegToRad(90)};
+  const int n = static_cast<int>(ExpectedPointsOnCar(15, sensor));
+  const auto f = ComputeEvidence(CarCluster(15, n), box.Expanded(0.3), sensor);
+  EXPECT_GT(ScoreFromEvidence(f), 0.7);
+}
+
+TEST(ConfidenceTest, SparseEvidenceFallsBelowThreshold) {
+  const auto sensor = DenseSensor();
+  const geom::Box3 box{{15, 0, 0.75}, 4.5, 1.8, 1.5, geom::DegToRad(90)};
+  const auto f = ComputeEvidence(CarCluster(15, 8), box.Expanded(0.3), sensor);
+  EXPECT_LT(ScoreFromEvidence(f), 0.5);
+}
+
+TEST(ConfidenceTest, ScoreIsBounded) {
+  const auto sensor = SparseSensor();
+  const geom::Box3 box{{5, 0, 0.75}, 4.5, 1.8, 1.5, 0.0};
+  const auto f = ComputeEvidence(CarCluster(5, 5000), box.Expanded(0.3), sensor);
+  const double s = ScoreFromEvidence(f);
+  EXPECT_GE(s, 0.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(ConfidenceTest, EvidenceFeaturesPopulated) {
+  const auto sensor = DenseSensor();
+  const geom::Box3 box{{15, 0, 0.75}, 4.5, 1.8, 1.5, geom::DegToRad(90)};
+  const auto f = ComputeEvidence(CarCluster(15, 100), box.Expanded(0.3), sensor);
+  EXPECT_EQ(f.num_points, 100u);
+  EXPECT_GT(f.visibility, 0.0);
+  EXPECT_GT(f.coverage, 0.3);
+  EXPECT_GT(f.height_extent, 0.8);
+}
+
+// --- Detector end-to-end ---
+
+pc::PointCloud ScanScene(const sim::Scene& scene, int beams,
+                         std::uint64_t seed = 5) {
+  sim::LidarConfig cfg = beams >= 32 ? sim::Hdl64Config() : sim::Vlp16Config();
+  cfg.azimuth_steps = beams >= 32 ? 720 : 1200;
+  Rng rng(seed);
+  return sim::LidarSimulator(cfg).Scan(scene, geom::Pose::Identity(), rng);
+}
+
+SpodDetector DenseDetector() {
+  SpodConfig cfg = MakeDenseSpodConfig();
+  return SpodDetector(cfg, MakeSensorResolution(64, 2.0, -24.8, 720));
+}
+
+TEST(DetectorTest, DetectsIsolatedCar) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({12, 2, 0}, 30.0), 0.6);
+  const auto result = DenseDetector().Detect(ScanScene(scene, 64));
+  ASSERT_GE(result.detections.size(), 1u);
+  const auto& d = result.detections[0];
+  EXPECT_NEAR(d.box.center.x, 12.0, 1.5);
+  EXPECT_NEAR(d.box.center.y, 2.0, 1.5);
+  EXPECT_GT(d.score, 0.5);
+}
+
+TEST(DetectorTest, RejectsLongWall) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kWall, sim::MakeWallBox({15, 0, 0}, 90.0, 30.0));
+  const auto result = DenseDetector().Detect(ScanScene(scene, 64));
+  for (const auto& d : result.detections) {
+    EXPECT_LT(d.score, 0.5) << "wall scored as car at ("
+                            << d.box.center.x << "," << d.box.center.y << ")";
+  }
+}
+
+TEST(DetectorTest, EmptyCloudYieldsNoDetections) {
+  const auto result = DenseDetector().Detect(pc::PointCloud{});
+  EXPECT_TRUE(result.detections.empty());
+  EXPECT_EQ(result.num_voxels, 0u);
+}
+
+TEST(DetectorTest, NanPointsAreTolerated) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({12, 0, 0}, 0.0), 0.6);
+  pc::PointCloud cloud = ScanScene(scene, 64);
+  cloud.Add({std::nan(""), 0, 0}, 0.0f);
+  cloud.Add({0, std::numeric_limits<double>::infinity(), 0}, 0.5f);
+  const auto result = DenseDetector().Detect(cloud);
+  EXPECT_GE(result.detections.size(), 1u);
+}
+
+TEST(DetectorTest, TwoSeparateCarsTwoDetections) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({12, 5, 0}, 0.0), 0.6);
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({12, -5, 0}, 0.0), 0.6);
+  const auto result = DenseDetector().Detect(ScanScene(scene, 64));
+  int good = 0;
+  for (const auto& d : result.detections) good += d.score >= 0.5 ? 1 : 0;
+  EXPECT_EQ(good, 2);
+}
+
+TEST(DetectorTest, NmsSuppressesOverlaps) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({10, 0, 0}, 0.0), 0.6);
+  const auto result = DenseDetector().Detect(ScanScene(scene, 64));
+  for (std::size_t i = 0; i < result.detections.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.detections.size(); ++j) {
+      EXPECT_LE(geom::BevIou(result.detections[i].box, result.detections[j].box),
+                0.1 + 1e-9);
+    }
+  }
+}
+
+TEST(DetectorTest, SparseConfigDetectsOn16Beam) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({10, 1, 0}, 45.0), 0.6);
+  SpodConfig cfg = MakeSparseSpodConfig();
+  cfg.spherical.rows = 32;
+  const SpodDetector detector(cfg, MakeSensorResolution(16, 15.0, -15.0, 1200));
+  const auto result = detector.Detect(ScanScene(scene, 16));
+  ASSERT_GE(result.detections.size(), 1u);
+  EXPECT_GT(result.detections[0].score, 0.5);
+}
+
+TEST(DetectorTest, DeterministicResults) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({14, -3, 0}, 10.0), 0.6);
+  const pc::PointCloud cloud = ScanScene(scene, 64);
+  const auto a = DenseDetector().Detect(cloud);
+  const auto b = DenseDetector().Detect(cloud);
+  ASSERT_EQ(a.detections.size(), b.detections.size());
+  for (std::size_t i = 0; i < a.detections.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.detections[i].score, b.detections[i].score);
+  }
+}
+
+TEST(DetectorTest, TimingsArePopulated) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({10, 0, 0}, 0.0), 0.6);
+  const auto result = DenseDetector().Detect(ScanScene(scene, 64));
+  EXPECT_GT(result.timings.voxelize_us, 0.0);
+  EXPECT_GT(result.timings.vfe_us, 0.0);
+  EXPECT_GT(result.timings.middle_us, 0.0);
+  EXPECT_GT(result.timings.rpn_us, 0.0);
+  EXPECT_GT(result.timings.TotalUs(), result.timings.rpn_us);
+  EXPECT_GT(result.num_voxels, 0u);
+}
+
+TEST(DetectorTest, DensifyIsNoOpForDenseConfig) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({10, 0, 0}, 0.0), 0.6);
+  const pc::PointCloud cloud = ScanScene(scene, 64);
+  const SpodDetector detector = DenseDetector();
+  EXPECT_EQ(detector.Densify(cloud).size(), cloud.size());
+}
+
+TEST(DetectorTest, DensifyAddsPointsForSparseConfig) {
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({8, 0, 0}, 90.0), 0.6);
+  SpodConfig cfg = MakeSparseSpodConfig();
+  const SpodDetector detector(cfg, MakeSensorResolution(16, 15.0, -15.0, 1200));
+  const pc::PointCloud cloud = ScanScene(scene, 16);
+  EXPECT_GT(detector.Densify(cloud).size(), cloud.size());
+}
+
+TEST(DetectorTest, MergedCloudsRaiseScore) {
+  // The core SPOD property Cooper relies on: two viewpoints' worth of points
+  // on the same car yield a score at least as high as either alone.
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({14, 0, 0}, 90.0), 0.6);
+  sim::LidarConfig cfg = sim::Hdl64Config();
+  cfg.azimuth_steps = 720;
+  Rng rng(9);
+  const auto front = sim::LidarSimulator(cfg).Scan(
+      scene, geom::Pose::FromGpsImu({0, 0, 0}, {0, 0, 0}), rng);
+  const auto back_pose = geom::Pose::FromGpsImu({28, 0, 0}, {geom::DegToRad(180), 0, 0});
+  const auto back = sim::LidarSimulator(cfg).Scan(scene, back_pose, rng);
+
+  const SpodDetector detector = DenseDetector();
+  const auto single = detector.Detect(front);
+  pc::PointCloud fused = front;
+  fused.Merge(back.Transformed(geom::Pose::Between(
+      geom::Pose(geom::Mat3::Identity(), {0, 0, cfg.sensor_height}),
+      back_pose * geom::Pose(geom::Mat3::Identity(), {0, 0, cfg.sensor_height}))));
+  const auto coop = detector.DetectPreprocessed(fused);
+
+  ASSERT_FALSE(single.detections.empty());
+  ASSERT_FALSE(coop.detections.empty());
+  EXPECT_GE(coop.detections[0].score + 0.05, single.detections[0].score);
+  EXPECT_GT(coop.detections[0].num_points, single.detections[0].num_points);
+}
+
+}  // namespace
+}  // namespace cooper::spod

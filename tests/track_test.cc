@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "track/kalman.h"
+#include "track/tracker.h"
+
+namespace cooper::track {
+namespace {
+
+spod::Detection Det(double x, double y, double score = 0.8) {
+  spod::Detection d;
+  d.box = geom::Box3{{x, y, 0.75}, 4.5, 1.8, 1.5, 0.0};
+  d.score = score;
+  return d;
+}
+
+// --- Kalman filter ---
+
+TEST(KalmanTest, InitialStateAtMeasurement) {
+  const KalmanCv2d kf({3, -2, 0}, {});
+  EXPECT_DOUBLE_EQ(kf.position().x, 3.0);
+  EXPECT_DOUBLE_EQ(kf.position().y, -2.0);
+  EXPECT_DOUBLE_EQ(kf.velocity().Norm(), 0.0);
+}
+
+TEST(KalmanTest, ConvergesToConstantVelocityTrack) {
+  KalmanCv2d kf({0, 0, 0}, {});
+  // Object moving at (2, -1) m/s, measured at 10 Hz.
+  for (int step = 1; step <= 40; ++step) {
+    kf.Predict(0.1);
+    kf.Update({0.2 * step, -0.1 * step, 0});
+  }
+  EXPECT_NEAR(kf.velocity().x, 2.0, 0.2);
+  EXPECT_NEAR(kf.velocity().y, -1.0, 0.2);
+  EXPECT_NEAR(kf.position().x, 8.0, 0.2);
+}
+
+TEST(KalmanTest, PredictionCoastsAlongVelocity) {
+  KalmanCv2d kf({0, 0, 0}, {});
+  for (int step = 1; step <= 30; ++step) {
+    kf.Predict(0.1);
+    kf.Update({1.0 * 0.1 * step, 0, 0});
+  }
+  const double x_before = kf.position().x;
+  kf.Predict(1.0);  // one second without measurements
+  EXPECT_NEAR(kf.position().x - x_before, 1.0, 0.2);
+}
+
+TEST(KalmanTest, UncertaintyGrowsWithoutMeasurements) {
+  KalmanCv2d kf({0, 0, 0}, {});
+  kf.Update({0, 0, 0});
+  const double before = kf.PositionVariance();
+  kf.Predict(1.0);
+  EXPECT_GT(kf.PositionVariance(), before);
+}
+
+TEST(KalmanTest, UpdateShrinksUncertainty) {
+  KalmanCv2d kf({0, 0, 0}, {});
+  kf.Predict(1.0);
+  const double before = kf.PositionVariance();
+  kf.Update({0.1, 0, 0});
+  EXPECT_LT(kf.PositionVariance(), before);
+}
+
+TEST(KalmanTest, NoisyMeasurementsAreSmoothed) {
+  Rng rng(3);
+  KalmanCv2d kf({0, 0, 0}, {});
+  double final_err = 0.0;
+  for (int step = 1; step <= 100; ++step) {
+    kf.Predict(0.1);
+    const double truth = 0.15 * step;
+    kf.Update({truth + rng.Normal(0, 0.4), rng.Normal(0, 0.4), 0});
+    final_err = std::abs(kf.position().x - truth);
+  }
+  EXPECT_LT(final_err, 0.35);  // below the single-measurement noise
+}
+
+TEST(KalmanTest, GatingDistanceSeparatesNearAndFar) {
+  KalmanCv2d kf({0, 0, 0}, {});
+  kf.Update({0, 0, 0});
+  EXPECT_LT(kf.GatingDistance({0.2, 0, 0}), kf.GatingDistance({5.0, 0, 0}));
+  EXPECT_GT(kf.GatingDistance({5.0, 0, 0}), 9.21);  // outside 99% gate
+}
+
+// --- Tracker ---
+
+TEST(TrackerTest, ConfirmsAfterMinHits) {
+  Tracker tracker;
+  tracker.Step({Det(10, 0)}, 0.1);
+  EXPECT_EQ(tracker.ConfirmedTracks().size(), 0u);  // tentative
+  tracker.Step({Det(10.1, 0)}, 0.1);
+  EXPECT_EQ(tracker.ConfirmedTracks().size(), 1u);
+  EXPECT_EQ(tracker.total_confirmed(), 1u);
+}
+
+TEST(TrackerTest, LowScoreDetectionsIgnored) {
+  Tracker tracker;
+  tracker.Step({Det(10, 0, 0.3)}, 0.1);
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(TrackerTest, TrackSurvivesShortOcclusion) {
+  Tracker tracker;
+  for (int i = 0; i < 3; ++i) tracker.Step({Det(10 + 0.1 * i, 0)}, 0.1);
+  ASSERT_EQ(tracker.ConfirmedTracks().size(), 1u);
+  const auto id = tracker.ConfirmedTracks()[0]->id;
+  // Three missed frames (== max_consecutive_misses) then reappearance.
+  for (int i = 0; i < 3; ++i) tracker.Step({}, 0.1);
+  tracker.Step({Det(10.9, 0)}, 0.1);
+  ASSERT_EQ(tracker.ConfirmedTracks().size(), 1u);
+  EXPECT_EQ(tracker.ConfirmedTracks()[0]->id, id);  // same identity
+  EXPECT_EQ(tracker.total_confirmed(), 1u);         // no fragmentation
+}
+
+TEST(TrackerTest, LongOcclusionFragmentsTrack) {
+  Tracker tracker;
+  for (int i = 0; i < 3; ++i) tracker.Step({Det(10, 0)}, 0.1);
+  ASSERT_EQ(tracker.ConfirmedTracks().size(), 1u);
+  for (int i = 0; i < 6; ++i) tracker.Step({}, 0.1);  // track dies
+  EXPECT_TRUE(tracker.tracks().empty());
+  for (int i = 0; i < 2; ++i) tracker.Step({Det(10.5, 0)}, 0.1);
+  EXPECT_EQ(tracker.total_confirmed(), 2u);  // re-confirmed under a new id
+}
+
+TEST(TrackerTest, TwoObjectsTwoTracks) {
+  Tracker tracker;
+  for (int i = 0; i < 3; ++i) {
+    tracker.Step({Det(10, 5), Det(10, -5)}, 0.1);
+  }
+  EXPECT_EQ(tracker.ConfirmedTracks().size(), 2u);
+}
+
+TEST(TrackerTest, AssociationPrefersNearestTrack) {
+  Tracker tracker;
+  for (int i = 0; i < 3; ++i) tracker.Step({Det(0, 5), Det(0, -5)}, 0.1);
+  // One detection between them but nearer the first.
+  tracker.Step({Det(0, 3.5)}, 0.1);
+  double y_upper = -100, y_lower = 100;
+  for (const auto* t : tracker.ConfirmedTracks()) {
+    y_upper = std::max(y_upper, t->filter.position().y);
+    y_lower = std::min(y_lower, t->filter.position().y);
+  }
+  EXPECT_GT(y_upper, 3.4);   // upper track pulled toward 3.5
+  EXPECT_NEAR(y_lower, -5.0, 0.3);  // lower track coasted
+}
+
+TEST(TrackerTest, MovingObjectTracked) {
+  Tracker tracker;
+  for (int step = 0; step < 20; ++step) {
+    tracker.Step({Det(2.0 * 0.1 * step, 0)}, 0.1);  // 2 m/s
+  }
+  ASSERT_EQ(tracker.ConfirmedTracks().size(), 1u);
+  EXPECT_NEAR(tracker.ConfirmedTracks()[0]->filter.velocity().x, 2.0, 0.4);
+  EXPECT_EQ(tracker.total_confirmed(), 1u);
+}
+
+TEST(TrackerTest, TentativeTrackDiesFast) {
+  Tracker tracker;
+  tracker.Step({Det(10, 0)}, 0.1);   // one hit, tentative
+  tracker.Step({}, 0.1);
+  tracker.Step({}, 0.1);
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+}  // namespace
+}  // namespace cooper::track

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_densify.dir/bench_ablation_densify.cpp.o"
+  "CMakeFiles/bench_ablation_densify.dir/bench_ablation_densify.cpp.o.d"
+  "bench_ablation_densify"
+  "bench_ablation_densify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_densify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ap_summary.dir/bench_ap_summary.cpp.o"
+  "CMakeFiles/bench_ap_summary.dir/bench_ap_summary.cpp.o.d"
+  "bench_ap_summary"
+  "bench_ap_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ap_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

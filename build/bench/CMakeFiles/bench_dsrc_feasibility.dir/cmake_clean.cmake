@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsrc_feasibility.dir/bench_dsrc_feasibility.cpp.o"
+  "CMakeFiles/bench_dsrc_feasibility.dir/bench_dsrc_feasibility.cpp.o.d"
+  "bench_dsrc_feasibility"
+  "bench_dsrc_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsrc_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

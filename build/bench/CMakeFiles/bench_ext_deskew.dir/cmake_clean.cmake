@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_deskew.dir/bench_ext_deskew.cpp.o"
+  "CMakeFiles/bench_ext_deskew.dir/bench_ext_deskew.cpp.o.d"
+  "bench_ext_deskew"
+  "bench_ext_deskew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_deskew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

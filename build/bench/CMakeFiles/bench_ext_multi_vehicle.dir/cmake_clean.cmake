@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_vehicle.dir/bench_ext_multi_vehicle.cpp.o"
+  "CMakeFiles/bench_ext_multi_vehicle.dir/bench_ext_multi_vehicle.cpp.o.d"
+  "bench_ext_multi_vehicle"
+  "bench_ext_multi_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

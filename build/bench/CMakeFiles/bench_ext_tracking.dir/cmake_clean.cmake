@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tracking.dir/bench_ext_tracking.cpp.o"
+  "CMakeFiles/bench_ext_tracking.dir/bench_ext_tracking.cpp.o.d"
+  "bench_ext_tracking"
+  "bench_ext_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_vru.dir/bench_ext_vru.cpp.o"
+  "CMakeFiles/bench_ext_vru.dir/bench_ext_vru.cpp.o.d"
+  "bench_ext_vru"
+  "bench_ext_vru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_vru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

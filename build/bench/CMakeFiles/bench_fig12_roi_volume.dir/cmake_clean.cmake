@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_roi_volume.dir/bench_fig12_roi_volume.cpp.o"
+  "CMakeFiles/bench_fig12_roi_volume.dir/bench_fig12_roi_volume.cpp.o.d"
+  "bench_fig12_roi_volume"
+  "bench_fig12_roi_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_roi_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_kitti.dir/bench_fig3_kitti.cpp.o"
+  "CMakeFiles/bench_fig3_kitti.dir/bench_fig3_kitti.cpp.o.d"
+  "bench_fig3_kitti"
+  "bench_fig3_kitti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_kitti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_kitti_summary.dir/bench_fig4_kitti_summary.cpp.o"
+  "CMakeFiles/bench_fig4_kitti_summary.dir/bench_fig4_kitti_summary.cpp.o.d"
+  "bench_fig4_kitti_summary"
+  "bench_fig4_kitti_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_kitti_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_tj.dir/bench_fig6_tj.cpp.o"
+  "CMakeFiles/bench_fig6_tj.dir/bench_fig6_tj.cpp.o.d"
+  "bench_fig6_tj"
+  "bench_fig6_tj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

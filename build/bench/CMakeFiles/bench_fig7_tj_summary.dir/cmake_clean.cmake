@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_tj_summary.dir/bench_fig7_tj_summary.cpp.o"
+  "CMakeFiles/bench_fig7_tj_summary.dir/bench_fig7_tj_summary.cpp.o.d"
+  "bench_fig7_tj_summary"
+  "bench_fig7_tj_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tj_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

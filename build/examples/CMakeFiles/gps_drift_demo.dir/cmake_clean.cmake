@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gps_drift_demo.dir/gps_drift_demo.cpp.o"
+  "CMakeFiles/gps_drift_demo.dir/gps_drift_demo.cpp.o.d"
+  "gps_drift_demo"
+  "gps_drift_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gps_drift_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

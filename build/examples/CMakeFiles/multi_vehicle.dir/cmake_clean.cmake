@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_vehicle.dir/multi_vehicle.cpp.o"
+  "CMakeFiles/multi_vehicle.dir/multi_vehicle.cpp.o.d"
+  "multi_vehicle"
+  "multi_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

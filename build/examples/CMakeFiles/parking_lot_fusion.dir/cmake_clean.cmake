@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parking_lot_fusion.dir/parking_lot_fusion.cpp.o"
+  "CMakeFiles/parking_lot_fusion.dir/parking_lot_fusion.cpp.o.d"
+  "parking_lot_fusion"
+  "parking_lot_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parking_lot_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

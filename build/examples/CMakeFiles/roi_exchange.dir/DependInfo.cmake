@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/roi_exchange.cpp" "examples/CMakeFiles/roi_exchange.dir/roi_exchange.cpp.o" "gcc" "examples/CMakeFiles/roi_exchange.dir/roi_exchange.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/cooper_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cooper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cooper_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cooper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spod/CMakeFiles/cooper_spod.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cooper_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/cooper_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cooper_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cooper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

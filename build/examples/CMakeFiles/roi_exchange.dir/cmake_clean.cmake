@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roi_exchange.dir/roi_exchange.cpp.o"
+  "CMakeFiles/roi_exchange.dir/roi_exchange.cpp.o.d"
+  "roi_exchange"
+  "roi_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roi_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

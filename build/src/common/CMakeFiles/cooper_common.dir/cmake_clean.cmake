@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_common.dir/logging.cc.o"
+  "CMakeFiles/cooper_common.dir/logging.cc.o.d"
+  "CMakeFiles/cooper_common.dir/status.cc.o"
+  "CMakeFiles/cooper_common.dir/status.cc.o.d"
+  "CMakeFiles/cooper_common.dir/table.cc.o"
+  "CMakeFiles/cooper_common.dir/table.cc.o.d"
+  "libcooper_common.a"
+  "libcooper_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/background_map.cc" "src/core/CMakeFiles/cooper_core.dir/background_map.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/background_map.cc.o.d"
+  "/root/repo/src/core/cooper.cc" "src/core/CMakeFiles/cooper_core.dir/cooper.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/cooper.cc.o.d"
+  "/root/repo/src/core/demand.cc" "src/core/CMakeFiles/cooper_core.dir/demand.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/demand.cc.o.d"
+  "/root/repo/src/core/exchange.cc" "src/core/CMakeFiles/cooper_core.dir/exchange.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/exchange.cc.o.d"
+  "/root/repo/src/core/roi.cc" "src/core/CMakeFiles/cooper_core.dir/roi.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/roi.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/cooper_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/cooper_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spod/CMakeFiles/cooper_spod.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cooper_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/cooper_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cooper_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cooper_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cooper_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

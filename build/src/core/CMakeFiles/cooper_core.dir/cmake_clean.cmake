@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_core.dir/background_map.cc.o"
+  "CMakeFiles/cooper_core.dir/background_map.cc.o.d"
+  "CMakeFiles/cooper_core.dir/cooper.cc.o"
+  "CMakeFiles/cooper_core.dir/cooper.cc.o.d"
+  "CMakeFiles/cooper_core.dir/demand.cc.o"
+  "CMakeFiles/cooper_core.dir/demand.cc.o.d"
+  "CMakeFiles/cooper_core.dir/exchange.cc.o"
+  "CMakeFiles/cooper_core.dir/exchange.cc.o.d"
+  "CMakeFiles/cooper_core.dir/roi.cc.o"
+  "CMakeFiles/cooper_core.dir/roi.cc.o.d"
+  "CMakeFiles/cooper_core.dir/session.cc.o"
+  "CMakeFiles/cooper_core.dir/session.cc.o.d"
+  "libcooper_core.a"
+  "libcooper_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

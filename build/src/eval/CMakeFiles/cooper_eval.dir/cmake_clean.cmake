@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_eval.dir/ap.cc.o"
+  "CMakeFiles/cooper_eval.dir/ap.cc.o.d"
+  "CMakeFiles/cooper_eval.dir/bev_render.cc.o"
+  "CMakeFiles/cooper_eval.dir/bev_render.cc.o.d"
+  "CMakeFiles/cooper_eval.dir/experiment.cc.o"
+  "CMakeFiles/cooper_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/cooper_eval.dir/matching.cc.o"
+  "CMakeFiles/cooper_eval.dir/matching.cc.o.d"
+  "CMakeFiles/cooper_eval.dir/stats.cc.o"
+  "CMakeFiles/cooper_eval.dir/stats.cc.o.d"
+  "libcooper_eval.a"
+  "libcooper_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

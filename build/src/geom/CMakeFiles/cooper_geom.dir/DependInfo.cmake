@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/box.cc" "src/geom/CMakeFiles/cooper_geom.dir/box.cc.o" "gcc" "src/geom/CMakeFiles/cooper_geom.dir/box.cc.o.d"
+  "/root/repo/src/geom/rotation.cc" "src/geom/CMakeFiles/cooper_geom.dir/rotation.cc.o" "gcc" "src/geom/CMakeFiles/cooper_geom.dir/rotation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cooper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_geom.dir/box.cc.o"
+  "CMakeFiles/cooper_geom.dir/box.cc.o.d"
+  "CMakeFiles/cooper_geom.dir/rotation.cc.o"
+  "CMakeFiles/cooper_geom.dir/rotation.cc.o.d"
+  "libcooper_geom.a"
+  "libcooper_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

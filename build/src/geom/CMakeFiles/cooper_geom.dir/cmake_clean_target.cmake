@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcooper_geom.a"
+)

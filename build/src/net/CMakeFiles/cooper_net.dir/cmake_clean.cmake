@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_net.dir/auth.cc.o"
+  "CMakeFiles/cooper_net.dir/auth.cc.o.d"
+  "CMakeFiles/cooper_net.dir/dsrc.cc.o"
+  "CMakeFiles/cooper_net.dir/dsrc.cc.o.d"
+  "CMakeFiles/cooper_net.dir/serialize.cc.o"
+  "CMakeFiles/cooper_net.dir/serialize.cc.o.d"
+  "libcooper_net.a"
+  "libcooper_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

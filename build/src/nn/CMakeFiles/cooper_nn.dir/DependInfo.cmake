@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/cooper_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/cooper_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/sparse_conv.cc" "src/nn/CMakeFiles/cooper_nn.dir/sparse_conv.cc.o" "gcc" "src/nn/CMakeFiles/cooper_nn.dir/sparse_conv.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/cooper_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/cooper_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/vfe.cc" "src/nn/CMakeFiles/cooper_nn.dir/vfe.cc.o" "gcc" "src/nn/CMakeFiles/cooper_nn.dir/vfe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pointcloud/CMakeFiles/cooper_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cooper_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cooper_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

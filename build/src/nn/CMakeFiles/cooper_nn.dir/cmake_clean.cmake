@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_nn.dir/layers.cc.o"
+  "CMakeFiles/cooper_nn.dir/layers.cc.o.d"
+  "CMakeFiles/cooper_nn.dir/sparse_conv.cc.o"
+  "CMakeFiles/cooper_nn.dir/sparse_conv.cc.o.d"
+  "CMakeFiles/cooper_nn.dir/tensor.cc.o"
+  "CMakeFiles/cooper_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/cooper_nn.dir/vfe.cc.o"
+  "CMakeFiles/cooper_nn.dir/vfe.cc.o.d"
+  "libcooper_nn.a"
+  "libcooper_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pointcloud/codec.cc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/codec.cc.o" "gcc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/codec.cc.o.d"
+  "/root/repo/src/pointcloud/icp.cc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/icp.cc.o" "gcc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/icp.cc.o.d"
+  "/root/repo/src/pointcloud/io.cc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/io.cc.o" "gcc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/io.cc.o.d"
+  "/root/repo/src/pointcloud/kdtree.cc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/kdtree.cc.o" "gcc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/kdtree.cc.o.d"
+  "/root/repo/src/pointcloud/motion.cc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/motion.cc.o" "gcc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/motion.cc.o.d"
+  "/root/repo/src/pointcloud/point_cloud.cc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/point_cloud.cc.o" "gcc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/point_cloud.cc.o.d"
+  "/root/repo/src/pointcloud/spherical_projection.cc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/spherical_projection.cc.o" "gcc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/spherical_projection.cc.o.d"
+  "/root/repo/src/pointcloud/voxel_grid.cc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/voxel_grid.cc.o" "gcc" "src/pointcloud/CMakeFiles/cooper_pointcloud.dir/voxel_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/cooper_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cooper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_pointcloud.dir/codec.cc.o"
+  "CMakeFiles/cooper_pointcloud.dir/codec.cc.o.d"
+  "CMakeFiles/cooper_pointcloud.dir/icp.cc.o"
+  "CMakeFiles/cooper_pointcloud.dir/icp.cc.o.d"
+  "CMakeFiles/cooper_pointcloud.dir/io.cc.o"
+  "CMakeFiles/cooper_pointcloud.dir/io.cc.o.d"
+  "CMakeFiles/cooper_pointcloud.dir/kdtree.cc.o"
+  "CMakeFiles/cooper_pointcloud.dir/kdtree.cc.o.d"
+  "CMakeFiles/cooper_pointcloud.dir/motion.cc.o"
+  "CMakeFiles/cooper_pointcloud.dir/motion.cc.o.d"
+  "CMakeFiles/cooper_pointcloud.dir/point_cloud.cc.o"
+  "CMakeFiles/cooper_pointcloud.dir/point_cloud.cc.o.d"
+  "CMakeFiles/cooper_pointcloud.dir/spherical_projection.cc.o"
+  "CMakeFiles/cooper_pointcloud.dir/spherical_projection.cc.o.d"
+  "CMakeFiles/cooper_pointcloud.dir/voxel_grid.cc.o"
+  "CMakeFiles/cooper_pointcloud.dir/voxel_grid.cc.o.d"
+  "libcooper_pointcloud.a"
+  "libcooper_pointcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_pointcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

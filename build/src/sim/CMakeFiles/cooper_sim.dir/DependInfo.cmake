@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/camera.cc" "src/sim/CMakeFiles/cooper_sim.dir/camera.cc.o" "gcc" "src/sim/CMakeFiles/cooper_sim.dir/camera.cc.o.d"
+  "/root/repo/src/sim/lidar.cc" "src/sim/CMakeFiles/cooper_sim.dir/lidar.cc.o" "gcc" "src/sim/CMakeFiles/cooper_sim.dir/lidar.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/sim/CMakeFiles/cooper_sim.dir/scenario.cc.o" "gcc" "src/sim/CMakeFiles/cooper_sim.dir/scenario.cc.o.d"
+  "/root/repo/src/sim/scene.cc" "src/sim/CMakeFiles/cooper_sim.dir/scene.cc.o" "gcc" "src/sim/CMakeFiles/cooper_sim.dir/scene.cc.o.d"
+  "/root/repo/src/sim/sensors.cc" "src/sim/CMakeFiles/cooper_sim.dir/sensors.cc.o" "gcc" "src/sim/CMakeFiles/cooper_sim.dir/sensors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pointcloud/CMakeFiles/cooper_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cooper_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cooper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

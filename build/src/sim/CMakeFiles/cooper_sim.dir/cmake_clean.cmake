@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_sim.dir/camera.cc.o"
+  "CMakeFiles/cooper_sim.dir/camera.cc.o.d"
+  "CMakeFiles/cooper_sim.dir/lidar.cc.o"
+  "CMakeFiles/cooper_sim.dir/lidar.cc.o.d"
+  "CMakeFiles/cooper_sim.dir/scenario.cc.o"
+  "CMakeFiles/cooper_sim.dir/scenario.cc.o.d"
+  "CMakeFiles/cooper_sim.dir/scene.cc.o"
+  "CMakeFiles/cooper_sim.dir/scene.cc.o.d"
+  "CMakeFiles/cooper_sim.dir/sensors.cc.o"
+  "CMakeFiles/cooper_sim.dir/sensors.cc.o.d"
+  "libcooper_sim.a"
+  "libcooper_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spod/clustering.cc" "src/spod/CMakeFiles/cooper_spod.dir/clustering.cc.o" "gcc" "src/spod/CMakeFiles/cooper_spod.dir/clustering.cc.o.d"
+  "/root/repo/src/spod/confidence.cc" "src/spod/CMakeFiles/cooper_spod.dir/confidence.cc.o" "gcc" "src/spod/CMakeFiles/cooper_spod.dir/confidence.cc.o.d"
+  "/root/repo/src/spod/detector.cc" "src/spod/CMakeFiles/cooper_spod.dir/detector.cc.o" "gcc" "src/spod/CMakeFiles/cooper_spod.dir/detector.cc.o.d"
+  "/root/repo/src/spod/templates.cc" "src/spod/CMakeFiles/cooper_spod.dir/templates.cc.o" "gcc" "src/spod/CMakeFiles/cooper_spod.dir/templates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/cooper_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/cooper_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cooper_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cooper_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

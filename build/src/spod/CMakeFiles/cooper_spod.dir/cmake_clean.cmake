@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_spod.dir/clustering.cc.o"
+  "CMakeFiles/cooper_spod.dir/clustering.cc.o.d"
+  "CMakeFiles/cooper_spod.dir/confidence.cc.o"
+  "CMakeFiles/cooper_spod.dir/confidence.cc.o.d"
+  "CMakeFiles/cooper_spod.dir/detector.cc.o"
+  "CMakeFiles/cooper_spod.dir/detector.cc.o.d"
+  "CMakeFiles/cooper_spod.dir/templates.cc.o"
+  "CMakeFiles/cooper_spod.dir/templates.cc.o.d"
+  "libcooper_spod.a"
+  "libcooper_spod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_spod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/track/kalman.cc" "src/track/CMakeFiles/cooper_track.dir/kalman.cc.o" "gcc" "src/track/CMakeFiles/cooper_track.dir/kalman.cc.o.d"
+  "/root/repo/src/track/tracker.cc" "src/track/CMakeFiles/cooper_track.dir/tracker.cc.o" "gcc" "src/track/CMakeFiles/cooper_track.dir/tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spod/CMakeFiles/cooper_spod.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cooper_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cooper_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cooper_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/cooper_pointcloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_track.dir/kalman.cc.o"
+  "CMakeFiles/cooper_track.dir/kalman.cc.o.d"
+  "CMakeFiles/cooper_track.dir/tracker.cc.o"
+  "CMakeFiles/cooper_track.dir/tracker.cc.o.d"
+  "libcooper_track.a"
+  "libcooper_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/background_map_test.dir/background_map_test.cc.o"
+  "CMakeFiles/background_map_test.dir/background_map_test.cc.o.d"
+  "background_map_test"
+  "background_map_test.pdb"
+  "background_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/background_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bev_render_test.dir/bev_render_test.cc.o"
+  "CMakeFiles/bev_render_test.dir/bev_render_test.cc.o.d"
+  "bev_render_test"
+  "bev_render_test.pdb"
+  "bev_render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bev_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_test.dir/motion_test.cc.o"
+  "CMakeFiles/motion_test.dir/motion_test.cc.o.d"
+  "motion_test"
+  "motion_test.pdb"
+  "motion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

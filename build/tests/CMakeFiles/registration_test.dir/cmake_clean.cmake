@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/registration_test.dir/registration_test.cc.o"
+  "CMakeFiles/registration_test.dir/registration_test.cc.o.d"
+  "registration_test"
+  "registration_test.pdb"
+  "registration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/registration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

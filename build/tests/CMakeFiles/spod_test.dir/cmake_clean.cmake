@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spod_test.dir/spod_test.cc.o"
+  "CMakeFiles/spod_test.dir/spod_test.cc.o.d"
+  "spod_test"
+  "spod_test.pdb"
+  "spod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/pointcloud_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/spod_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/background_map_test[1]_include.cmake")
+include("/root/repo/build/tests/registration_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/auth_test[1]_include.cmake")
+include("/root/repo/build/tests/track_test[1]_include.cmake")
+include("/root/repo/build/tests/multiclass_test[1]_include.cmake")
+include("/root/repo/build/tests/ap_test[1]_include.cmake")
+include("/root/repo/build/tests/demand_test[1]_include.cmake")
+include("/root/repo/build/tests/motion_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/densify_test[1]_include.cmake")
+include("/root/repo/build/tests/bev_render_test[1]_include.cmake")

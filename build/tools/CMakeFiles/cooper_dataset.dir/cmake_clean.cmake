@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooper_dataset.dir/cooper_dataset.cpp.o"
+  "CMakeFiles/cooper_dataset.dir/cooper_dataset.cpp.o.d"
+  "cooper_dataset"
+  "cooper_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooper_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -7,11 +7,19 @@
 // because the network's dense stages are resolution-bound, not point-bound.
 // Absolute numbers here are CPU milliseconds, so they are larger; the claim
 // under test is the *relative* overhead of Cooper vs single shot.
+//
+// The report also breaks each stage down at 1 thread and at hardware
+// concurrency (the ThreadPool hot paths: voxelise, middle, proposals), and
+// checks the threading contract: detections are bit-identical at any thread
+// count.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "eval/experiment.h"
 
 using namespace cooper;
@@ -22,6 +30,8 @@ struct PreparedCase {
   core::CooperConfig config;
   pc::PointCloud single_cloud;
   pc::PointCloud fused_cloud;
+  core::NavMetadata nav_a;
+  core::ExchangePackage package;
 };
 
 PreparedCase Prepare(const sim::Scenario& sc) {
@@ -41,11 +51,11 @@ PreparedCase Prepare(const sim::Scenario& sc) {
       lidar.Scan(sc.scene, vb.ToPose(), rng).FilterAzimuthSector(0.0, half_fov);
 
   const geom::Vec3 mount{0.0, 0.0, sc.lidar.sensor_height};
-  const core::NavMetadata nav_a{va.position, va.attitude, mount};
+  p.nav_a = core::NavMetadata{va.position, va.attitude, mount};
   const core::NavMetadata nav_b{vb.position, vb.attitude, mount};
-  const auto package = pipeline.MakePackage(1, 0.0, core::RoiCategory::kFullFrame,
-                                            nav_b, cloud_b);
-  auto coop = pipeline.DetectCooperative(p.single_cloud, nav_a, package);
+  p.package = pipeline.MakePackage(1, 0.0, core::RoiCategory::kFullFrame,
+                                   nav_b, cloud_b);
+  auto coop = pipeline.DetectCooperative(p.single_cloud, p.nav_a, p.package);
   COOPER_CHECK(coop.ok());
   p.fused_cloud = std::move(coop).value().fused_cloud;
   return p;
@@ -60,8 +70,15 @@ const PreparedCase& TjCase() {
   return p;
 }
 
-void RunDetect(benchmark::State& state, const PreparedCase& p, bool fused) {
-  const spod::SpodDetector detector(p.config.detector, p.config.sensor);
+spod::SpodDetector MakeDetector(const PreparedCase& p, int threads) {
+  spod::SpodConfig cfg = p.config.detector;
+  cfg.num_threads = threads;
+  return spod::SpodDetector(cfg, p.config.sensor);
+}
+
+void RunDetect(benchmark::State& state, const PreparedCase& p, bool fused,
+               int threads) {
+  const spod::SpodDetector detector = MakeDetector(p, threads);
   const pc::PointCloud& cloud = fused ? p.fused_cloud : p.single_cloud;
   for (auto _ : state) {
     auto result =
@@ -69,25 +86,147 @@ void RunDetect(benchmark::State& state, const PreparedCase& p, bool fused) {
     benchmark::DoNotOptimize(result);
   }
   state.counters["points"] = static_cast<double>(cloud.size());
+  state.counters["threads"] = static_cast<double>(common::ResolveThreads(threads));
 }
 
 void BM_Detect_Kitti_SingleShot(benchmark::State& state) {
-  RunDetect(state, KittiCase(), false);
+  RunDetect(state, KittiCase(), false, 1);
 }
 void BM_Detect_Kitti_Cooper(benchmark::State& state) {
-  RunDetect(state, KittiCase(), true);
+  RunDetect(state, KittiCase(), true, 1);
 }
 void BM_Detect_TJ_SingleShot(benchmark::State& state) {
-  RunDetect(state, TjCase(), false);
+  RunDetect(state, TjCase(), false, 1);
 }
 void BM_Detect_TJ_Cooper(benchmark::State& state) {
-  RunDetect(state, TjCase(), true);
+  RunDetect(state, TjCase(), true, 1);
+}
+// Same detections, hardware-concurrency ThreadPool (num_threads <= 0).
+void BM_Detect_Kitti_SingleShot_MT(benchmark::State& state) {
+  RunDetect(state, KittiCase(), false, 0);
+}
+void BM_Detect_Kitti_Cooper_MT(benchmark::State& state) {
+  RunDetect(state, KittiCase(), true, 0);
+}
+void BM_Detect_TJ_SingleShot_MT(benchmark::State& state) {
+  RunDetect(state, TjCase(), false, 0);
+}
+void BM_Detect_TJ_Cooper_MT(benchmark::State& state) {
+  RunDetect(state, TjCase(), true, 0);
 }
 
 BENCHMARK(BM_Detect_Kitti_SingleShot)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 BENCHMARK(BM_Detect_Kitti_Cooper)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 BENCHMARK(BM_Detect_TJ_SingleShot)->Unit(benchmark::kMillisecond)->MinTime(2.0);
 BENCHMARK(BM_Detect_TJ_Cooper)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+BENCHMARK(BM_Detect_Kitti_SingleShot_MT)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+BENCHMARK(BM_Detect_Kitti_Cooper_MT)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+BENCHMARK(BM_Detect_TJ_SingleShot_MT)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+BENCHMARK(BM_Detect_TJ_Cooper_MT)->Unit(benchmark::kMillisecond)->MinTime(2.0);
+
+// Best-of-k stage timings, to keep the breakdown table stable.
+spod::StageTimings BestTimings(const spod::SpodDetector& detector,
+                               const pc::PointCloud& cloud, bool fused) {
+  spod::StageTimings best;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto r =
+        fused ? detector.DetectPreprocessed(cloud) : detector.Detect(cloud);
+    if (rep == 0 || r.timings.TotalUs() < best.TotalUs()) best = r.timings;
+  }
+  return best;
+}
+
+bool SameDetections(const std::vector<spod::Detection>& a,
+                    const std::vector<spod::Detection>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].box.center.x != b[i].box.center.x ||
+        a[i].box.center.y != b[i].box.center.y ||
+        a[i].box.yaw != b[i].box.yaw || a[i].score != b[i].score ||
+        a[i].num_points != b[i].num_points) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ReportCase(const char* name, const PreparedCase& p, int hw) {
+  const spod::SpodDetector serial = MakeDetector(p, 1);
+  const spod::SpodDetector parallel = MakeDetector(p, hw);
+
+  const auto s1 = BestTimings(serial, p.single_cloud, false);
+  const auto sN = BestTimings(parallel, p.single_cloud, false);
+  const auto c1 = BestTimings(serial, p.fused_cloud, true);
+  const auto cN = BestTimings(parallel, p.fused_cloud, true);
+
+  std::printf("\n%s: single %zu pts, Cooper %zu pts — per-stage ms at 1 and "
+              "%d threads\n",
+              name, p.single_cloud.size(), p.fused_cloud.size(), hw);
+  Table table({"stage", "single 1T", "single " + std::to_string(hw) + "T",
+                       "cooper 1T", "cooper " + std::to_string(hw) + "T"});
+  const struct {
+    const char* stage;
+    double spod::StageTimings::*field;
+  } rows[] = {{"preprocess", &spod::StageTimings::preprocess_us},
+              {"voxelize", &spod::StageTimings::voxelize_us},
+              {"vfe", &spod::StageTimings::vfe_us},
+              {"middle", &spod::StageTimings::middle_us},
+              {"rpn", &spod::StageTimings::rpn_us},
+              {"proposals", &spod::StageTimings::proposals_us}};
+  for (const auto& row : rows) {
+    table.AddRow({row.stage, FormatFixed(s1.*row.field / 1e3, 2),
+                  FormatFixed(sN.*row.field / 1e3, 2),
+                  FormatFixed(c1.*row.field / 1e3, 2),
+                  FormatFixed(cN.*row.field / 1e3, 2)});
+  }
+  table.AddRow({"total", FormatFixed(s1.TotalUs() / 1e3, 2),
+                FormatFixed(sN.TotalUs() / 1e3, 2),
+                FormatFixed(c1.TotalUs() / 1e3, 2),
+                FormatFixed(cN.TotalUs() / 1e3, 2)});
+  std::printf("%s", table.ToString().c_str());
+  std::printf("Fig. 9 claim: Cooper overhead %.1f ms at 1T, %.1f ms at %dT\n",
+              (c1.TotalUs() - s1.TotalUs()) / 1e3,
+              (cN.TotalUs() - sN.TotalUs()) / 1e3, hw);
+
+  // End-to-end DetectCooperative (reconstruct + ICP + merge + detect) wall
+  // clock at 1 vs hw threads, plus the thread-count invariance check the
+  // threading contract promises (DESIGN.md "Threading model").
+  core::CooperConfig cfg1 = p.config;
+  cfg1.num_threads = 1;
+  core::CooperConfig cfgN = p.config;
+  cfgN.num_threads = hw;
+  const core::CooperPipeline pipe1(cfg1);
+  const core::CooperPipeline pipeN(cfgN);
+  auto time_coop = [&](const core::CooperPipeline& pipe,
+                       core::CooperOutput* out) {
+    double best_us = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto result = pipe.DetectCooperative(p.single_cloud, p.nav_a, p.package);
+      const auto t1 = std::chrono::steady_clock::now();
+      COOPER_CHECK(result.ok());
+      const double us =
+          std::chrono::duration<double, std::micro>(t1 - t0).count();
+      if (rep == 0 || us < best_us) {
+        best_us = us;
+        *out = std::move(result).value();
+      }
+    }
+    return best_us;
+  };
+  core::CooperOutput coop1, coopN;
+  const double us1 = time_coop(pipe1, &coop1);
+  const double usN = time_coop(pipeN, &coopN);
+  std::printf("DetectCooperative end-to-end: %.1f ms at 1T -> %.1f ms at %dT "
+              "(%.2fx)\n",
+              us1 / 1e3, usN / 1e3, hw, us1 / usN);
+  std::printf("  1T laps: %s\n", coop1.stages.Summary().c_str());
+  std::printf("  %dT laps: %s\n", hw, coopN.stages.Summary().c_str());
+  std::printf("  detections identical across thread counts: %s\n",
+              SameDetections(coop1.fused.detections, coopN.fused.detections)
+                  ? "yes"
+                  : "NO — THREADING CONTRACT VIOLATED");
+}
 
 }  // namespace
 
@@ -97,17 +236,10 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
-  // Per-stage breakdown for context.
-  for (const auto* name : {"KITTI", "T&J"}) {
-    const PreparedCase& p = std::string(name) == "KITTI" ? KittiCase() : TjCase();
-    const spod::SpodDetector detector(p.config.detector, p.config.sensor);
-    const auto single = detector.Detect(p.single_cloud);
-    const auto fused = detector.DetectPreprocessed(p.fused_cloud);
-    std::printf("\n%s: single %.1f ms (%zu pts) vs Cooper %.1f ms (%zu pts); "
-                "overhead %.1f ms\n",
-                name, single.timings.TotalUs() / 1e3, p.single_cloud.size(),
-                fused.timings.TotalUs() / 1e3, p.fused_cloud.size(),
-                (fused.timings.TotalUs() - single.timings.TotalUs()) / 1e3);
-  }
+  // Hardware concurrency, floored at 2 so the 1-vs-N comparison and the
+  // invariance check stay meaningful on single-core hosts.
+  const int hw = std::max(2, common::ResolveThreads(0));
+  ReportCase("KITTI", KittiCase(), hw);
+  ReportCase("T&J", TjCase(), hw);
   return 0;
 }

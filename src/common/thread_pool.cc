@@ -1,0 +1,181 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace cooper::common {
+namespace {
+
+// Set while a pool worker executes chunks: a nested ParallelFor from inside
+// a chunk body must run inline, or it would block a worker on work only
+// other (possibly busy) workers can do.
+thread_local bool t_in_worker = false;
+
+// Shared state of one ParallelFor call.  Participants claim chunks from
+// `next` until exhausted; the caller waits until `done` reaches `nchunks`.
+struct ForContext {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t nchunks = 0;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::exception_ptr error;
+
+  void RunChunks() {
+    const bool was_in_worker = t_in_worker;
+    t_in_worker = true;
+    for (std::size_t c = next.fetch_add(1); c < nchunks; c = next.fetch_add(1)) {
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      try {
+        (*fn)(lo, hi);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (!error) error = std::current_exception();
+        }
+        // Cancel the chunks nobody has claimed yet: the call is failing
+        // anyway.  They are credited to `done` here, or the caller's wait
+        // would never complete.
+        const std::size_t prev = next.exchange(nchunks);
+        if (prev < nchunks) {
+          const std::size_t skipped = nchunks - prev;
+          if (done.fetch_add(skipped) + skipped == nchunks) {
+            std::lock_guard<std::mutex> lock(mu);
+            all_done.notify_all();
+          }
+        }
+      }
+      if (done.fetch_add(1) + 1 == nchunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        all_done.notify_all();
+      }
+    }
+    t_in_worker = was_in_worker;
+  }
+};
+
+void RunSerial(std::size_t begin, std::size_t end, std::size_t grain,
+               const std::function<void(std::size_t, std::size_t)>& fn) {
+  // Same chunk decomposition as the parallel path, so callers that merge
+  // per-chunk results see identical structure at every thread count.
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    fn(lo, std::min(end, lo + grain));
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = ResolveThreads(num_threads);
+  workers_.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (int i = 0; i < n - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  // At least two participants even on single-core hosts, so an explicit
+  // num_threads > 1 request always exercises real cross-thread execution
+  // (callers wanting strictly serial pass num_threads == 1 and never reach
+  // the pool).  Leaked: outlives all users.
+  static ThreadPool* pool = new ThreadPool(std::max(2, ResolveThreads(0)));
+  return *pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    int max_parallelism) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+
+  const std::size_t range = end - begin;
+  const std::size_t nchunks = (range + grain - 1) / grain;
+  int threads = max_parallelism <= 0 ? num_threads()
+                                     : std::min(max_parallelism, num_threads());
+  threads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads), nchunks));
+
+  if (threads <= 1 || t_in_worker) {
+    RunSerial(begin, end, grain, fn);
+    return;
+  }
+
+  auto ctx = std::make_shared<ForContext>();
+  ctx->begin = begin;
+  ctx->end = end;
+  ctx->grain = grain;
+  ctx->nchunks = nchunks;
+  ctx->fn = &fn;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < threads - 1; ++i) {
+      queue_.emplace_back([ctx] { ctx->RunChunks(); });
+    }
+  }
+  cv_.notify_all();
+
+  ctx->RunChunks();
+  {
+    std::unique_lock<std::mutex> lock(ctx->mu);
+    ctx->all_done.wait(lock, [&] {
+      return ctx->done.load() == ctx->nchunks;
+    });
+    if (ctx->error) std::rethrow_exception(ctx->error);
+  }
+}
+
+int ResolveThreads(int num_threads) {
+  if (num_threads > 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(int num_threads, std::size_t begin, std::size_t end,
+                 std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  const int n = ResolveThreads(num_threads);
+  if (n <= 1) {
+    if (grain == 0) grain = 1;
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn, n);
+}
+
+}  // namespace cooper::common

@@ -1,0 +1,52 @@
+#include "common/timer.h"
+
+#include <cstdio>
+
+namespace cooper::common {
+
+double StageTimer::Lap(std::string name) {
+  const Clock::time_point now = Clock::now();
+  const double us =
+      std::chrono::duration<double, std::micro>(now - last_).count();
+  last_ = now;
+  for (auto& [existing, total] : laps_) {
+    if (existing == name) {
+      total += us;
+      return us;
+    }
+  }
+  laps_.emplace_back(std::move(name), us);
+  return us;
+}
+
+double StageTimer::Us(std::string_view name) const {
+  for (const auto& [existing, total] : laps_) {
+    if (existing == name) return total;
+  }
+  return 0.0;
+}
+
+double StageTimer::TotalUs() const {
+  double sum = 0.0;
+  for (const auto& [name, total] : laps_) sum += total;
+  return sum;
+}
+
+std::string StageTimer::Summary() const {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, total] : laps_) {
+    if (!out.empty()) out += " | ";
+    std::snprintf(buf, sizeof(buf), " %.1fms", total / 1e3);
+    out += name;
+    out += buf;
+  }
+  return out;
+}
+
+void StageTimer::Reset() {
+  laps_.clear();
+  last_ = Clock::now();
+}
+
+}  // namespace cooper::common

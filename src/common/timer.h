@@ -1,0 +1,49 @@
+// Wall-clock stage timing for pipeline breakdowns (paper Fig. 9).
+//
+// A StageTimer is a lap clock: construct it at the start of a pipeline, call
+// `Lap("stage")` after each stage, and the elapsed microseconds accumulate
+// under that name.  Laps keep their first-recorded order, so a breakdown
+// table prints in pipeline order; repeated names accumulate (e.g. a stage
+// that runs once per cooperator).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cooper::common {
+
+class StageTimer {
+ public:
+  StageTimer() : last_(Clock::now()) {}
+
+  /// Records the time since construction (or the previous Lap) under `name`
+  /// and restarts the lap clock.  Returns the lap in microseconds.
+  double Lap(std::string name);
+
+  /// Accumulated microseconds for `name`; 0 if the stage never ran.
+  double Us(std::string_view name) const;
+
+  /// Sum over all recorded laps.
+  double TotalUs() const;
+
+  /// Stages in first-recorded order.
+  const std::vector<std::pair<std::string, double>>& laps() const {
+    return laps_;
+  }
+
+  /// One-line breakdown, e.g. "reconstruct 1.2ms | detect 34.5ms".
+  std::string Summary() const;
+
+  /// Drops all laps and restarts the lap clock.
+  void Reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point last_;
+  std::vector<std::pair<std::string, double>> laps_;
+};
+
+}  // namespace cooper::common

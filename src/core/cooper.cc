@@ -2,10 +2,22 @@
 
 namespace cooper::core {
 
+namespace {
+
+// One knob drives every parallel stage: the pipeline-level thread count
+// overrides whatever the sub-configs carried.
+CooperConfig WithThreads(CooperConfig config) {
+  config.detector.num_threads = config.num_threads;
+  config.icp.num_threads = config.num_threads;
+  return config;
+}
+
+}  // namespace
+
 CooperPipeline::CooperPipeline(const CooperConfig& config)
-    : config_(config),
-      detector_(config.detector, config.sensor, config.detector_weight_seed),
-      codec_(config.codec) {}
+    : config_(WithThreads(config)),
+      detector_(config_.detector, config_.sensor, config_.detector_weight_seed),
+      codec_(config_.codec) {}
 
 ExchangePackage CooperPipeline::MakePackage(std::uint32_t sender_id,
                                             double timestamp_s,
@@ -38,8 +50,10 @@ Result<pc::PointCloud> CooperPipeline::ReconstructRemoteCloud(
 Result<CooperOutput> CooperPipeline::DetectCooperative(
     const pc::PointCloud& local_cloud, const NavMetadata& local_nav,
     const ExchangePackage& package) const {
+  common::StageTimer timer;
   COOPER_ASSIGN_OR_RETURN(pc::PointCloud remote,
                           ReconstructRemoteCloud(local_nav, package));
+  timer.Lap("reconstruct");
   if (config_.icp_refinement && !remote.empty() && !local_cloud.empty()) {
     // Register above-ground structure only: flat ground constrains neither
     // x/y translation nor yaw, which are exactly the drifting axes.
@@ -50,12 +64,16 @@ Result<CooperOutput> CooperPipeline::DetectCooperative(
     const pc::IcpResult icp =
         pc::IcpAlign(src, dst, geom::Pose::Identity(), config_.icp);
     if (icp.Improved()) remote.Transform(icp.transform);
+    timer.Lap("icp");
   }
   CooperOutput out;
   out.transmitter_points = remote.size();
   out.fused_cloud = detector_.Densify(local_cloud);  // local viewpoint
   out.fused_cloud.Merge(remote);           // Eq. 2: union of both clouds
+  timer.Lap("merge");
   out.fused = detector_.DetectPreprocessed(out.fused_cloud);
+  timer.Lap("detect");
+  out.stages = timer;
   return out;
 }
 

@@ -9,6 +9,7 @@
 
 #include <optional>
 
+#include "common/timer.h"
 #include "core/exchange.h"
 #include "core/roi.h"
 #include "pointcloud/icp.h"
@@ -27,6 +28,11 @@ struct CooperConfig {
   bool icp_refinement = false;
   pc::IcpConfig icp;
   std::uint64_t detector_weight_seed = 42;
+  // Threads for every parallel hot path in the pipeline (<= 0: hardware
+  // concurrency, 1: serial).  The constructor copies this knob into the
+  // detector and ICP configs, so it is the single switch callers tune.
+  // Output is bit-identical for every value — see DESIGN.md.
+  int num_threads = 1;
 };
 
 /// Output of one cooperative-perception step.
@@ -34,6 +40,9 @@ struct CooperOutput {
   spod::SpodResult fused;              // detection on the merged cloud
   pc::PointCloud fused_cloud;          // receiver frame
   std::size_t transmitter_points = 0;  // points contributed by the package
+  // Pipeline-level wall-clock breakdown: reconstruct / icp / merge / detect
+  // (the detect stage's internal split lives in fused.timings).
+  common::StageTimer stages;
 };
 
 class CooperPipeline {

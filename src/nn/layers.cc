@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace cooper::nn {
 namespace {
 
@@ -44,15 +46,20 @@ Conv2d::Conv2d(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
   InitHe(weight_, in_ch * kernel * kernel, rng);
 }
 
-Tensor Conv2d::Forward(const Tensor& x) const {
+Tensor Conv2d::Forward(const Tensor& x, int num_threads) const {
   COOPER_CHECK(x.rank() == 3 && x.dim(0) == weight_.dim(1));
   const std::size_t cin = x.dim(0), h = x.dim(1), w = x.dim(2);
   const std::size_t cout = weight_.dim(0);
   const std::size_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
   const std::size_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
   Tensor y({cout, oh, ow});
-  for (std::size_t oc = 0; oc < cout; ++oc) {
-    for (std::size_t oy = 0; oy < oh; ++oy) {
+  // Each flattened (oc, oy) output row is written by exactly one chunk;
+  // every element's arithmetic is independent of the thread count.
+  common::ParallelFor(num_threads, 0, cout * oh, 8, [&](std::size_t lo,
+                                                        std::size_t hi) {
+    for (std::size_t row = lo; row < hi; ++row) {
+      const std::size_t oc = row / oh;
+      const std::size_t oy = row % oh;
       for (std::size_t ox = 0; ox < ow; ++ox) {
         float acc = bias_[oc];
         for (std::size_t ic = 0; ic < cin; ++ic) {
@@ -72,7 +79,7 @@ Tensor Conv2d::Forward(const Tensor& x) const {
         y.At(oc, oy, ox) = acc;
       }
     }
-  }
+  });
   return y;
 }
 

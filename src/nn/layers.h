@@ -32,7 +32,10 @@ class Conv2d {
   Conv2d(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
          std::size_t stride, std::size_t padding, Rng& rng);
 
-  Tensor Forward(const Tensor& x) const;  // x: (Cin x H x W)
+  /// x: (Cin x H x W).  Output rows (oc, oy) are independent, so they are
+  /// computed in parallel over `num_threads` (<= 0: hardware concurrency,
+  /// 1: serial); every element is identical for every thread count.
+  Tensor Forward(const Tensor& x, int num_threads = 1) const;
 
   std::size_t out_channels() const { return weight_.dim(0); }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace cooper::nn {
 
 SparseConv3d::SparseConv3d(std::size_t in_ch, std::size_t out_ch, int kernel,
@@ -29,7 +31,7 @@ float& SparseConv3d::WeightAt(int kz, int ky, int kx, std::size_t cin,
   return weight_[WeightIndex(kz, ky, kx, cin, cout)];
 }
 
-SparseTensor SparseConv3d::Forward(const SparseTensor& x) const {
+SparseTensor SparseConv3d::Forward(const SparseTensor& x, int num_threads) const {
   COOPER_CHECK(x.channels() == in_ch_);
   const int pad = (mode_ == SparseConvMode::kSubmanifold) ? kernel_ / 2 : 0;
 
@@ -91,32 +93,38 @@ SparseTensor SparseConv3d::Forward(const SparseTensor& x) const {
   y.coords = std::move(out_coords);
   y.spatial_shape = out_shape;
   y.features = Tensor({y.coords.size(), out_ch_});
-  for (std::size_t row = 0; row < y.coords.size(); ++row) {
-    for (std::size_t co = 0; co < out_ch_; ++co) y.features.At(row, co) = bias_[co];
-    const auto& oc = y.coords[row];
-    for (int kz = 0; kz < kernel_; ++kz) {
-      for (int ky = 0; ky < kernel_; ++ky) {
-        for (int kx = 0; kx < kernel_; ++kx) {
-          pc::VoxelCoord ic;
-          if (mode_ == SparseConvMode::kSubmanifold) {
-            ic = {oc.x + kx - pad, oc.y + ky - pad, oc.z + kz - pad};
-          } else {
-            ic = {oc.x * stride_ + kx, oc.y * stride_ + ky, oc.z * stride_ + kz};
-          }
-          const auto it = in_index.find(ic);
-          if (it == in_index.end()) continue;
-          const std::size_t in_row = it->second;
-          for (std::size_t ci = 0; ci < in_ch_; ++ci) {
-            const float v = x.features.At(in_row, ci);
-            if (v == 0.0f) continue;
-            for (std::size_t co = 0; co < out_ch_; ++co) {
-              y.features.At(row, co) += v * weight_[WeightIndex(kz, ky, kx, ci, co)];
+  // Gather/accumulate per output row — rows touch disjoint feature slices
+  // and read shared inputs only, so they chunk freely across threads.
+  common::ParallelFor(
+      num_threads, 0, y.coords.size(), 64,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t row = lo; row < hi; ++row) {
+          for (std::size_t co = 0; co < out_ch_; ++co) y.features.At(row, co) = bias_[co];
+          const auto& oc = y.coords[row];
+          for (int kz = 0; kz < kernel_; ++kz) {
+            for (int ky = 0; ky < kernel_; ++ky) {
+              for (int kx = 0; kx < kernel_; ++kx) {
+                pc::VoxelCoord ic;
+                if (mode_ == SparseConvMode::kSubmanifold) {
+                  ic = {oc.x + kx - pad, oc.y + ky - pad, oc.z + kz - pad};
+                } else {
+                  ic = {oc.x * stride_ + kx, oc.y * stride_ + ky, oc.z * stride_ + kz};
+                }
+                const auto it = in_index.find(ic);
+                if (it == in_index.end()) continue;
+                const std::size_t in_row = it->second;
+                for (std::size_t ci = 0; ci < in_ch_; ++ci) {
+                  const float v = x.features.At(in_row, ci);
+                  if (v == 0.0f) continue;
+                  for (std::size_t co = 0; co < out_ch_; ++co) {
+                    y.features.At(row, co) += v * weight_[WeightIndex(kz, ky, kx, ci, co)];
+                  }
+                }
+              }
             }
           }
         }
-      }
-    }
-  }
+      });
   return y;
 }
 

@@ -41,7 +41,11 @@ class SparseConv3d {
   SparseConv3d(std::size_t in_ch, std::size_t out_ch, int kernel, int stride,
                SparseConvMode mode, Rng& rng);
 
-  SparseTensor Forward(const SparseTensor& x) const;
+  /// Runs the convolution.  `num_threads` parallelises the per-output-row
+  /// channel loops (<= 0: hardware concurrency, 1: serial); every row writes
+  /// only its own slice of the output, so results are identical for every
+  /// thread count.
+  SparseTensor Forward(const SparseTensor& x, int num_threads = 1) const;
 
   std::size_t out_channels() const { return out_ch_; }
   SparseConvMode mode() const { return mode_; }

@@ -63,6 +63,10 @@ class Reader {
     int shift = 0;
     while (pos_ < bytes_.size()) {
       const std::uint8_t b = bytes_[pos_++];
+      // The tenth byte sits at shift 63: only its lowest payload bit fits in
+      // a 64-bit value.  Anything above would be shifted out silently, so a
+      // would-be-truncated byte is a decode error, not a wrap-around.
+      if (shift == 63 && (b & 0x7e) != 0) return false;
       *v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
       if (!(b & 0x80)) return true;
       shift += 7;

@@ -1,29 +1,38 @@
 #include "pointcloud/icp.h"
 
 #include <cmath>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "geom/rotation.h"
 
 namespace cooper::pc {
 namespace {
 
+// One gated nearest-neighbour pair: the moved source point, its match in the
+// target cloud, and the squared distance between them.
+struct Correspondence {
+  geom::Vec3 src;
+  geom::Vec3 dst;
+  double d2 = 0.0;
+};
+
 // Closed-form planar Procrustes: the yaw + translation minimising the summed
 // squared distance between paired points (z handled as a mean offset).
-geom::Pose SolvePlanarRigid(const std::vector<geom::Vec3>& src,
-                            const std::vector<geom::Vec3>& dst) {
+geom::Pose SolvePlanarRigid(const std::vector<Correspondence>& corrs) {
   geom::Vec3 src_mean, dst_mean;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    src_mean += src[i];
-    dst_mean += dst[i];
+  for (const auto& c : corrs) {
+    src_mean += c.src;
+    dst_mean += c.dst;
   }
-  const double n = static_cast<double>(src.size());
+  const double n = static_cast<double>(corrs.size());
   src_mean *= 1.0 / n;
   dst_mean *= 1.0 / n;
 
   double sin_acc = 0.0, cos_acc = 0.0;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const double ax = src[i].x - src_mean.x, ay = src[i].y - src_mean.y;
-    const double bx = dst[i].x - dst_mean.x, by = dst[i].y - dst_mean.y;
+  for (const auto& c : corrs) {
+    const double ax = c.src.x - src_mean.x, ay = c.src.y - src_mean.y;
+    const double bx = c.dst.x - dst_mean.x, by = c.dst.y - dst_mean.y;
     sin_acc += ax * by - ay * bx;
     cos_acc += ax * bx + ay * by;
   }
@@ -31,6 +40,14 @@ geom::Pose SolvePlanarRigid(const std::vector<geom::Vec3>& src,
   const geom::Mat3 r = geom::Rz(yaw);
   const geom::Vec3 t = dst_mean - r * src_mean;
   return geom::Pose(r, t);
+}
+
+// RMS over the pair distances, summed in correspondence order so the result
+// is independent of how the gather was chunked across threads.
+double RmsError(const std::vector<Correspondence>& corrs) {
+  double err2 = 0.0;
+  for (const auto& c : corrs) err2 += c.d2;
+  return std::sqrt(err2 / static_cast<double>(corrs.size()));
 }
 
 }  // namespace
@@ -44,32 +61,60 @@ IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
   const KdTree tree(target);
   const std::size_t stride = std::max<std::size_t>(1, config.subsample_stride);
 
+  std::vector<std::uint32_t> sample;
+  sample.reserve(source.size() / stride + 1);
+  for (std::size_t i = 0; i < source.size(); i += stride) {
+    sample.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Correspondence search is the ICP hot path: every sampled point runs an
+  // independent read-only KdTree query, so the loop parallelises cleanly.
+  // Per-chunk results are concatenated in chunk order, which reproduces the
+  // serial gather order exactly for every thread count.
+  constexpr std::size_t kGrain = 256;
+  auto gather = [&](const geom::Pose& transform, double gate2) {
+    const std::size_t n = sample.size();
+    std::vector<std::vector<Correspondence>> parts((n + kGrain - 1) / kGrain);
+    common::ParallelFor(
+        config.num_threads, 0, n, kGrain,
+        [&](std::size_t lo, std::size_t hi) {
+          auto& out = parts[lo / kGrain];
+          out.reserve(hi - lo);
+          for (std::size_t k = lo; k < hi; ++k) {
+            const geom::Vec3 moved = transform * source[sample[k]].position;
+            const auto nn = tree.NearestWithin(moved, gate2);
+            if (!nn) continue;
+            out.push_back(
+                {moved, target[nn->index].position, nn->squared_distance});
+          }
+        });
+    std::vector<Correspondence> corrs;
+    corrs.reserve(n);
+    for (auto& p : parts) {
+      corrs.insert(corrs.end(), p.begin(), p.end());
+    }
+    return corrs;
+  };
+
   double gate = config.max_correspondence_distance;
+  double final_gate2 = gate * gate;
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     result.iterations = iter + 1;
     const double gate2 = gate * gate;
+    final_gate2 = gate2;
 
-    std::vector<geom::Vec3> src_pts, dst_pts;
-    double err2 = 0.0;
-    for (std::size_t i = 0; i < source.size(); i += stride) {
-      const geom::Vec3 moved = result.transform * source[i].position;
-      const auto nn = tree.NearestWithin(moved, gate2);
-      if (!nn) continue;
-      src_pts.push_back(moved);
-      dst_pts.push_back(target[nn->index].position);
-      err2 += nn->squared_distance;
-    }
-    result.correspondences = src_pts.size();
-    if (src_pts.size() < config.min_correspondences) {
+    const std::vector<Correspondence> corrs = gather(result.transform, gate2);
+    result.correspondences = corrs.size();
+    if (corrs.size() < config.min_correspondences) {
       result.converged = false;
       return result;
     }
-    result.rms_error = std::sqrt(err2 / static_cast<double>(src_pts.size()));
+    result.rms_error = RmsError(corrs);
     if (iter == 0) result.initial_rms = result.rms_error;
     gate = std::max(config.min_correspondence_distance,
                     gate * config.distance_decay);
 
-    const geom::Pose delta = SolvePlanarRigid(src_pts, dst_pts);
+    const geom::Pose delta = SolvePlanarRigid(corrs);
     result.transform = delta * result.transform;
 
     const double dt = delta.translation().Norm();
@@ -77,10 +122,20 @@ IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
     const double dyaw = std::abs(std::atan2(xaxis.y, xaxis.x));
     if (dt < config.translation_epsilon && dyaw < config.rotation_epsilon) {
       result.converged = true;
-      return result;
+      break;
     }
   }
-  result.converged = false;
+
+  // The loop's RMS was measured on correspondences gathered *before* the
+  // final delta was applied, overstating the residual by one iteration.
+  // Re-gather once under the final transform so rms_error reports the
+  // alignment actually achieved.
+  const std::vector<Correspondence> final_corrs =
+      gather(result.transform, final_gate2);
+  if (!final_corrs.empty()) {
+    result.correspondences = final_corrs.size();
+    result.rms_error = RmsError(final_corrs);
+  }
   return result;
 }
 

@@ -28,6 +28,10 @@ struct IcpConfig {
   double rotation_epsilon = 1e-5;            // radians
   std::size_t subsample_stride = 4;          // use every k-th source point
   std::size_t min_correspondences = 30;
+  // Threads for the correspondence search (<= 0: hardware concurrency,
+  // 1: serial).  Results are bit-identical for every thread count — the
+  // KdTree queries are read-only and gathered in deterministic chunk order.
+  int num_threads = 1;
 };
 
 struct IcpResult {
@@ -35,7 +39,9 @@ struct IcpResult {
   bool converged = false;
   int iterations = 0;
   double initial_rms = 0.0;       // before any correction (first iteration)
-  double rms_error = 0.0;         // over final correspondences
+  // RMS over correspondences gathered *after* the last transform update —
+  // the residual of the returned transform, not of the one before it.
+  double rms_error = 0.0;
   std::size_t correspondences = 0;
 
   /// Whether the alignment is worth applying: formal convergence, or a

@@ -1,6 +1,8 @@
 #include "pointcloud/kdtree.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace cooper::pc {
@@ -69,11 +71,15 @@ std::optional<KdTree::Neighbor> KdTree::Nearest(const geom::Vec3& query) const {
 
 std::optional<KdTree::Neighbor> KdTree::NearestWithin(
     const geom::Vec3& query, double max_squared_distance) const {
-  if (root_ < 0) return std::nullopt;
+  if (root_ < 0 || max_squared_distance < 0.0) return std::nullopt;
   Neighbor best;
-  best.squared_distance = max_squared_distance;
+  // Inclusive radius: a neighbour at exactly `max_squared_distance` counts.
+  // NearestImpl accepts strict improvements over the running bound, so seed
+  // it one ulp above the limit (d2 < nextafter(max) <=> d2 <= max).
+  best.squared_distance = std::nextafter(
+      max_squared_distance, std::numeric_limits<double>::infinity());
   NearestImpl(root_, query, &best);
-  if (best.squared_distance >= max_squared_distance) return std::nullopt;
+  if (best.squared_distance > max_squared_distance) return std::nullopt;
   return best;
 }
 

@@ -24,7 +24,10 @@ class KdTree {
   };
   std::optional<Neighbor> Nearest(const geom::Vec3& query) const;
 
-  /// Nearest neighbour within sqrt(max_squared_distance), if any.
+  /// Nearest neighbour within sqrt(max_squared_distance), if any.  The
+  /// radius is *inclusive*: a point at exactly the maximum squared distance
+  /// is returned.  All queries are const and safe to issue concurrently
+  /// from multiple threads once the tree is built.
   std::optional<Neighbor> NearestWithin(const geom::Vec3& query,
                                         double max_squared_distance) const;
 

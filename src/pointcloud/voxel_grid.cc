@@ -1,29 +1,71 @@
 #include "pointcloud/voxel_grid.h"
 
 #include <cmath>
+#include <optional>
+
+#include "common/thread_pool.h"
 
 namespace cooper::pc {
+namespace {
+
+// Voxel coordinate of `p`, or nullopt when outside the grid bounds.
+std::optional<VoxelCoord> CoordOf(const geom::Vec3& p,
+                                  const VoxelGridConfig& config) {
+  if (p.x < config.min_bound.x || p.x >= config.max_bound.x ||
+      p.y < config.min_bound.y || p.y >= config.max_bound.y ||
+      p.z < config.min_bound.z || p.z >= config.max_bound.z) {
+    return std::nullopt;
+  }
+  return VoxelCoord{
+      static_cast<std::int32_t>(std::floor((p.x - config.min_bound.x) / config.voxel_size.x)),
+      static_cast<std::int32_t>(std::floor((p.y - config.min_bound.y) / config.voxel_size.y)),
+      static_cast<std::int32_t>(std::floor((p.z - config.min_bound.z) / config.voxel_size.z))};
+}
+
+}  // namespace
 
 VoxelGrid::VoxelGrid(const PointCloud& cloud, const VoxelGridConfig& config)
     : config_(config) {
-  for (std::uint32_t i = 0; i < cloud.size(); ++i) {
-    const auto& p = cloud[i].position;
-    if (p.x < config_.min_bound.x || p.x >= config_.max_bound.x ||
-        p.y < config_.min_bound.y || p.y >= config_.max_bound.y ||
-        p.z < config_.min_bound.z || p.z >= config_.max_bound.z) {
-      continue;
-    }
-    const VoxelCoord c{
-        static_cast<std::int32_t>(std::floor((p.x - config_.min_bound.x) / config_.voxel_size.x)),
-        static_cast<std::int32_t>(std::floor((p.y - config_.min_bound.y) / config_.voxel_size.y)),
-        static_cast<std::int32_t>(std::floor((p.z - config_.min_bound.z) / config_.voxel_size.z))};
-    auto [it, inserted] = index_.try_emplace(c, voxels_.size());
-    if (inserted) {
-      voxels_.push_back(Voxel{c, {}});
-    }
-    auto& voxel = voxels_[it->second];
-    if (voxel.point_indices.size() < config_.max_points_per_voxel) {
-      voxel.point_indices.push_back(i);
+  // Parallel phase: group each chunk of points into chunk-local voxels.
+  struct LocalGrid {
+    std::vector<Voxel> voxels;
+    std::unordered_map<VoxelCoord, std::size_t, VoxelCoordHash> index;
+  };
+  const std::size_t n = cloud.size();
+  constexpr std::size_t kGrain = 8192;
+  std::vector<LocalGrid> parts((n + kGrain - 1) / kGrain);
+  common::ParallelFor(
+      config_.num_threads, 0, n, kGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        LocalGrid& local = parts[lo / kGrain];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const auto c = CoordOf(cloud[i].position, config_);
+          if (!c) continue;
+          auto [it, inserted] = local.index.try_emplace(*c, local.voxels.size());
+          if (inserted) local.voxels.push_back(Voxel{*c, {}});
+          auto& voxel = local.voxels[it->second];
+          if (voxel.point_indices.size() < config_.max_points_per_voxel) {
+            voxel.point_indices.push_back(static_cast<std::uint32_t>(i));
+          }
+        }
+      });
+
+  // Serial merge in chunk order.  Voxels appear in first-appearance order
+  // over the chunk-ordered traversal, and per-voxel indices concatenate in
+  // ascending point order — both identical to a serial single pass.
+  for (auto& local : parts) {
+    for (auto& lv : local.voxels) {
+      auto [it, inserted] = index_.try_emplace(lv.coord, voxels_.size());
+      if (inserted) {
+        voxels_.push_back(std::move(lv));
+        continue;
+      }
+      auto& voxel = voxels_[it->second];
+      for (const auto idx : lv.point_indices) {
+        if (voxel.point_indices.size() < config_.max_points_per_voxel) {
+          voxel.point_indices.push_back(idx);
+        }
+      }
     }
   }
 }
@@ -44,16 +86,9 @@ geom::Vec3 VoxelGrid::VoxelCenter(const VoxelCoord& c) const {
 }
 
 const Voxel* VoxelGrid::Find(const geom::Vec3& p) const {
-  if (p.x < config_.min_bound.x || p.x >= config_.max_bound.x ||
-      p.y < config_.min_bound.y || p.y >= config_.max_bound.y ||
-      p.z < config_.min_bound.z || p.z >= config_.max_bound.z) {
-    return nullptr;
-  }
-  const VoxelCoord c{
-      static_cast<std::int32_t>(std::floor((p.x - config_.min_bound.x) / config_.voxel_size.x)),
-      static_cast<std::int32_t>(std::floor((p.y - config_.min_bound.y) / config_.voxel_size.y)),
-      static_cast<std::int32_t>(std::floor((p.z - config_.min_bound.z) / config_.voxel_size.z))};
-  const auto it = index_.find(c);
+  const auto c = CoordOf(p, config_);
+  if (!c) return nullptr;
+  const auto it = index_.find(*c);
   return it == index_.end() ? nullptr : &voxels_[it->second];
 }
 
@@ -64,19 +99,25 @@ double VoxelGrid::Occupancy() const {
 }
 
 PointCloud VoxelGrid::Downsample(const PointCloud& cloud) const {
-  PointCloud out;
-  out.reserve(voxels_.size());
-  for (const auto& v : voxels_) {
-    geom::Vec3 sum;
-    double refl = 0.0;
-    for (const auto idx : v.point_indices) {
-      sum += cloud[idx].position;
-      refl += cloud[idx].reflectance;
-    }
-    const double n = static_cast<double>(v.point_indices.size());
-    out.Add(sum / n, static_cast<float>(refl / n));
-  }
-  return out;
+  // Each voxel reduces independently into its own output slot, so the
+  // centroid order matches the voxel order at every thread count.
+  std::vector<Point> out(voxels_.size());
+  common::ParallelFor(
+      config_.num_threads, 0, voxels_.size(), 512,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t vi = lo; vi < hi; ++vi) {
+          const Voxel& v = voxels_[vi];
+          geom::Vec3 sum;
+          double refl = 0.0;
+          for (const auto idx : v.point_indices) {
+            sum += cloud[idx].position;
+            refl += cloud[idx].reflectance;
+          }
+          const double n = static_cast<double>(v.point_indices.size());
+          out[vi] = Point{sum / n, static_cast<float>(refl / n)};
+        }
+      });
+  return PointCloud(std::move(out));
 }
 
 }  // namespace cooper::pc

@@ -37,6 +37,10 @@ struct VoxelGridConfig {
   geom::Vec3 max_bound{70.4, 40.0, 1.0};
   geom::Vec3 voxel_size{0.2, 0.2, 0.4};
   std::size_t max_points_per_voxel = 35;    // VoxelNet-style cap
+  // Threads for voxel assignment and Downsample (<= 0: hardware concurrency,
+  // 1: serial).  Voxel order and per-voxel point order are identical for
+  // every thread count (chunked grouping merged in chunk order).
+  int num_threads = 1;
 };
 
 /// One occupied voxel: its grid coordinate and the indices of its points.

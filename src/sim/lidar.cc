@@ -1,8 +1,24 @@
 #include "sim/lidar.h"
 
 #include <cmath>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace cooper::sim {
+namespace {
+
+// Geometry of one cast ray, produced by the parallel phase.  The stochastic
+// phase (dropout, range noise) stays serial so the Rng stream is consumed in
+// the same ray order regardless of thread count.
+struct RayReturn {
+  geom::Vec3 dir;      // world frame, unit length
+  double t = 0.0;      // hit distance
+  float reflectance = 0.0f;
+  bool hit = false;
+};
+
+}  // namespace
 
 LidarConfig Hdl64Config() {
   LidarConfig c;
@@ -38,30 +54,51 @@ pc::PointCloud LidarSimulator::Scan(const Scene& scene,
   const geom::Vec3 origin = sensor_pose.translation();
   const geom::Pose world_to_sensor = sensor_pose.Inverse();
 
-  for (int b = 0; b < config_.beams; ++b) {
-    // Evenly spaced elevations from fov_up down to fov_down.
-    const double frac = config_.beams > 1
-                            ? static_cast<double>(b) / (config_.beams - 1)
-                            : 0.5;
-    const double elev = geom::DegToRad(
-        config_.fov_up_deg + frac * (config_.fov_down_deg - config_.fov_up_deg));
-    const double ce = std::cos(elev), se = std::sin(elev);
-    for (int a = 0; a < config_.azimuth_steps; ++a) {
-      const double az =
-          2.0 * 3.141592653589793238462643 * a / config_.azimuth_steps;
-      // Direction in the sensor frame, rotated to world.
-      const geom::Vec3 dir_sensor{ce * std::cos(az), ce * std::sin(az), se};
-      const geom::Vec3 dir = sensor_pose.RotateOnly(dir_sensor);
-      const auto hit = scene.CastRay(origin, dir, config_.min_range, config_.max_range);
-      if (!hit) continue;
-      if (config_.dropout_prob > 0.0 && rng.Bernoulli(config_.dropout_prob)) continue;
-      double t = hit->t;
-      if (config_.range_noise_stddev > 0.0) {
-        t = std::max(config_.min_range, t + rng.Normal(0.0, config_.range_noise_stddev));
-      }
-      const geom::Vec3 world_point = origin + dir * t;
-      cloud.Add(world_to_sensor * world_point, static_cast<float>(hit->reflectance));
+  // Parallel phase: cast every ray (pure geometry, read-only scene), one
+  // beam per chunk, each beam writing its own slice of `rays`.
+  const std::size_t beams = static_cast<std::size_t>(config_.beams);
+  const std::size_t steps = static_cast<std::size_t>(config_.azimuth_steps);
+  std::vector<RayReturn> rays(beams * steps);
+  common::ParallelFor(
+      config_.num_threads, 0, beams, 1,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t b = lo; b < hi; ++b) {
+          // Evenly spaced elevations from fov_up down to fov_down.
+          const double frac =
+              beams > 1 ? static_cast<double>(b) / (config_.beams - 1) : 0.5;
+          const double elev = geom::DegToRad(
+              config_.fov_up_deg +
+              frac * (config_.fov_down_deg - config_.fov_up_deg));
+          const double ce = std::cos(elev), se = std::sin(elev);
+          for (std::size_t a = 0; a < steps; ++a) {
+            const double az = 2.0 * 3.141592653589793238462643 *
+                              static_cast<double>(a) / config_.azimuth_steps;
+            // Direction in the sensor frame, rotated to world.
+            const geom::Vec3 dir_sensor{ce * std::cos(az), ce * std::sin(az), se};
+            RayReturn& out = rays[b * steps + a];
+            out.dir = sensor_pose.RotateOnly(dir_sensor);
+            const auto hit = scene.CastRay(origin, out.dir, config_.min_range,
+                                           config_.max_range);
+            if (!hit) continue;
+            out.hit = true;
+            out.t = hit->t;
+            out.reflectance = static_cast<float>(hit->reflectance);
+          }
+        }
+      });
+
+  // Serial phase: dropout and range noise consume `rng` in (beam, azimuth)
+  // order — the stream the serial implementation consumed — so the cloud is
+  // bit-identical for every thread count.
+  for (const RayReturn& ray : rays) {
+    if (!ray.hit) continue;
+    if (config_.dropout_prob > 0.0 && rng.Bernoulli(config_.dropout_prob)) continue;
+    double t = ray.t;
+    if (config_.range_noise_stddev > 0.0) {
+      t = std::max(config_.min_range, t + rng.Normal(0.0, config_.range_noise_stddev));
     }
+    const geom::Vec3 world_point = origin + ray.dir * t;
+    cloud.Add(world_to_sensor * world_point, ray.reflectance);
   }
   return cloud;
 }
@@ -75,25 +112,54 @@ pc::PointCloud LidarSimulator::ScanMoving(const Scene& scene,
 
   const geom::Pose mount(geom::Mat3::Identity(), {0.0, 0.0, config_.sensor_height});
 
-  for (int a = 0; a < config_.azimuth_steps; ++a) {
-    const double az =
-        2.0 * 3.141592653589793238462643 * a / config_.azimuth_steps;
-    const double t = revolution_s * a / config_.azimuth_steps;
-    const geom::Pose sensor_pose = start_pose * motion.PoseAt(t) * mount;
-    const geom::Vec3 origin = sensor_pose.translation();
-    for (int b = 0; b < config_.beams; ++b) {
-      const double frac = config_.beams > 1
-                              ? static_cast<double>(b) / (config_.beams - 1)
-                              : 0.5;
-      const double elev = geom::DegToRad(
-          config_.fov_up_deg + frac * (config_.fov_down_deg - config_.fov_up_deg));
-      const double ce = std::cos(elev), se = std::sin(elev);
-      const geom::Vec3 dir_sensor{ce * std::cos(az), ce * std::sin(az), se};
-      const geom::Vec3 dir = sensor_pose.RotateOnly(dir_sensor);
-      const auto hit = scene.CastRay(origin, dir, config_.min_range, config_.max_range);
-      if (!hit) continue;
+  // Parallel phase: each azimuth column has its own instantaneous sensor
+  // pose; columns are independent, so they chunk across threads.
+  const std::size_t beams = static_cast<std::size_t>(config_.beams);
+  const std::size_t steps = static_cast<std::size_t>(config_.azimuth_steps);
+  std::vector<RayReturn> rays(beams * steps);
+  std::vector<geom::Pose> world_to_sensor(steps);
+  std::vector<geom::Vec3> origins(steps);
+  common::ParallelFor(
+      config_.num_threads, 0, steps, 8,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t a = lo; a < hi; ++a) {
+          const double az = 2.0 * 3.141592653589793238462643 *
+                            static_cast<double>(a) / config_.azimuth_steps;
+          const double t =
+              revolution_s * static_cast<double>(a) / config_.azimuth_steps;
+          const geom::Pose sensor_pose = start_pose * motion.PoseAt(t) * mount;
+          const geom::Vec3 origin = sensor_pose.translation();
+          origins[a] = origin;
+          world_to_sensor[a] = sensor_pose.Inverse();
+          for (std::size_t b = 0; b < beams; ++b) {
+            const double frac =
+                beams > 1 ? static_cast<double>(b) / (config_.beams - 1) : 0.5;
+            const double elev = geom::DegToRad(
+                config_.fov_up_deg +
+                frac * (config_.fov_down_deg - config_.fov_up_deg));
+            const double ce = std::cos(elev), se = std::sin(elev);
+            const geom::Vec3 dir_sensor{ce * std::cos(az), ce * std::sin(az), se};
+            RayReturn& out = rays[a * beams + b];
+            out.dir = sensor_pose.RotateOnly(dir_sensor);
+            const auto hit = scene.CastRay(origin, out.dir, config_.min_range,
+                                           config_.max_range);
+            if (!hit) continue;
+            out.hit = true;
+            out.t = hit->t;
+            out.reflectance = static_cast<float>(hit->reflectance);
+          }
+        }
+      });
+
+  // Serial phase: stochastic draws in (azimuth, beam) order, matching the
+  // serial implementation's Rng stream exactly.
+  for (std::size_t a = 0; a < steps; ++a) {
+    const geom::Vec3& origin = origins[a];
+    for (std::size_t b = 0; b < beams; ++b) {
+      const RayReturn& ray = rays[a * beams + b];
+      if (!ray.hit) continue;
       if (config_.dropout_prob > 0.0 && rng.Bernoulli(config_.dropout_prob)) continue;
-      double range = hit->t;
+      double range = ray.t;
       if (config_.range_noise_stddev > 0.0) {
         range = std::max(config_.min_range,
                          range + rng.Normal(0.0, config_.range_noise_stddev));
@@ -101,9 +167,8 @@ pc::PointCloud LidarSimulator::ScanMoving(const Scene& scene,
       // Naive logging: the sensor measures in its *instantaneous* frame and
       // the logger stamps the whole frame with the sweep-start pose — the
       // skew appears when these coordinates are interpreted in one frame.
-      const geom::Vec3 world_point = origin + dir * range;
-      cloud.Add(sensor_pose.Inverse() * world_point,
-                static_cast<float>(hit->reflectance));
+      const geom::Vec3 world_point = origin + ray.dir * range;
+      cloud.Add(world_to_sensor[a] * world_point, ray.reflectance);
     }
   }
   return cloud;

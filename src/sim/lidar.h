@@ -25,6 +25,11 @@ struct LidarConfig {
   double range_noise_stddev = 0.02; // metres (1 sigma)
   double dropout_prob = 0.02;       // per-ray probability of a lost return
   double sensor_height = 1.73;      // mount height above vehicle origin
+  // Threads for ray-casting (<= 0: hardware concurrency, 1: serial).  Scans
+  // are bit-identical for every thread count: the ray geometry runs in
+  // parallel, while dropout/noise draws consume the caller's Rng serially in
+  // fixed ray order.
+  int num_threads = 1;
 };
 
 /// HDL-64-class config (KITTI-style dense clouds).

@@ -5,7 +5,10 @@
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace cooper::spod {
 namespace {
@@ -46,7 +49,8 @@ class DisjointSet {
 
 std::vector<Cluster> ClusterPoints(const pc::PointCloud& cloud,
                                    double merge_radius,
-                                   std::size_t min_points) {
+                                   std::size_t min_points,
+                                   int num_threads) {
   if (cloud.empty()) return {};
   const double cell = merge_radius;
   std::unordered_map<CellKey, std::vector<std::uint32_t>, CellKeyHash> grid;
@@ -58,24 +62,48 @@ std::vector<Cluster> ClusterPoints(const pc::PointCloud& cloud,
         .push_back(i);
   }
 
-  DisjointSet ds(cloud.size());
+  // Stable cell list so the parallel sweep chunks deterministically.
+  std::vector<const std::pair<const CellKey, std::vector<std::uint32_t>>*> cells;
+  cells.reserve(grid.size());
+  for (const auto& kv : grid) cells.push_back(&kv);
+
+  // Parallel phase: the O(pairs) distance sweep — each seed cell emits the
+  // merge edges of its 3x3 neighbourhood into its chunk's buffer.
+  struct Edge {
+    std::uint32_t i, j;
+  };
   const double r2 = merge_radius * merge_radius;
-  for (const auto& [key, indices] : grid) {
-    // Check the 3x3 neighbourhood (half to avoid double work).
-    for (int dy = -1; dy <= 1; ++dy) {
-      for (int dx = -1; dx <= 1; ++dx) {
-        const auto it = grid.find(CellKey{key.x + dx, key.y + dy});
-        if (it == grid.end()) continue;
-        for (const auto i : indices) {
-          for (const auto j : it->second) {
-            if (j <= i) continue;
-            const double ddx = cloud[i].position.x - cloud[j].position.x;
-            const double ddy = cloud[i].position.y - cloud[j].position.y;
-            if (ddx * ddx + ddy * ddy <= r2) ds.Union(i, j);
+  constexpr std::size_t kGrain = 32;
+  std::vector<std::vector<Edge>> parts((cells.size() + kGrain - 1) / kGrain);
+  common::ParallelFor(
+      num_threads, 0, cells.size(), kGrain,
+      [&](std::size_t lo, std::size_t hi) {
+        auto& out = parts[lo / kGrain];
+        for (std::size_t ci = lo; ci < hi; ++ci) {
+          const CellKey& key = cells[ci]->first;
+          const auto& indices = cells[ci]->second;
+          // Check the 3x3 neighbourhood (half to avoid double work).
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const auto it = grid.find(CellKey{key.x + dx, key.y + dy});
+              if (it == grid.end()) continue;
+              for (const auto i : indices) {
+                for (const auto j : it->second) {
+                  if (j <= i) continue;
+                  const double ddx = cloud[i].position.x - cloud[j].position.x;
+                  const double ddy = cloud[i].position.y - cloud[j].position.y;
+                  if (ddx * ddx + ddy * ddy <= r2) out.push_back({i, j});
+                }
+              }
+            }
           }
         }
-      }
-    }
+      });
+
+  // Serial phase: union-find over the gathered edges.
+  DisjointSet ds(cloud.size());
+  for (const auto& part : parts) {
+    for (const auto& e : part) ds.Union(e.i, e.j);
   }
 
   std::unordered_map<std::size_t, Cluster> by_root;

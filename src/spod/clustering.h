@@ -19,10 +19,15 @@ struct Cluster {
 
 /// Groups points whose BEV distance is below `merge_radius` into connected
 /// components (grid-hashed single-linkage). Components smaller than
-/// `min_points` are discarded.
+/// `min_points` are discarded.  `num_threads` parallelises the pair-distance
+/// sweep (<= 0: hardware concurrency, 1: serial); the output is identical
+/// for every thread count — merge edges are gathered per grid cell and
+/// union-find runs serially, and component membership does not depend on
+/// union order anyway.
 std::vector<Cluster> ClusterPoints(const pc::PointCloud& cloud,
                                    double merge_radius,
-                                   std::size_t min_points);
+                                   std::size_t min_points,
+                                   int num_threads = 1);
 
 /// Minimum-area oriented bounding box of a cluster: yaw is searched over
 /// [0, 90) degrees (the rectangle is symmetric beyond that), extents come

@@ -1,19 +1,13 @@
 #include "spod/detector.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
+#include "common/timer.h"
 #include "spod/clustering.h"
 
 namespace cooper::spod {
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double ElapsedUs(Clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
-}
 
 // Deterministic per-object score jitter in [-amp, amp]: stands in for the
 // residual per-instance variation a trained network exhibits (pose, paint,
@@ -125,9 +119,9 @@ pc::PointCloud SpodDetector::Densify(const pc::PointCloud& cloud) const {
 
 SpodResult SpodDetector::Detect(const pc::PointCloud& input) const {
   if (!config_.densify_sparse_input) return DetectPreprocessed(input);
-  const auto t0 = Clock::now();
+  common::StageTimer timer;
   const pc::PointCloud densified = Densify(input);
-  const double densify_us = ElapsedUs(t0);
+  const double densify_us = timer.Lap("densify");
   SpodResult result = DetectPreprocessed(densified);
   result.num_input_points = input.size();
   result.timings.preprocess_us += densify_us;
@@ -137,48 +131,45 @@ SpodResult SpodDetector::Detect(const pc::PointCloud& input) const {
 SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
   SpodResult result;
   result.num_input_points = input.size();
+  common::StageTimer timer;
 
   // --- Stage 1: preprocessing. ---
-  auto t0 = Clock::now();
   pc::PointCloud cloud = input;
   cloud.RemoveInvalid();
   const double ground_z = pc::EstimateGroundZ(cloud);
   pc::PointCloud above = cloud.FilterMinZ(ground_z + config_.ground_margin);
-  result.timings.preprocess_us = ElapsedUs(t0);
+  result.timings.preprocess_us = timer.Lap("preprocess");
 
   // --- Stage 2: voxelisation + VFE. ---
-  t0 = Clock::now();
-  pc::VoxelGrid grid(above, config_.voxel);
+  pc::VoxelGridConfig voxel_cfg = config_.voxel;
+  voxel_cfg.num_threads = config_.num_threads;
+  pc::VoxelGrid grid(above, voxel_cfg);
   result.num_voxels = grid.voxels().size();
-  result.timings.voxelize_us = ElapsedUs(t0);
+  result.timings.voxelize_us = timer.Lap("voxelize");
 
-  t0 = Clock::now();
   nn::SparseTensor features = net_.vfe.Encode(above, grid);
-  result.timings.vfe_us = ElapsedUs(t0);
+  result.timings.vfe_us = timer.Lap("vfe");
 
   // --- Stage 3: sparse convolutional middle layers. ---
-  t0 = Clock::now();
-  nn::SparseTensor mid = net_.mid_sub1.Forward(features);
+  nn::SparseTensor mid = net_.mid_sub1.Forward(features, config_.num_threads);
   mid.features.Relu();
-  mid = net_.mid_down.Forward(mid);
+  mid = net_.mid_down.Forward(mid, config_.num_threads);
   mid.features.Relu();
-  mid = net_.mid_sub2.Forward(mid);
+  mid = net_.mid_sub2.Forward(mid, config_.num_threads);
   mid.features.Relu();
-  result.timings.middle_us = ElapsedUs(t0);
+  result.timings.middle_us = timer.Lap("middle");
 
   // --- Stage 4: RPN over the BEV map. ---
-  t0 = Clock::now();
   nn::Tensor bev = nn::SparseToBev(mid);
-  nn::Tensor rpn = net_.rpn_conv1.Forward(bev);
+  nn::Tensor rpn = net_.rpn_conv1.Forward(bev, config_.num_threads);
   rpn.Relu();
-  rpn = net_.rpn_conv2.Forward(rpn);
+  rpn = net_.rpn_conv2.Forward(rpn, config_.num_threads);
   rpn.Relu();
-  result.timings.rpn_us = ElapsedUs(t0);
+  result.timings.rpn_us = timer.Lap("rpn");
 
   // --- Stage 5: proposals, confidence, NMS. ---
-  t0 = Clock::now();
   auto clusters = ClusterPoints(above, config_.cluster_merge_radius,
-                                config_.min_cluster_points);
+                                config_.min_cluster_points, config_.num_threads);
   // Oversized clusters are usually several objects bridged by stray returns
   // (a car parked against a truck); split them once at a tighter radius so
   // the parts get their own proposals instead of a blanket rejection.
@@ -189,7 +180,8 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
       if (probe.length > config_.max_length || probe.width > config_.max_width) {
         auto parts = ClusterPoints(cluster.points,
                                    0.55 * config_.cluster_merge_radius,
-                                   config_.min_cluster_points);
+                                   config_.min_cluster_points,
+                                   config_.num_threads);
         for (auto& part : parts) refined.push_back(std::move(part));
       } else {
         refined.push_back(std::move(cluster));
@@ -312,7 +304,7 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
   // detections ("X" cells need the sub-threshold score to exist); keep all.
   result.detections.reserve(kept.size());
   for (auto& k : kept) result.detections.push_back(k.det);
-  result.timings.proposals_us = ElapsedUs(t0);
+  result.timings.proposals_us = timer.Lap("proposals");
   return result;
 }
 

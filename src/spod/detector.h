@@ -26,7 +26,9 @@
 
 namespace cooper::spod {
 
-/// Per-stage wall-clock cost of one Detect() call, microseconds.
+/// Per-stage wall-clock cost of one Detect() call, microseconds (recorded
+/// with common::StageTimer; CooperPipeline::DetectCooperative layers its
+/// own reconstruct/icp/merge/detect laps on top).
 struct StageTimings {
   double preprocess_us = 0.0;
   double voxelize_us = 0.0;

@@ -1,12 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
+#include <numeric>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
 
 namespace cooper {
 namespace {
@@ -214,6 +221,141 @@ TEST(FormatTest, ScoreCellGrammar) {
   EXPECT_EQ(FormatScoreCell(0.76, true, 0.5), "0.76");
   EXPECT_EQ(FormatScoreCell(0.40, true, 0.5), "X");   // missed detection
   EXPECT_EQ(FormatScoreCell(0.90, false, 0.5), "");   // out of detection area
+}
+
+// --- ThreadPool / ParallelFor ---
+
+TEST(ThreadPoolTest, CoversEveryElementExactlyOnce) {
+  for (const int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> visits(1000);
+    common::ParallelFor(threads, 0, visits.size(), 7,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+                        });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokes) {
+  std::atomic<int> calls{0};
+  common::ParallelFor(4, 5, 5, 8,
+                      [&](std::size_t, std::size_t) { ++calls; });
+  common::ParallelFor(4, 9, 3, 8,
+                      [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeIsOneChunk) {
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  common::ParallelFor(8, 2, 12, 100, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 2u);
+  EXPECT_EQ(chunks[0].second, 12u);
+}
+
+TEST(ThreadPoolTest, ChunkDecompositionIndependentOfThreadCount) {
+  // The determinism contract: chunk boundaries depend only on range and
+  // grain, so per-chunk results merged in chunk order are identical at any
+  // thread count.
+  auto boundaries = [](int threads) {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    common::ParallelFor(threads, 3, 500, 13,
+                        [&](std::size_t lo, std::size_t hi) {
+                          std::lock_guard<std::mutex> lock(mu);
+                          chunks.emplace_back(lo, hi);
+                        });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto serial = boundaries(1);
+  EXPECT_EQ(boundaries(2), serial);
+  EXPECT_EQ(boundaries(8), serial);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  for (const int threads : {1, 4}) {
+    EXPECT_THROW(
+        common::ParallelFor(threads, 0, 100, 5,
+                            [&](std::size_t lo, std::size_t) {
+                              if (lo >= 50) throw std::runtime_error("boom");
+                            }),
+        std::runtime_error)
+        << "threads " << threads;
+  }
+  // The pool survives a failed call and keeps working.
+  std::atomic<int> sum{0};
+  common::ParallelFor(4, 0, 10, 1,
+                      [&](std::size_t lo, std::size_t) { sum += static_cast<int>(lo); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A ParallelFor issued from inside a chunk must not deadlock the pool.
+  std::atomic<int> inner_total{0};
+  common::ParallelFor(4, 0, 8, 1, [&](std::size_t, std::size_t) {
+    common::ParallelFor(4, 0, 4, 1, [&](std::size_t, std::size_t) {
+      ++inner_total;
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPoolTest, OwnedPoolUsesRealWorkers) {
+  // A pool built with 4 keeps 3 workers regardless of host core count, so
+  // this exercises genuine cross-thread chunk claiming even on one core.
+  common::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> visits(257);
+  pool.ParallelFor(0, visits.size(), 3, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  // Exception from a worker-executed chunk reaches the caller, and the pool
+  // stays usable afterwards.
+  EXPECT_THROW(pool.ParallelFor(0, 64, 1,
+                                [](std::size_t, std::size_t) {
+                                  throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 64, 1, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ResolveThreadsSemantics) {
+  EXPECT_GE(common::ResolveThreads(0), 1);
+  EXPECT_GE(common::ResolveThreads(-3), 1);
+  EXPECT_EQ(common::ResolveThreads(1), 1);
+  EXPECT_EQ(common::ResolveThreads(6), 6);
+}
+
+// --- StageTimer ---
+
+TEST(StageTimerTest, LapsAccumulateInFirstRecordedOrder) {
+  common::StageTimer timer;
+  timer.Lap("a");
+  timer.Lap("b");
+  timer.Lap("a");
+  ASSERT_EQ(timer.laps().size(), 2u);
+  EXPECT_EQ(timer.laps()[0].first, "a");
+  EXPECT_EQ(timer.laps()[1].first, "b");
+  EXPECT_GE(timer.Us("a"), 0.0);
+  EXPECT_EQ(timer.Us("missing"), 0.0);
+  EXPECT_NEAR(timer.TotalUs(), timer.Us("a") + timer.Us("b"), 1e-9);
+  EXPECT_NE(timer.Summary().find("a "), std::string::npos);
+}
+
+TEST(StageTimerTest, ResetClears) {
+  common::StageTimer timer;
+  timer.Lap("x");
+  timer.Reset();
+  EXPECT_TRUE(timer.laps().empty());
+  EXPECT_EQ(timer.TotalUs(), 0.0);
 }
 
 // --- Logging ---

@@ -4,6 +4,9 @@
 // data.  Seeds are fixed, so failures reproduce.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+
 #include "common/rng.h"
 #include "core/demand.h"
 #include "net/auth.h"
@@ -98,6 +101,83 @@ TEST(FuzzTest, CodecDecoderNeverCrashes) {
     }
   }
   SUCCEED();
+}
+
+// Byte-level writers mirroring the codec wire format (little endian).
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void PutF64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+// Header for a one-point, non-delta stream at the given resolution.
+std::vector<std::uint8_t> CodecHeader(double resolution) {
+  std::vector<std::uint8_t> bytes;
+  PutU32(bytes, 0x43504331);  // "CPC1"
+  PutU32(bytes, 1);           // point count
+  bytes.push_back(0);         // flags: no delta
+  PutF64(bytes, resolution);
+  PutF64(bytes, 0.0);  // origin x, y, z
+  PutF64(bytes, 0.0);
+  PutF64(bytes, 0.0);
+  return bytes;
+}
+
+TEST(FuzzTest, VarintOverflowBitsRejected) {
+  // Regression: a ten-byte varint whose last byte carries payload above bit
+  // 63 used to be truncated silently (the bits were shifted out).  The
+  // decoder must reject it as corrupt instead of accepting a wrapped value.
+  auto stream_with_final_byte = [](std::uint8_t last) {
+    auto bytes = CodecHeader(0.01);
+    for (int i = 0; i < 9; ++i) bytes.push_back(0x80);  // 63 bits of zero
+    bytes.push_back(last);                              // tenth byte
+    // y, z varints and reflectance so a *valid* x still decodes fully.
+    bytes.push_back(0x00);
+    bytes.push_back(0x00);
+    bytes.push_back(0x00);
+    return bytes;
+  };
+  // Any payload bit beyond bit 63 is an error...
+  for (const std::uint8_t bad : {0x02, 0x40, 0x7e, 0x03}) {
+    EXPECT_FALSE(pc::CloudCodec::Decode(stream_with_final_byte(bad)).ok())
+        << "accepted overflow byte " << static_cast<int>(bad);
+  }
+  // ...while the maximal legal tenth byte (bit 63 only) still decodes.
+  const auto max_legal = pc::CloudCodec::Decode(stream_with_final_byte(0x01));
+  ASSERT_TRUE(max_legal.ok());
+  EXPECT_EQ(max_legal->size(), 1u);
+  EXPECT_TRUE(std::isfinite((*max_legal)[0].position.x));
+}
+
+TEST(FuzzTest, ExtremeQuantizedCoordinatesRoundTrip) {
+  // Coordinates whose quantised values need the full ten-byte varint range
+  // (|q| up to ~7e18) must survive encode -> decode without truncation.
+  for (const bool delta : {false, true}) {
+    pc::CodecConfig cfg;
+    cfg.resolution = 0.25;
+    cfg.delta_encode = delta;
+    pc::PointCloud cloud;
+    const double e = 9.0e17;
+    for (const double x : {-e, 0.0, e}) {
+      for (const double y : {-e, e}) {
+        cloud.Add({x, y, 0.0}, 0.5f);
+      }
+    }
+    const auto bytes = pc::CloudCodec(cfg).Encode(cloud);
+    const auto decoded = pc::CloudCodec::Decode(bytes);
+    ASSERT_TRUE(decoded.ok()) << "delta " << delta;
+    ASSERT_EQ(decoded->size(), cloud.size());
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+      // Quantisation error is resolution/2; at 9e17 the double arithmetic
+      // adds a few hundred ulp (each 128 here) — truncation would be ~1e18.
+      EXPECT_NEAR((*decoded)[i].position.x, cloud[i].position.x, 2048.0);
+      EXPECT_NEAR((*decoded)[i].position.y, cloud[i].position.y, 2048.0);
+      EXPECT_NEAR((*decoded)[i].position.z, cloud[i].position.z, 2048.0);
+    }
+  }
 }
 
 TEST(FuzzTest, KittiBytesParserNeverCrashes) {

@@ -150,6 +150,62 @@ TEST(IntegrationTest, DetectionTimeOverheadIsBounded) {
   EXPECT_LT(coop_us, 4.0 * single_us);
 }
 
+TEST(IntegrationTest, DetectionIsThreadCountInvariant) {
+  // The threading contract (DESIGN.md "Threading model"): every parallel hot
+  // path chunks deterministically, so the full pipeline — simulation, codec,
+  // reconstruction, fusion, detection — produces bit-identical output at any
+  // thread count.
+  const auto sc = sim::MakeTjScenario(1);
+  const geom::Vec3 mount{0, 0, sc.lidar.sensor_height};
+  auto run = [&](int threads) {
+    sim::LidarConfig lidar_cfg = sc.lidar;
+    lidar_cfg.num_threads = threads;
+    core::CooperConfig cfg = eval::MakeCooperConfig(sc.lidar);
+    cfg.num_threads = threads;
+    const core::CooperPipeline pipeline(cfg);
+    const sim::LidarSimulator lidar(lidar_cfg);
+    Rng rng(sc.seed);
+    const auto cloud_a = lidar.Scan(sc.scene, sc.viewpoints[0].ToPose(), rng);
+    const auto cloud_b = lidar.Scan(sc.scene, sc.viewpoints[1].ToPose(), rng);
+    const core::NavMetadata nav_a{sc.viewpoints[0].position,
+                                  sc.viewpoints[0].attitude, mount};
+    const core::NavMetadata nav_b{sc.viewpoints[1].position,
+                                  sc.viewpoints[1].attitude, mount};
+    const auto package = pipeline.MakePackage(
+        2, 0.0, core::RoiCategory::kFullFrame, nav_b, cloud_b);
+    return pipeline.DetectCooperative(cloud_a, nav_a, package);
+  };
+  const auto base = run(1);
+  ASSERT_TRUE(base.ok());
+  for (const int threads : {2, 8}) {
+    const auto alt = run(threads);
+    ASSERT_TRUE(alt.ok()) << threads;
+    // The fused cloud must be point-for-point identical...
+    ASSERT_EQ(alt->fused_cloud.size(), base->fused_cloud.size()) << threads;
+    for (std::size_t i = 0; i < base->fused_cloud.size(); i += 97) {
+      EXPECT_EQ(alt->fused_cloud[i].position.x, base->fused_cloud[i].position.x);
+      EXPECT_EQ(alt->fused_cloud[i].position.y, base->fused_cloud[i].position.y);
+      EXPECT_EQ(alt->fused_cloud[i].position.z, base->fused_cloud[i].position.z);
+    }
+    // ...and so must every detection box, score and support count.
+    ASSERT_EQ(alt->fused.detections.size(), base->fused.detections.size())
+        << threads;
+    for (std::size_t i = 0; i < base->fused.detections.size(); ++i) {
+      const auto& d = alt->fused.detections[i];
+      const auto& e = base->fused.detections[i];
+      EXPECT_EQ(d.box.center.x, e.box.center.x) << threads;
+      EXPECT_EQ(d.box.center.y, e.box.center.y) << threads;
+      EXPECT_EQ(d.box.length, e.box.length) << threads;
+      EXPECT_EQ(d.box.width, e.box.width) << threads;
+      EXPECT_EQ(d.box.height, e.box.height) << threads;
+      EXPECT_EQ(d.box.yaw, e.box.yaw) << threads;
+      EXPECT_EQ(d.score, e.score) << threads;
+      EXPECT_EQ(d.cls, e.cls) << threads;
+      EXPECT_EQ(d.num_points, e.num_points) << threads;
+    }
+  }
+}
+
 TEST(IntegrationTest, ScoresAreCalibratedlyBounded) {
   for (const auto* outcome : {&TJunctionOutcome(), &ParkingLotOutcome()}) {
     for (const auto& t : outcome->targets) {

@@ -127,6 +127,24 @@ TEST(Conv2dTest, SumKernelCountsNeighbours) {
   EXPECT_FLOAT_EQ(y.At(0, 0, 0), 4.0f);  // corner sees 2x2
 }
 
+TEST(Conv2dTest, ParallelForwardBitIdenticalToSerial) {
+  Rng rng(6);
+  const Conv2d conv(4, 8, 3, 1, 1, rng);
+  Tensor x({4, 16, 16});
+  Rng data_rng(7);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(data_rng.Uniform(-1.0, 1.0));
+  }
+  const Tensor serial = conv.Forward(x, 1);
+  for (const int threads : {2, 8}) {
+    const Tensor parallel = conv.Forward(x, threads);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(parallel[i], serial[i]) << "threads " << threads << " at " << i;
+    }
+  }
+}
+
 TEST(ConvTranspose2dTest, UpsamplesResolution) {
   Rng rng(5);
   const ConvTranspose2d up(3, 2, 2, 2, rng);

@@ -65,6 +65,23 @@ TEST(KdTreeTest, NearestWithinRespectsBound) {
   EXPECT_TRUE(tree.NearestWithin({0, 0, 0}, 121.0).has_value());
 }
 
+TEST(KdTreeTest, NearestWithinBoundaryIsInclusive) {
+  // Regression: a neighbour sitting *exactly* at max_squared_distance used to
+  // be rejected by the strict seed bound.  The radius is documented inclusive.
+  PointCloud c;
+  c.Add({3, 0, 0}, 0.0f);
+  const KdTree tree(c);
+  const auto nn = tree.NearestWithin({0, 0, 0}, 9.0);  // d^2 == 9.0 exactly
+  ASSERT_TRUE(nn.has_value());
+  EXPECT_EQ(nn->index, 0u);
+  EXPECT_EQ(nn->squared_distance, 9.0);
+  // One ulp below the boundary still excludes it.
+  EXPECT_FALSE(
+      tree.NearestWithin({0, 0, 0}, std::nextafter(9.0, 0.0)).has_value());
+  // Degenerate inclusive case: zero radius matches a coincident point.
+  EXPECT_TRUE(tree.NearestWithin({3, 0, 0}, 0.0).has_value());
+}
+
 TEST(KdTreeTest, RadiusSearchMatchesBruteForce) {
   Rng rng(13);
   const PointCloud cloud = RandomCloud(400, rng);
@@ -150,6 +167,48 @@ TEST(IcpTest, TooFewCorrespondencesFails) {
   a.Add({0, 0, 0}, 0.0f);
   b.Add({100, 100, 0}, 0.0f);  // outside correspondence range
   EXPECT_FALSE(IcpAlign(a, b, geom::Pose::Identity()).converged);
+}
+
+TEST(IcpTest, FinalRmsReflectsAppliedTransform) {
+  // Regression: rms_error used to be computed from correspondences gathered
+  // *before* the final delta was applied, so it described the previous
+  // iterate.  For a converging pair the residual of the returned transform
+  // must improve on the initial guess.
+  Rng rng(31);
+  const PointCloud target = StructuredCloud(rng);
+  const geom::Pose true_pose(geom::Rz(0.03), {0.8, -0.5, 0.0});
+  const PointCloud source = target.Transformed(true_pose.Inverse());
+  const IcpResult result = IcpAlign(source, target, geom::Pose::Identity());
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.initial_rms, 0.1);
+  EXPECT_LE(result.rms_error, result.initial_rms);
+  EXPECT_LT(result.rms_error, 0.05);  // residual of the *final* transform
+}
+
+TEST(IcpTest, ParallelSearchBitIdenticalToSerial) {
+  Rng rng(37);
+  const PointCloud target = StructuredCloud(rng);
+  const geom::Pose true_pose(geom::Rz(0.02), {0.6, -0.4, 0.0});
+  const PointCloud source = target.Transformed(true_pose.Inverse());
+  IcpConfig serial_cfg;
+  serial_cfg.num_threads = 1;
+  const IcpResult serial = IcpAlign(source, target, geom::Pose::Identity(),
+                                    serial_cfg);
+  for (const int threads : {2, 8}) {
+    IcpConfig cfg = serial_cfg;
+    cfg.num_threads = threads;
+    const IcpResult parallel =
+        IcpAlign(source, target, geom::Pose::Identity(), cfg);
+    EXPECT_EQ(parallel.iterations, serial.iterations) << threads;
+    EXPECT_EQ(parallel.correspondences, serial.correspondences) << threads;
+    EXPECT_EQ(parallel.rms_error, serial.rms_error) << threads;
+    EXPECT_EQ(parallel.transform.translation().x,
+              serial.transform.translation().x)
+        << threads;
+    EXPECT_EQ(parallel.transform.translation().y,
+              serial.transform.translation().y)
+        << threads;
+  }
 }
 
 TEST(IcpTest, InitialGuessComposes) {

@@ -85,9 +85,11 @@ int main() {
                 report.delivered ? "yes" : "LOST", fused_detections);
   }
 
-  std::printf("\nchannel totals: %zu messages, %zu dropped, %.2f Mbit sent, "
-              "effective rate %.1f Mbit/s\n",
+  std::printf("\nchannel totals: %zu messages, %zu dropped, %.2f Mbit on air "
+              "(%.2f Mbit delivered), effective rate %.1f Mbit/s\n",
               channel.total_messages(), channel.total_dropped(),
-              channel.total_bytes_sent() * 8.0 / 1e6, channel.EffectiveMbps());
+              channel.total_bytes_on_air() * 8.0 / 1e6,
+              channel.total_bytes_delivered() * 8.0 / 1e6,
+              channel.EffectiveMbps());
   return 0;
 }

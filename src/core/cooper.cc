@@ -35,7 +35,7 @@ spod::SpodResult CooperPipeline::DetectSingleShot(
 
 Result<pc::PointCloud> CooperPipeline::ReconstructRemoteCloud(
     const NavMetadata& local_nav, const ExchangePackage& package) const {
-  COOPER_ASSIGN_OR_RETURN(pc::PointCloud remote_cloud, UnpackCloud(package));
+  COOPER_ASSIGN_OR_RETURN(pc::PointCloud remote_cloud, DecodePackage(package));
   // Densify while still in the sender's sensor frame — the spherical
   // projection is only meaningful from the originating viewpoint.
   remote_cloud = detector_.Densify(remote_cloud);

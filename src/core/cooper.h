@@ -12,6 +12,7 @@
 #include "common/timer.h"
 #include "core/exchange.h"
 #include "core/roi.h"
+#include "net/transport.h"
 #include "pointcloud/icp.h"
 #include "spod/detector.h"
 
@@ -22,6 +23,10 @@ struct CooperConfig {
   spod::SensorResolution sensor;
   pc::CodecConfig codec;
   RoiConfig roi;
+  // Fragmentation/retransmission transport knobs (MTU, retry budget,
+  // backoff, reassembly timeout) — used by the sender-side `net::Transport`
+  // and by `CooperativeSession`'s receive-side reassembler.
+  net::TransportConfig transport;
   // When true, refine the GPS/IMU-derived Eq. 3 alignment with planar ICP on
   // the above-ground structure before merging — recovers fusion quality when
   // GPS drift exceeds the Fig. 10 bound (library extension, see DESIGN.md).

@@ -24,7 +24,7 @@ ExchangePackage BuildPackage(std::uint32_t sender_id, double timestamp_s,
   return p;
 }
 
-Result<pc::PointCloud> UnpackCloud(const ExchangePackage& package) {
+Result<pc::PointCloud> DecodePackage(const ExchangePackage& package) {
   return pc::CloudCodec::Decode(package.payload);
 }
 

@@ -58,6 +58,8 @@ ExchangePackage BuildPackage(std::uint32_t sender_id, double timestamp_s,
                              const pc::CloudCodec& codec);
 
 /// Decodes a package's payload back to a point cloud (sensor frame).
-Result<pc::PointCloud> UnpackCloud(const ExchangePackage& package);
+/// Corrupt or truncated payloads are a recoverable DATA_LOSS Status, never a
+/// crash — payloads arrive over a lossy radio channel.
+Result<pc::PointCloud> DecodePackage(const ExchangePackage& package);
 
 }  // namespace cooper::core

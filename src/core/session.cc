@@ -1,10 +1,14 @@
 #include "core/session.h"
 
+#include "net/serialize.h"
+
 namespace cooper::core {
 
 CooperativeSession::CooperativeSession(const CooperConfig& config,
                                        const SessionConfig& session_config)
-    : pipeline_(config), session_config_(session_config) {}
+    : pipeline_(config),
+      session_config_(session_config),
+      reassembler_(config.transport) {}
 
 Status CooperativeSession::ReceivePackage(ExchangePackage package,
                                           double now_s) {
@@ -24,12 +28,69 @@ Status CooperativeSession::ReceivePackage(ExchangePackage package,
     return Status::Ok();
   }
   if (packages_.size() >= session_config_.max_cooperators) {
-    ++stats_.packages_rejected_full;
-    return ResourceExhaustedError("cooperator slots full");
+    // Evict the stalest cooperator iff the newcomer is strictly fresher.
+    // Ties favour the incumbent (stable under same-timestamp bursts); among
+    // equally stale incumbents the highest sender id goes first, so the
+    // eviction order is fully deterministic.
+    auto victim = packages_.begin();
+    for (auto cand = packages_.begin(); cand != packages_.end(); ++cand) {
+      if (cand->second.timestamp_s < victim->second.timestamp_s ||
+          (cand->second.timestamp_s == victim->second.timestamp_s &&
+           cand->first > victim->first)) {
+        victim = cand;
+      }
+    }
+    if (package.timestamp_s <= victim->second.timestamp_s) {
+      ++stats_.packages_rejected_full;
+      return ResourceExhaustedError("cooperator slots full");
+    }
+    packages_.erase(victim);
+    ++stats_.packages_evicted;
   }
   packages_.emplace(package.sender_id, std::move(package));
   ++stats_.packages_accepted;
   return Status::Ok();
+}
+
+Status CooperativeSession::ReceiveWire(
+    const std::vector<std::uint8_t>& package_bytes, double now_s) {
+  auto package_or = net::DeserializePackage(package_bytes);
+  if (!package_or.ok()) {
+    ++stats_.packages_corrupt;
+    return package_or.status();
+  }
+  // Validate the payload up front: a package whose cloud cannot decode would
+  // contribute nothing at fusion time, so reject it here and keep whatever
+  // older healthy package this sender may already hold.
+  if (const auto cloud_or = DecodePackage(*package_or); !cloud_or.ok()) {
+    ++stats_.packages_corrupt;
+    return cloud_or.status();
+  }
+  return ReceivePackage(std::move(*package_or), now_s);
+}
+
+Status CooperativeSession::ReceiveFrame(
+    const std::vector<std::uint8_t>& frame_bytes, double now_s) {
+  ExpireStaleReassembly(now_s);
+  net::Reassembler::Event event = reassembler_.Offer(frame_bytes, now_s * 1e3);
+  using Kind = net::Reassembler::Event::Kind;
+  switch (event.kind) {
+    case Kind::kFrameAccepted:
+      return Status::Ok();
+    case Kind::kDuplicate:
+      // A fragment we already hold: retransmission overlap or channel
+      // duplication.  Benign, but worth counting.
+      ++stats_.frames_retransmitted;
+      return Status::Ok();
+    case Kind::kCorruptFrame:
+      return DataLossError("corrupt transport frame");
+    case Kind::kPackageCorrupt:
+      ++stats_.packages_corrupt;
+      return DataLossError("reassembled package size mismatch");
+    case Kind::kPackageComplete:
+      return ReceiveWire(event.package, now_s);
+  }
+  return InternalError("unreachable reassembly event");
 }
 
 void CooperativeSession::ExpireOld(double now_s) {
@@ -43,17 +104,29 @@ void CooperativeSession::ExpireOld(double now_s) {
   }
 }
 
+void CooperativeSession::ExpireStaleReassembly(double now_s) {
+  stats_.packages_incomplete += reassembler_.ExpireStale(now_s * 1e3);
+}
+
 CooperOutput CooperativeSession::DetectCooperative(
     const pc::PointCloud& local_cloud, const NavMetadata& local_nav,
     double now_s) {
   ExpireOld(now_s);
+  ExpireStaleReassembly(now_s);
   CooperOutput out;
   out.fused_cloud = pipeline_.detector().Densify(local_cloud);
-  for (const auto& [sender, package] : packages_) {
-    auto remote = pipeline_.ReconstructRemoteCloud(local_nav, package);
-    if (!remote.ok()) continue;  // corrupt payload: skip this cooperator
+  for (auto it = packages_.begin(); it != packages_.end();) {
+    auto remote = pipeline_.ReconstructRemoteCloud(local_nav, it->second);
+    if (!remote.ok()) {
+      // Corrupt payload: evict so this cooperator degrades to single-shot
+      // coverage instead of being retried (and skipped) every frame.
+      it = packages_.erase(it);
+      ++stats_.packages_corrupt;
+      continue;
+    }
     out.transmitter_points += remote->size();
     out.fused_cloud.Merge(*remote);
+    ++it;
   }
   out.fused = pipeline_.detector().DetectPreprocessed(out.fused_cloud);
   return out;

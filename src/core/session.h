@@ -5,8 +5,15 @@
 // `CooperativeSession` is the receiver-side state for N cooperators: it
 // keeps the freshest package per sender, expires stale ones (the 1 Hz
 // exchange rate makes anything older than ~1.5 s useless for moving
-// scenes), enforces a cooperator cap, and fuses every fresh cloud with the
-// local scan in one detection pass.
+// scenes), enforces a cooperator cap with stalest-first eviction, and fuses
+// every fresh cloud with the local scan in one detection pass.
+//
+// The session is also the wire endpoint: `ReceiveFrame` feeds raw transport
+// frames into a reassembler, and completed packages are parsed and decoded
+// defensively.  A corrupt, truncated or partially-received package is
+// counted in `SessionStats` and never enters the fusion set — the session
+// degrades to whatever healthy cooperators remain (ultimately single-shot
+// detection) rather than fusing garbage.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include <vector>
 
 #include "core/cooper.h"
+#include "net/transport.h"
 
 namespace cooper::core {
 
@@ -26,8 +34,12 @@ struct SessionStats {
   std::size_t packages_accepted = 0;
   std::size_t packages_replaced = 0;   // newer frame from a known sender
   std::size_t packages_rejected_old = 0;   // older than what we hold
-  std::size_t packages_rejected_full = 0;  // cooperator cap hit
+  std::size_t packages_rejected_full = 0;  // cap hit, incoming not fresher
+  std::size_t packages_evicted = 0;        // stalest pushed out at the cap
   std::size_t packages_expired = 0;        // aged out before use
+  std::size_t packages_corrupt = 0;        // CRC/parse/decode failure
+  std::size_t packages_incomplete = 0;     // reassembly timed out
+  std::size_t frames_retransmitted = 0;    // duplicate fragments observed
 };
 
 class CooperativeSession {
@@ -36,12 +48,30 @@ class CooperativeSession {
                      const SessionConfig& session_config = {});
 
   /// Accepts a package received at local time `now_s`.  Keeps only the
-  /// newest package per sender; rejects regressions and overflow.
+  /// newest package per sender; rejects regressions.  At the cooperator cap
+  /// an incoming package that is fresher than the stalest held one evicts
+  /// it (ties keep the incumbent); otherwise the newcomer is rejected.
   Status ReceivePackage(ExchangePackage package, double now_s);
+
+  /// Wire entry point for one reassembled package: parses + CRC-checks the
+  /// bytes and validates that the payload decodes before accepting.  Both
+  /// failures are recoverable (counted in `packages_corrupt`).
+  Status ReceiveWire(const std::vector<std::uint8_t>& package_bytes,
+                     double now_s);
+
+  /// Wire entry point for one transport frame.  Feeds the reassembler;
+  /// when the frame completes a package it is routed through `ReceiveWire`.
+  /// Duplicate fragments (retransmission overlap) are counted and ignored;
+  /// partial packages idle past the reassembly timeout are dropped and
+  /// counted in `packages_incomplete`.
+  Status ReceiveFrame(const std::vector<std::uint8_t>& frame_bytes,
+                      double now_s);
 
   /// Fuses the local cloud with every fresh cooperator cloud (Eq. 1-3 per
   /// package) and runs SPOD once on the merged frame.  Expired packages are
-  /// dropped as a side effect.
+  /// dropped as a side effect; a package whose payload fails to decode is
+  /// evicted and counted corrupt, so that cooperator falls back to
+  /// contributing nothing instead of poisoning the fusion.
   CooperOutput DetectCooperative(const pc::PointCloud& local_cloud,
                                  const NavMetadata& local_nav, double now_s);
 
@@ -56,12 +86,15 @@ class CooperativeSession {
   std::size_t num_cooperators() const { return packages_.size(); }
   const SessionStats& stats() const { return stats_; }
   const CooperPipeline& pipeline() const { return pipeline_; }
+  const net::Reassembler& reassembler() const { return reassembler_; }
 
  private:
   void ExpireOld(double now_s);
+  void ExpireStaleReassembly(double now_s);
 
   CooperPipeline pipeline_;
   SessionConfig session_config_;
+  net::Reassembler reassembler_;
   std::map<std::uint32_t, ExchangePackage> packages_;  // by sender id
   SessionStats stats_;
 };

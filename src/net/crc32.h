@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial), shared by the package wire format and the
+// transport frame layer.  Table-driven; the table is built once on first use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cooper::net {
+
+/// CRC-32 of `size` bytes starting at `data`.  Crc32(nullptr, 0) == 0.
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t size);
+
+}  // namespace cooper::net

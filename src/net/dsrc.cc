@@ -14,13 +14,15 @@ TransmitReport DsrcChannel::Transmit(std::size_t bytes, Rng& rng) {
   TransmitReport report;
   report.bytes = bytes;
   ++total_messages_;
+  // A lost message still burned its airtime on the shared channel.
+  total_bytes_on_air_ += bytes;
   if (config_.loss_prob > 0.0 && rng.Bernoulli(config_.loss_prob)) {
     ++total_dropped_;
     return report;  // delivered = false
   }
   report.delivered = true;
   report.latency_ms = LatencyMs(bytes);
-  total_bytes_sent_ += bytes;
+  total_bytes_delivered_ += bytes;
   return report;
 }
 

@@ -44,8 +44,12 @@ class DsrcChannel {
     return config_.data_rate_mbps * config_.usable_fraction;
   }
 
-  /// Cumulative accounting since construction.
-  std::size_t total_bytes_sent() const { return total_bytes_sent_; }
+  /// Cumulative accounting since construction.  Airtime and goodput are
+  /// tracked separately: a dropped message still occupies the channel for its
+  /// serialization time (`total_bytes_on_air`), but only delivered messages
+  /// count toward application goodput (`total_bytes_delivered`).
+  std::size_t total_bytes_on_air() const { return total_bytes_on_air_; }
+  std::size_t total_bytes_delivered() const { return total_bytes_delivered_; }
   std::size_t total_messages() const { return total_messages_; }
   std::size_t total_dropped() const { return total_dropped_; }
 
@@ -53,7 +57,8 @@ class DsrcChannel {
 
  private:
   DsrcConfig config_;
-  std::size_t total_bytes_sent_ = 0;
+  std::size_t total_bytes_on_air_ = 0;
+  std::size_t total_bytes_delivered_ = 0;
   std::size_t total_messages_ = 0;
   std::size_t total_dropped_ = 0;
 };

@@ -1,0 +1,58 @@
+#include "net/fault.h"
+
+namespace cooper::net {
+namespace {
+
+void FlipRandomBits(std::vector<std::uint8_t>& bytes, Rng& rng) {
+  if (bytes.empty()) return;
+  const int flips = 1 + static_cast<int>(rng.UniformInt(8));
+  for (int i = 0; i < flips; ++i) {
+    bytes[rng.UniformInt(bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.UniformInt(8));
+  }
+}
+
+}  // namespace
+
+std::vector<FaultedDelivery> FaultInjector::Apply(
+    const std::vector<std::uint8_t>& frame) {
+  ++stats_.frames_seen;
+  if (profile_.drop_prob > 0.0 && rng_.Bernoulli(profile_.drop_prob)) {
+    ++stats_.frames_dropped;
+    return {};
+  }
+
+  std::vector<FaultedDelivery> out;
+  out.push_back(FaultedDelivery{frame, 0.0});
+  if (profile_.duplicate_prob > 0.0 && rng_.Bernoulli(profile_.duplicate_prob)) {
+    ++stats_.frames_duplicated;
+    // The copy trails the original by a random fraction of the hold-back.
+    out.push_back(
+        FaultedDelivery{frame, rng_.Uniform(0.0, profile_.reorder_delay_ms)});
+  }
+
+  for (auto& delivery : out) {
+    if (profile_.corrupt_prob > 0.0 && rng_.Bernoulli(profile_.corrupt_prob)) {
+      ++stats_.frames_corrupted;
+      FlipRandomBits(delivery.bytes, rng_);
+    }
+    if (profile_.truncate_prob > 0.0 &&
+        rng_.Bernoulli(profile_.truncate_prob) && !delivery.bytes.empty()) {
+      ++stats_.frames_truncated;
+      delivery.bytes.resize(rng_.UniformInt(delivery.bytes.size()));
+    }
+    if (profile_.reorder_prob > 0.0 && rng_.Bernoulli(profile_.reorder_prob)) {
+      ++stats_.frames_reordered;
+      // Held back long enough to land after frames sent later.
+      delivery.extra_delay_ms +=
+          profile_.reorder_delay_ms + rng_.Uniform(0.0, profile_.reorder_delay_ms);
+    }
+    if (profile_.delay_prob > 0.0 && rng_.Bernoulli(profile_.delay_prob)) {
+      ++stats_.frames_delayed;
+      delivery.extra_delay_ms += rng_.Uniform(0.0, profile_.delay_ms);
+    }
+  }
+  return out;
+}
+
+}  // namespace cooper::net

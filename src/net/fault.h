@@ -1,0 +1,70 @@
+// Deterministic fault injection for transport frames.
+//
+// Vehicular DSRC links lose, duplicate, reorder, corrupt, truncate and delay
+// frames (CoVeRaP, Song et al. 2025, observes all six on real V2V traces).
+// The injector models each failure mode with an independent probability and
+// draws every decision from one seeded SplitMix64 stream, so a failing run
+// is reproducible bit-for-bit from its seed: same profile + same seed + same
+// frame sequence => same faults, always.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cooper::net {
+
+/// Per-frame fault probabilities.  All default to zero (clean channel).
+struct FaultProfile {
+  double drop_prob = 0.0;       // frame vanishes entirely
+  double duplicate_prob = 0.0;  // a second copy arrives later
+  double reorder_prob = 0.0;    // frame is held back past its successors
+  double corrupt_prob = 0.0;    // 1-8 random bit flips
+  double truncate_prob = 0.0;   // tail cut at a random offset
+  double delay_prob = 0.0;      // extra queueing delay, frame order kept
+  double reorder_delay_ms = 20.0;  // hold-back applied to reordered frames
+  double delay_ms = 10.0;          // max extra delay for delayed frames
+};
+
+/// One post-fault delivery of a frame: the (possibly damaged) bytes plus any
+/// extra delay on top of the channel latency.
+struct FaultedDelivery {
+  std::vector<std::uint8_t> bytes;
+  double extra_delay_ms = 0.0;
+};
+
+struct FaultStats {
+  std::size_t frames_seen = 0;
+  std::size_t frames_dropped = 0;
+  std::size_t frames_duplicated = 0;
+  std::size_t frames_reordered = 0;
+  std::size_t frames_corrupted = 0;
+  std::size_t frames_truncated = 0;
+  std::size_t frames_delayed = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultProfile& profile, std::uint64_t seed)
+      : profile_(profile), rng_(seed), seed_(seed) {}
+
+  /// Applies the profile to one frame transmission.  Returns zero (dropped),
+  /// one, or two (duplicated) deliveries.  Corruption/truncation and delays
+  /// are applied per delivery.
+  std::vector<FaultedDelivery> Apply(const std::vector<std::uint8_t>& frame);
+
+  /// Rewinds the random stream (and zeroes stats) to replay a run exactly.
+  void Reset() { rng_ = Rng(seed_); stats_ = FaultStats{}; }
+
+  const FaultProfile& profile() const { return profile_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultProfile profile_;
+  Rng rng_;
+  std::uint64_t seed_;
+  FaultStats stats_;
+};
+
+}  // namespace cooper::net

@@ -1,6 +1,5 @@
 #include "net/serialize.h"
 
-#include <array>
 #include <cstring>
 
 namespace cooper::net {
@@ -64,31 +63,7 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-const std::array<std::uint32_t, 256>& CrcTable() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
 }  // namespace
-
-std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {
-  const auto& table = CrcTable();
-  std::uint32_t c = 0xffffffffu;
-  for (std::size_t i = 0; i < size; ++i) {
-    c = table[(c ^ data[i]) & 0xff] ^ (c >> 8);
-  }
-  return c ^ 0xffffffffu;
-}
 
 std::size_t WireOverheadBytes() {
   // magic + version + sender + timestamp + roi + 9 f64 nav + size + crc

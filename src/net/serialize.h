@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "core/exchange.h"
+#include "net/crc32.h"
 
 namespace cooper::net {
 
@@ -26,9 +27,6 @@ std::vector<std::uint8_t> SerializePackage(const core::ExchangePackage& package)
 /// Parses wire bytes; validates magic, version, length and CRC.
 Result<core::ExchangePackage> DeserializePackage(
     const std::vector<std::uint8_t>& bytes);
-
-/// CRC-32 (IEEE 802.3 polynomial, bitwise implementation).
-std::uint32_t Crc32(const std::uint8_t* data, std::size_t size);
 
 /// Wire overhead in bytes added on top of the payload.
 std::size_t WireOverheadBytes();

@@ -1,0 +1,349 @@
+#include "net/transport.h"
+
+#include <algorithm>
+
+#include "net/crc32.h"
+
+namespace cooper::net {
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x4d524643;  // "CFRM" (le bytes C F R M)
+constexpr std::size_t kCompletedRingSize = 128;
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t ReadU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t ReadU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SerializeFrame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameOverheadBytes + frame.payload.size());
+  PutU32(out, kFrameMagic);
+  PutU32(out, frame.sender_id);
+  PutU32(out, frame.package_seq);
+  PutU16(out, frame.frag_index);
+  PutU16(out, frame.frag_count);
+  PutU32(out, frame.package_bytes);
+  PutU16(out, static_cast<std::uint16_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  PutU32(out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+Result<Frame> DeserializeFrame(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kFrameOverheadBytes) {
+    return DataLossError("frame shorter than header");
+  }
+  const std::uint8_t* p = bytes.data();
+  if (ReadU32(p) != kFrameMagic) return DataLossError("bad frame magic");
+  Frame f;
+  f.sender_id = ReadU32(p + 4);
+  f.package_seq = ReadU32(p + 8);
+  f.frag_index = ReadU16(p + 12);
+  f.frag_count = ReadU16(p + 14);
+  f.package_bytes = ReadU32(p + 16);
+  const std::uint16_t payload_len = ReadU16(p + 20);
+  if (bytes.size() != kFrameOverheadBytes + payload_len) {
+    return DataLossError("frame length mismatch");
+  }
+  const std::uint32_t stored_crc = ReadU32(p + bytes.size() - 4);
+  if (stored_crc != Crc32(p, bytes.size() - 4)) {
+    return DataLossError("frame CRC mismatch");
+  }
+  if (f.frag_count == 0) return DataLossError("zero fragment count");
+  if (f.frag_index >= f.frag_count) return DataLossError("fragment index out of range");
+  if (payload_len == 0) return DataLossError("empty fragment payload");
+  if (f.package_bytes == 0 || f.package_bytes > kMaxPackageBytes) {
+    return DataLossError("implausible package size");
+  }
+  f.payload.assign(bytes.begin() + 22,
+                   bytes.begin() + static_cast<std::ptrdiff_t>(22 + payload_len));
+  return f;
+}
+
+Result<std::vector<std::vector<std::uint8_t>>> FragmentPackage(
+    const std::vector<std::uint8_t>& package, std::uint32_t sender_id,
+    std::uint32_t package_seq, std::size_t mtu_bytes) {
+  if (package.empty()) return InvalidArgumentError("cannot fragment an empty package");
+  if (mtu_bytes <= kFrameOverheadBytes) {
+    return InvalidArgumentError("MTU leaves no room for payload");
+  }
+  if (package.size() > kMaxPackageBytes) {
+    return InvalidArgumentError("package exceeds size cap");
+  }
+  const std::size_t chunk =
+      std::min<std::size_t>(mtu_bytes - kFrameOverheadBytes, 0xffff);
+  const std::size_t count = (package.size() + chunk - 1) / chunk;
+  if (count > 0xffff) {
+    return InvalidArgumentError("package needs more than 65535 fragments");
+  }
+  std::vector<std::vector<std::uint8_t>> frames;
+  frames.reserve(count);
+  Frame f;
+  f.sender_id = sender_id;
+  f.package_seq = package_seq;
+  f.frag_count = static_cast<std::uint16_t>(count);
+  f.package_bytes = static_cast<std::uint32_t>(package.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t begin = i * chunk;
+    const std::size_t end = std::min(begin + chunk, package.size());
+    f.frag_index = static_cast<std::uint16_t>(i);
+    f.payload.assign(package.begin() + static_cast<std::ptrdiff_t>(begin),
+                     package.begin() + static_cast<std::ptrdiff_t>(end));
+    frames.push_back(SerializeFrame(f));
+  }
+  return frames;
+}
+
+// --- Reassembler ---
+
+void Reassembler::RememberCompleted(std::uint64_t key) {
+  completed_ring_.push_back(key);
+  if (completed_ring_.size() > kCompletedRingSize) {
+    completed_ring_.erase(completed_ring_.begin());
+  }
+}
+
+void Reassembler::EvictIfOverCapacity() {
+  if (partials_.size() < kMaxPending) return;
+  auto victim = partials_.begin();
+  for (auto it = partials_.begin(); it != partials_.end(); ++it) {
+    if (it->second.last_activity_ms < victim->second.last_activity_ms) victim = it;
+  }
+  partials_.erase(victim);
+  ++stats_.packages_expired;
+}
+
+Reassembler::Event Reassembler::Offer(const std::vector<std::uint8_t>& frame_bytes,
+                                      double now_ms) {
+  Event event;
+  auto frame_or = DeserializeFrame(frame_bytes);
+  if (!frame_or.ok()) {
+    ++stats_.frames_corrupt;
+    event.kind = Event::Kind::kCorruptFrame;
+    return event;
+  }
+  Frame frame = std::move(*frame_or);
+  event.sender_id = frame.sender_id;
+  event.package_seq = frame.package_seq;
+  const std::uint64_t key = Key(frame.sender_id, frame.package_seq);
+
+  // A late retransmit of an already-delivered package must not open a fresh
+  // partial that would linger until timeout.
+  if (std::find(completed_ring_.begin(), completed_ring_.end(), key) !=
+      completed_ring_.end()) {
+    ++stats_.frames_duplicate;
+    event.kind = Event::Kind::kDuplicate;
+    return event;
+  }
+
+  auto it = partials_.find(key);
+  if (it == partials_.end()) {
+    EvictIfOverCapacity();
+    Partial partial;
+    partial.frag_count = frame.frag_count;
+    partial.package_bytes = frame.package_bytes;
+    it = partials_.emplace(key, std::move(partial)).first;
+  } else if (it->second.frag_count != frame.frag_count ||
+             it->second.package_bytes != frame.package_bytes) {
+    // Same package key but a disagreeing shape: a corrupted header that
+    // happened to parse, or a misbehaving sender.  Keep the first-seen shape.
+    ++stats_.frames_inconsistent;
+    event.kind = Event::Kind::kCorruptFrame;
+    return event;
+  }
+
+  Partial& partial = it->second;
+  partial.last_activity_ms = now_ms;
+  if (partial.fragments.count(frame.frag_index) != 0) {
+    ++stats_.frames_duplicate;
+    event.kind = Event::Kind::kDuplicate;
+    return event;
+  }
+  partial.fragments.emplace(frame.frag_index, std::move(frame.payload));
+  ++stats_.frames_accepted;
+
+  if (partial.fragments.size() < partial.frag_count) {
+    event.kind = Event::Kind::kFrameAccepted;
+    return event;
+  }
+
+  // All fragments present: splice in index order (std::map iterates sorted).
+  const std::size_t expected_bytes = partial.package_bytes;
+  std::vector<std::uint8_t> package;
+  package.reserve(expected_bytes);
+  for (const auto& [index, payload] : partial.fragments) {
+    package.insert(package.end(), payload.begin(), payload.end());
+  }
+  partials_.erase(it);
+  RememberCompleted(key);
+  if (package.size() == expected_bytes) {
+    ++stats_.packages_completed;
+    event.kind = Event::Kind::kPackageComplete;
+    event.package = std::move(package);
+  } else {
+    ++stats_.packages_corrupt;
+    event.kind = Event::Kind::kPackageCorrupt;
+  }
+  return event;
+}
+
+bool Reassembler::HasPartial(std::uint32_t sender_id,
+                             std::uint32_t package_seq) const {
+  return partials_.count(Key(sender_id, package_seq)) != 0;
+}
+
+std::vector<std::uint16_t> Reassembler::Missing(std::uint32_t sender_id,
+                                                std::uint32_t package_seq) const {
+  std::vector<std::uint16_t> missing;
+  const auto it = partials_.find(Key(sender_id, package_seq));
+  if (it == partials_.end()) return missing;
+  for (std::uint16_t i = 0; i < it->second.frag_count; ++i) {
+    if (it->second.fragments.count(i) == 0) missing.push_back(i);
+  }
+  return missing;
+}
+
+std::size_t Reassembler::ExpireStale(double now_ms) {
+  std::size_t expired = 0;
+  for (auto it = partials_.begin(); it != partials_.end();) {
+    if (now_ms - it->second.last_activity_ms > config_.reassembly_timeout_ms) {
+      it = partials_.erase(it);
+      ++stats_.packages_expired;
+      ++expired;
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+void Reassembler::Abandon(std::uint32_t sender_id, std::uint32_t package_seq) {
+  if (partials_.erase(Key(sender_id, package_seq)) > 0) {
+    ++stats_.packages_expired;
+  }
+}
+
+// --- Transport ---
+
+Result<TransportDelivery> Transport::SendPackage(
+    const std::vector<std::uint8_t>& package_bytes, std::uint32_t sender_id,
+    Rng& rng, FaultInjector* faults) {
+  const std::uint32_t seq = next_package_seq_++;
+  COOPER_ASSIGN_OR_RETURN(
+      std::vector<std::vector<std::uint8_t>> frames,
+      FragmentPackage(package_bytes, sender_id, seq, config_.mtu_bytes));
+  ++stats_.packages_sent;
+
+  const double start_ms = clock_ms_;
+  double t = clock_ms_;
+  double backoff = config_.initial_backoff_ms;
+  std::size_t retransmitted = 0;
+
+  std::vector<std::uint16_t> pending(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    pending[i] = static_cast<std::uint16_t>(i);
+  }
+
+  struct Arrival {
+    double at_ms;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  for (int round = 0;; ++round) {
+    if (round == 0) {
+      stats_.frames_sent += pending.size();
+    } else {
+      stats_.frames_retransmitted += pending.size();
+      ++stats_.retransmit_rounds;
+      retransmitted += pending.size();
+    }
+
+    // Frames go out back-to-back; each occupies the channel for its
+    // serialization time whether or not the channel drops it.
+    std::vector<Arrival> arrivals;
+    for (const std::uint16_t idx : pending) {
+      const auto& frame = frames[idx];
+      const TransmitReport report = channel_.Transmit(frame.size(), rng);
+      const double tx_ms =
+          channel_.LatencyMs(frame.size()) - channel_.config().access_latency_ms;
+      if (report.delivered) {
+        if (faults != nullptr) {
+          for (auto& delivery : faults->Apply(frame)) {
+            arrivals.push_back(Arrival{t + report.latency_ms + delivery.extra_delay_ms,
+                                       std::move(delivery.bytes)});
+          }
+        } else {
+          arrivals.push_back(Arrival{t + report.latency_ms, frame});
+        }
+      }
+      t += tx_ms;
+    }
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const Arrival& a, const Arrival& b) {
+                       return a.at_ms < b.at_ms;
+                     });
+
+    double last_arrival_ms = t;
+    for (auto& arrival : arrivals) {
+      last_arrival_ms = std::max(last_arrival_ms, arrival.at_ms);
+      Reassembler::Event event = reassembler_.Offer(arrival.bytes, arrival.at_ms);
+      if (event.kind == Reassembler::Event::Kind::kPackageComplete) {
+        ++stats_.packages_delivered;
+        clock_ms_ = std::max(t, arrival.at_ms);
+        TransportDelivery delivery;
+        delivery.package = std::move(event.package);
+        delivery.latency_ms = arrival.at_ms - start_ms;
+        delivery.rounds = round;
+        delivery.frames_retransmitted = retransmitted;
+        return delivery;
+      }
+      if (event.kind == Reassembler::Event::Kind::kPackageCorrupt) {
+        // All fragments arrived but the sizes disagree with the header:
+        // retransmission cannot repair a lying shape, so give up.
+        ++stats_.packages_failed;
+        clock_ms_ = std::max(t, last_arrival_ms);
+        return DataLossError("reassembled package size mismatch");
+      }
+    }
+
+    if (round >= config_.max_retransmit_rounds) {
+      reassembler_.Abandon(sender_id, seq);
+      ++stats_.packages_failed;
+      clock_ms_ = std::max(t, last_arrival_ms);
+      return UnavailableError("package undelivered after " +
+                              std::to_string(round) + " retransmit rounds");
+    }
+
+    // Wait out the backoff, then resend only what the receiver is missing
+    // (everything, if the first round was lost wholesale).
+    t = std::max(t, last_arrival_ms) + backoff;
+    backoff = std::min(backoff * config_.backoff_factor, config_.max_backoff_ms);
+    if (reassembler_.HasPartial(sender_id, seq)) {
+      pending = reassembler_.Missing(sender_id, seq);
+    } else {
+      pending.resize(frames.size());
+      for (std::size_t i = 0; i < frames.size(); ++i) {
+        pending[i] = static_cast<std::uint16_t>(i);
+      }
+    }
+  }
+}
+
+}  // namespace cooper::net

@@ -1,0 +1,198 @@
+// Fragmenting, retransmitting transport on top of the DSRC channel model.
+//
+// The paper's feasibility argument (§IV-G) sizes ROI packages against DSRC
+// capacity but assumes they arrive whole.  Real 802.11p frames are MTU-bound
+// (~1.5 KB) and individually lossy, so an exchange package must be cut into
+// frames, checksummed, reassembled, and repaired by retransmission.  This
+// module provides that layer:
+//
+//   - frame format: a 26-byte header (magic, sender, package sequence,
+//     fragment index/count, total package size, payload length) + payload +
+//     CRC-32 over everything before the checksum;
+//   - `Reassembler`: receive-side state keyed by (sender, package seq) that
+//     tolerates duplicates, reordering, corruption and truncation, bounds its
+//     memory, and expires partial packages after a timeout;
+//   - `Transport`: a sender simulation that drives frames through a
+//     `DsrcChannel` (and optionally a `FaultInjector`), collects the missing
+//     set after each round, and retransmits only those frames with capped
+//     exponential backoff until the package completes or the retry budget is
+//     exhausted.
+//
+// Everything is deterministic given the caller's `Rng` seed — see DESIGN.md
+// ("Transport and fault injection").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/dsrc.h"
+#include "net/fault.h"
+
+namespace cooper::net {
+
+/// Frame header overhead: magic(4) + sender(4) + seq(4) + index(2) +
+/// count(2) + package_bytes(4) + payload_len(2) + trailing crc(4).
+inline constexpr std::size_t kFrameOverheadBytes = 26;
+
+/// Hard cap on a reassembled package; larger claims are rejected as corrupt
+/// (an HDL-64 full-frame package is ~1.5 Mbit, far below this).
+inline constexpr std::size_t kMaxPackageBytes = 32u << 20;
+
+struct TransportConfig {
+  std::size_t mtu_bytes = 1200;     // frame size cap, header included
+  int max_retransmit_rounds = 6;    // retry budget per package
+  double initial_backoff_ms = 5.0;  // wait before the first retry round
+  double backoff_factor = 2.0;      // exponential growth per round
+  double max_backoff_ms = 80.0;     // backoff cap
+  double reassembly_timeout_ms = 1000.0;  // partial packages expire after this
+};
+
+/// One transport frame, decoded.
+struct Frame {
+  std::uint32_t sender_id = 0;
+  std::uint32_t package_seq = 0;   // per-sender package counter
+  std::uint16_t frag_index = 0;
+  std::uint16_t frag_count = 1;
+  std::uint32_t package_bytes = 0; // size of the whole reassembled package
+  std::vector<std::uint8_t> payload;
+};
+
+std::vector<std::uint8_t> SerializeFrame(const Frame& frame);
+
+/// Parses one frame; validates magic, lengths, index bounds and CRC.
+Result<Frame> DeserializeFrame(const std::vector<std::uint8_t>& bytes);
+
+/// Cuts `package` into MTU-sized frames.  Fails if the package is empty,
+/// the MTU cannot fit any payload, or more than 65535 fragments would be
+/// needed.
+Result<std::vector<std::vector<std::uint8_t>>> FragmentPackage(
+    const std::vector<std::uint8_t>& package, std::uint32_t sender_id,
+    std::uint32_t package_seq, std::size_t mtu_bytes);
+
+struct ReassemblyStats {
+  std::size_t frames_accepted = 0;      // new fragment stored
+  std::size_t frames_duplicate = 0;     // fragment already held (retransmit
+                                        // overlap or channel duplication)
+  std::size_t frames_corrupt = 0;       // CRC/parse failure
+  std::size_t frames_inconsistent = 0;  // header disagrees with first-seen
+  std::size_t packages_completed = 0;
+  std::size_t packages_corrupt = 0;     // completed but size mismatch
+  std::size_t packages_expired = 0;     // timed out / abandoned incomplete
+};
+
+/// Receive-side fragment reassembly.  Bounded: at most `kMaxPending` partial
+/// packages are held; the least recently active one is evicted (and counted
+/// expired) when a new key arrives beyond that.
+class Reassembler {
+ public:
+  static constexpr std::size_t kMaxPending = 64;
+
+  explicit Reassembler(const TransportConfig& config = {}) : config_(config) {}
+
+  struct Event {
+    enum class Kind {
+      kFrameAccepted,    // stored, package still incomplete
+      kDuplicate,        // fragment (or whole package) already seen
+      kCorruptFrame,     // parse/CRC failure or inconsistent header
+      kPackageComplete,  // `package` holds the reassembled bytes
+      kPackageCorrupt,   // all fragments present but sizes disagree
+    };
+    Kind kind = Kind::kCorruptFrame;
+    std::uint32_t sender_id = 0;
+    std::uint32_t package_seq = 0;
+    std::vector<std::uint8_t> package;  // filled on kPackageComplete
+  };
+
+  /// Feeds one frame received at `now_ms`.
+  Event Offer(const std::vector<std::uint8_t>& frame_bytes, double now_ms);
+
+  /// True if a partial package for this key is currently held.
+  bool HasPartial(std::uint32_t sender_id, std::uint32_t package_seq) const;
+
+  /// Fragment indices still missing for a held partial package (empty when
+  /// the key is unknown — the caller should then resend everything).
+  std::vector<std::uint16_t> Missing(std::uint32_t sender_id,
+                                     std::uint32_t package_seq) const;
+
+  /// Drops partial packages idle longer than the reassembly timeout.
+  /// Returns how many were dropped (each counts as expired).
+  std::size_t ExpireStale(double now_ms);
+
+  /// Explicitly gives up on one partial package (retry budget exhausted).
+  void Abandon(std::uint32_t sender_id, std::uint32_t package_seq);
+
+  std::size_t pending_packages() const { return partials_.size(); }
+  const ReassemblyStats& stats() const { return stats_; }
+
+ private:
+  struct Partial {
+    std::uint16_t frag_count = 0;
+    std::uint32_t package_bytes = 0;
+    std::map<std::uint16_t, std::vector<std::uint8_t>> fragments;
+    double last_activity_ms = 0.0;
+  };
+
+  static std::uint64_t Key(std::uint32_t sender, std::uint32_t seq) {
+    return (static_cast<std::uint64_t>(sender) << 32) | seq;
+  }
+  void RememberCompleted(std::uint64_t key);
+  void EvictIfOverCapacity();
+
+  TransportConfig config_;
+  std::map<std::uint64_t, Partial> partials_;
+  std::vector<std::uint64_t> completed_ring_;  // recently completed keys
+  ReassemblyStats stats_;
+};
+
+struct TransportStats {
+  std::size_t packages_sent = 0;
+  std::size_t packages_delivered = 0;
+  std::size_t packages_failed = 0;       // retry budget exhausted
+  std::size_t frames_sent = 0;           // first-round transmissions
+  std::size_t frames_retransmitted = 0;  // retry-round transmissions
+  std::size_t retransmit_rounds = 0;
+};
+
+/// Result of one successful package delivery.
+struct TransportDelivery {
+  std::vector<std::uint8_t> package;
+  double latency_ms = 0.0;  // send start to final fragment, backoffs included
+  int rounds = 0;           // retransmission rounds needed (0 = clean)
+  std::size_t frames_retransmitted = 0;
+};
+
+/// Sender+receiver simulation of one hop: fragments a package, pushes frames
+/// through the channel (and fault injector), reassembles, and retransmits the
+/// missing set per round.  A simulated clock advances across calls so
+/// back-to-back packages queue behind each other's airtime.
+class Transport {
+ public:
+  explicit Transport(const TransportConfig& config = {},
+                     const DsrcConfig& channel = {})
+      : config_(config), channel_(channel), reassembler_(config) {}
+
+  /// Delivers `package_bytes` or fails with UNAVAILABLE after the retry
+  /// budget, INVALID_ARGUMENT if it cannot be fragmented.
+  Result<TransportDelivery> SendPackage(
+      const std::vector<std::uint8_t>& package_bytes, std::uint32_t sender_id,
+      Rng& rng, FaultInjector* faults = nullptr);
+
+  DsrcChannel& channel() { return channel_; }
+  Reassembler& reassembler() { return reassembler_; }
+  const TransportConfig& config() const { return config_; }
+  const TransportStats& stats() const { return stats_; }
+  double clock_ms() const { return clock_ms_; }
+
+ private:
+  TransportConfig config_;
+  DsrcChannel channel_;
+  Reassembler reassembler_;
+  TransportStats stats_;
+  std::uint32_t next_package_seq_ = 1;
+  double clock_ms_ = 0.0;
+};
+
+}  // namespace cooper::net

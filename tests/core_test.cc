@@ -31,7 +31,7 @@ TEST(ExchangeTest, BuildAndUnpackRoundTrip) {
   EXPECT_NEAR(package.PayloadMbit(),
               package.PayloadBytes() * 8.0 / 1e6, 1e-12);
 
-  const auto back = UnpackCloud(package);
+  const auto back = DecodePackage(package);
   ASSERT_TRUE(back.ok());
   ASSERT_EQ(back->size(), cloud.size());
   for (std::size_t i = 0; i < cloud.size(); ++i) {
@@ -42,7 +42,7 @@ TEST(ExchangeTest, BuildAndUnpackRoundTrip) {
 TEST(ExchangeTest, CorruptPayloadFailsUnpack) {
   ExchangePackage p;
   p.payload = {1, 2, 3, 4, 5};
-  EXPECT_FALSE(UnpackCloud(p).ok());
+  EXPECT_FALSE(DecodePackage(p).ok());
 }
 
 TEST(ExchangeTest, SensorPoseIncludesMount) {

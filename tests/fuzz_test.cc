@@ -9,8 +9,10 @@
 
 #include "common/rng.h"
 #include "core/demand.h"
+#include "core/exchange.h"
 #include "net/auth.h"
 #include "net/serialize.h"
+#include "net/transport.h"
 #include "pointcloud/codec.h"
 #include "pointcloud/io.h"
 
@@ -204,6 +206,79 @@ TEST(FuzzTest, FragmentParserNeverCrashes) {
                 result->pixels.size());
     }
   }
+}
+
+TEST(FuzzTest, FrameReassemblerNeverCrashes) {
+  // Mutated real frames and pure garbage into the reassembler: it must stay
+  // within its pending-package bound, account for every offered frame in its
+  // stats, and only ever complete packages within the declared size cap.
+  const auto wire = net::SerializePackage(MakePackage());
+  const auto frames = net::FragmentPackage(wire, /*sender=*/1, /*seq=*/1, 256);
+  ASSERT_TRUE(frames.ok());
+  ASSERT_GE(frames->size(), 4u);
+
+  net::Reassembler reassembler;
+  Rng rng(47);
+  double now_ms = 0.0;
+  constexpr int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    now_ms += 0.25;
+    std::vector<std::uint8_t> bytes;
+    if (rng.Bernoulli(0.7)) {
+      bytes = Mutate((*frames)[rng.UniformInt(frames->size())], rng);
+    } else {
+      bytes.resize(rng.UniformInt(512));
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.NextU64());
+    }
+    const auto event = reassembler.Offer(bytes, now_ms);
+    if (event.kind == net::Reassembler::Event::Kind::kPackageComplete) {
+      EXPECT_LE(event.package.size(), net::kMaxPackageBytes);
+    }
+    EXPECT_LE(reassembler.pending_packages(), net::Reassembler::kMaxPending);
+  }
+  const auto& st = reassembler.stats();
+  EXPECT_EQ(st.frames_accepted + st.frames_duplicate + st.frames_corrupt +
+                st.frames_inconsistent,
+            static_cast<std::size_t>(kTrials));
+}
+
+TEST(FuzzTest, TruncatedFramePrefixesAllRejected) {
+  // Every strict prefix of a valid frame must be rejected as corrupt — the
+  // trailing CRC covers the whole frame, so no truncation can sneak through.
+  const auto wire = net::SerializePackage(MakePackage());
+  const auto frames = net::FragmentPackage(wire, 1, 1, 512);
+  ASSERT_TRUE(frames.ok());
+  const auto& frame = frames->front();
+  net::Reassembler reassembler;
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(frame.begin(),
+                                           frame.begin() +
+                                               static_cast<std::ptrdiff_t>(cut));
+    const auto event = reassembler.Offer(prefix, 0.0);
+    EXPECT_EQ(event.kind, net::Reassembler::Event::Kind::kCorruptFrame)
+        << "prefix of " << cut << " bytes accepted";
+  }
+  EXPECT_EQ(reassembler.stats().frames_corrupt, frame.size());
+  EXPECT_EQ(reassembler.pending_packages(), 0u);
+}
+
+TEST(FuzzTest, DecodePackageMutatedPayloadNeverCrashes) {
+  // A package can pass the outer wire CRC yet carry a corrupt codec payload
+  // (e.g. corruption before sealing, or a buggy sender).  DecodePackage must
+  // return an error or a bounded cloud — never crash or run away.
+  const auto package = MakePackage();
+  Rng rng(48);
+  for (int trial = 0; trial < 2000; ++trial) {
+    core::ExchangePackage mutated = package;
+    mutated.payload = Mutate(mutated.payload, rng);
+    const auto result = core::DecodePackage(mutated);
+    if (result.ok()) {
+      // The codec header declares the point count; anything accepted must
+      // stay within it (the source cloud has 300 points).
+      EXPECT_LE(result->size(), 4096u);
+    }
+  }
+  SUCCEED();
 }
 
 TEST(FuzzTest, TamperedSealedMessagesAlwaysRejected) {

@@ -135,7 +135,7 @@ TEST(IntegrationTest, PackagePayloadSurvivesWireRoundTrip) {
   const auto wire = net::SerializePackage(package);
   const auto back = net::DeserializePackage(wire);
   ASSERT_TRUE(back.ok());
-  const auto decoded = core::UnpackCloud(*back);
+  const auto decoded = core::DecodePackage(*back);
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->size(), cloud.size());
 }

@@ -138,7 +138,9 @@ TEST(DsrcTest, LosslessChannelDeliversEverything) {
   }
   EXPECT_EQ(ch.total_messages(), 100u);
   EXPECT_EQ(ch.total_dropped(), 0u);
-  EXPECT_EQ(ch.total_bytes_sent(), 100000u);
+  // With no losses, airtime and goodput agree.
+  EXPECT_EQ(ch.total_bytes_on_air(), 100000u);
+  EXPECT_EQ(ch.total_bytes_delivered(), 100000u);
 }
 
 TEST(DsrcTest, LossyChannelDropsExpectedFraction) {
@@ -147,8 +149,12 @@ TEST(DsrcTest, LossyChannelDropsExpectedFraction) {
   constexpr int kN = 10000;
   for (int i = 0; i < kN; ++i) ch.Transmit(100, rng);
   EXPECT_NEAR(static_cast<double>(ch.total_dropped()) / kN, 0.25, 0.02);
-  // Dropped bytes are not counted as sent.
-  EXPECT_EQ(ch.total_bytes_sent(), (kN - ch.total_dropped()) * 100u);
+  // Dropped frames burn airtime but contribute nothing to goodput — the two
+  // counters must diverge by exactly the dropped bytes.
+  EXPECT_EQ(ch.total_bytes_on_air(), kN * 100u);
+  EXPECT_EQ(ch.total_bytes_delivered(), (kN - ch.total_dropped()) * 100u);
+  EXPECT_EQ(ch.total_bytes_on_air() - ch.total_bytes_delivered(),
+            ch.total_dropped() * 100u);
 }
 
 TEST(DsrcTest, DroppedMessageHasNoLatency) {

@@ -55,16 +55,76 @@ TEST(SessionTest, StaleOnArrivalRejected) {
   EXPECT_EQ(session.num_cooperators(), 0u);
 }
 
+TEST(SessionTest, DuplicateSenderEqualTimestampRejected) {
+  // A replacement must be *strictly* newer: a resent copy of the same frame
+  // (same sender, same timestamp) is rejected, not silently re-accepted.
+  CooperativeSession session(TestConfig());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  const Status s = session.ReceivePackage(TinyPackage(1, 10.0), 10.0);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.stats().packages_replaced, 0u);
+  EXPECT_EQ(session.num_cooperators(), 1u);
+}
+
 TEST(SessionTest, CooperatorCapEnforced) {
   SessionConfig sc;
   sc.max_cooperators = 2;
   CooperativeSession session(TestConfig(), sc);
   ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
   ASSERT_TRUE(session.ReceivePackage(TinyPackage(2, 10.0), 10.0).ok());
+  // The newcomer is no fresher than the stalest incumbent: rejected.
   EXPECT_EQ(session.ReceivePackage(TinyPackage(3, 10.0), 10.0).code(),
             StatusCode::kResourceExhausted);
   // Replacing a held sender still works at the cap.
   EXPECT_TRUE(session.ReceivePackage(TinyPackage(2, 10.5), 10.5).ok());
+}
+
+TEST(SessionTest, CapEvictsStalestForFresherNewcomer) {
+  SessionConfig sc;
+  sc.max_cooperators = 2;
+  CooperativeSession session(TestConfig(), sc);
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(2, 10.8), 10.8).ok());
+  // Sender 3 arrives fresher than the stalest incumbent (1 @ 10.0): 1 goes.
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(3, 11.0), 11.0).ok());
+  EXPECT_EQ(session.Cooperators(), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(session.stats().packages_evicted, 1u);
+  // Next eviction takes the now-stalest (2 @ 10.8): order is by timestamp.
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(4, 11.2), 11.2).ok());
+  EXPECT_EQ(session.Cooperators(), (std::vector<std::uint32_t>{3, 4}));
+  EXPECT_EQ(session.stats().packages_evicted, 2u);
+}
+
+TEST(SessionTest, CapEvictionTieBreaksOnHighestSenderId) {
+  SessionConfig sc;
+  sc.max_cooperators = 3;
+  CooperativeSession session(TestConfig(), sc);
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(5, 10.0), 10.0).ok());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(3, 10.0), 10.0).ok());
+  // All equally stale: the deterministic victim is the highest sender id.
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(9, 10.4), 10.4).ok());
+  EXPECT_EQ(session.Cooperators(), (std::vector<std::uint32_t>{1, 3, 9}));
+}
+
+TEST(SessionTest, ExpiryBoundaryExactlyAtMaxAge) {
+  SessionConfig sc;
+  sc.max_package_age_s = 1.5;
+  CooperativeSession session(TestConfig(), sc);
+  // Exactly max_package_age_s old on arrival: still acceptable (the check is
+  // strictly greater-than).
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 11.5).ok());
+  pc::PointCloud local;
+  local.Add({3, 0, 0}, 0.5f);
+  const NavMetadata nav{{0, 0, 0}, {0, 0, 0}, {0, 0, 1.9}};
+  // At now == timestamp + max_age the package survives the expiry sweep...
+  session.DetectCooperative(local, nav, 11.5);
+  EXPECT_EQ(session.num_cooperators(), 1u);
+  EXPECT_EQ(session.stats().packages_expired, 0u);
+  // ...and one tick past it, it ages out.
+  session.DetectCooperative(local, nav, 11.5 + 1e-9);
+  EXPECT_EQ(session.num_cooperators(), 0u);
+  EXPECT_EQ(session.stats().packages_expired, 1u);
 }
 
 TEST(SessionTest, PackagesExpireOverTime) {

@@ -31,6 +31,7 @@
 #include "net/fault.h"
 #include "net/serialize.h"
 #include "net/transport.h"
+#include "obs_flags.h"
 #include "sim/lidar.h"
 #include "sim/scenario.h"
 
@@ -120,6 +121,7 @@ BENCHMARK(BM_TransportAt20PercentLoss)->Unit(benchmark::kMillisecond)
 int main(int argc, char** argv) {
   std::printf("Cooper reproduction — lossy-channel transport sweep "
               "(extension)\n\n");
+  const auto obs_flags = benchutil::ParseObsFlags(&argc, argv);
 
   // One real exchange: two VLP-16 viewpoints in the T&J lot.
   auto scenario = sim::MakeTjScenario(2);
@@ -189,5 +191,6 @@ int main(int argc, char** argv) {
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  benchutil::ExportObs(obs_flags);
   return (recovers && identical && reproducible) ? 0 : 1;
 }

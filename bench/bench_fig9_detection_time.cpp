@@ -21,6 +21,7 @@
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "eval/experiment.h"
+#include "obs_flags.h"
 
 using namespace cooper;
 
@@ -233,6 +234,7 @@ void ReportCase(const char* name, const PreparedCase& p, int hw) {
 int main(int argc, char** argv) {
   std::printf("Cooper reproduction — Fig. 9: detection time, single shot vs "
               "Cooper (CPU; paper used a GTX 1080 Ti)\n\n");
+  const auto obs_flags = benchutil::ParseObsFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 
@@ -241,5 +243,6 @@ int main(int argc, char** argv) {
   const int hw = std::max(2, common::ResolveThreads(0));
   ReportCase("KITTI", KittiCase(), hw);
   ReportCase("T&J", TjCase(), hw);
+  benchutil::ExportObs(obs_flags);
   return 0;
 }

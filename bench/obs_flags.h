@@ -1,0 +1,77 @@
+// Shared --metrics-out / --trace-out handling for the bench binaries.
+//
+// Parse the flags *before* benchmark::Initialize (which rejects unknown
+// arguments); requesting either output flips the obs subsystem on for the
+// whole run, so the exported files cover every benchmark iteration.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cooper::benchutil {
+
+struct ObsFlags {
+  std::string metrics_out;
+  std::string trace_out;
+  bool any() const { return !metrics_out.empty() || !trace_out.empty(); }
+};
+
+/// Strips `--metrics-out <path>` / `--trace-out <path>` (also `=`-joined)
+/// from argv so downstream parsers never see them, and enables the obs
+/// subsystem when either output is requested.
+inline ObsFlags ParseObsFlags(int* argc, char** argv) {
+  ObsFlags flags;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    auto take = [&](const char* name, std::string* dst) {
+      const std::size_t len = std::strlen(name);
+      if (arg == name && i + 1 < *argc) {
+        *dst = argv[++i];
+        return true;
+      }
+      if (arg.compare(0, len, name) == 0 && arg.size() > len &&
+          arg[len] == '=') {
+        *dst = arg.substr(len + 1);
+        return true;
+      }
+      return false;
+    };
+    if (take("--metrics-out", &flags.metrics_out)) continue;
+    if (take("--trace-out", &flags.trace_out)) continue;
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  if (flags.any()) obs::SetEnabled(true);
+  return flags;
+}
+
+/// Writes whichever outputs were requested; call once at the end of main.
+inline void ExportObs(const ObsFlags& flags) {
+  if (!flags.metrics_out.empty()) {
+    const auto snapshot = obs::MetricsRegistry::Global().Snapshot();
+    if (obs::WriteMetricsJsonl(snapshot, flags.metrics_out)) {
+      std::printf("metrics (%zu counters) -> %s\n", snapshot.counters.size(),
+                  flags.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   flags.metrics_out.c_str());
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    if (obs::Tracer::Global().WriteChromeTrace(flags.trace_out)) {
+      std::printf("trace (%zu events) -> %s\n",
+                  obs::Tracer::Global().event_count(),
+                  flags.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   flags.trace_out.c_str());
+    }
+  }
+}
+
+}  // namespace cooper::benchutil

@@ -1,13 +1,15 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#include "obs/trace.h"
 
 namespace cooper {
 namespace {
-
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,7 +26,27 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+// Initialised from COOPER_LOG_LEVEL once, at first static touch.
+std::atomic<LogLevel> g_level{
+    ParseLogLevel(std::getenv("COOPER_LOG_LEVEL"), LogLevel::kInfo)};
+
 }  // namespace
+
+LogLevel ParseLogLevel(const char* text, LogLevel fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  std::string lower;
+  for (const char* p = text; *p != '\0'; ++p) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return fallback;
+}
 
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
@@ -33,8 +55,12 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-          << "] ";
+  // Monotonic seconds since process start (the obs trace clock) and the
+  // small obs thread id, so log lines line up with exported traces.
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%s %.6f t%02d ", LevelName(level),
+                obs::TraceNowUs() / 1e6, obs::CurrentThreadId());
+  stream_ << prefix << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

@@ -2,6 +2,9 @@
 //
 // Experiments print structured tables to stdout; the logger is for
 // diagnostics on stderr only, so table output stays machine-parseable.
+// Each line is prefixed `[<level> <monotonic seconds> t<thread id>
+// <file>:<line>]`; the timestamp and thread id come from the obs trace
+// clock, so log lines correlate with exported traces.
 #pragma once
 
 #include <sstream>
@@ -11,9 +14,15 @@ namespace cooper {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Global minimum level; messages below it are discarded.
+/// Global minimum level; messages below it are discarded.  The initial
+/// value comes from the COOPER_LOG_LEVEL environment variable (read once at
+/// startup; see ParseLogLevel), defaulting to Info.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug"/"info"/"warning"/"warn"/"error" (case-insensitive) or the
+/// digits 0-3; anything else (including null/empty) yields `fallback`.
+LogLevel ParseLogLevel(const char* text, LogLevel fallback);
 
 namespace internal {
 

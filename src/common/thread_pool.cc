@@ -4,6 +4,10 @@
 #include <atomic>
 #include <exception>
 #include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace cooper::common {
 namespace {
@@ -25,6 +29,11 @@ struct ForContext {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
 
+  // Innermost span open on the submitting thread, captured at dispatch:
+  // every participant re-opens it (category "parallel") so the stage's work
+  // renders on the worker lanes it actually ran on.
+  std::string span_tag;
+
   std::mutex mu;
   std::condition_variable all_done;
   std::exception_ptr error;
@@ -32,6 +41,8 @@ struct ForContext {
   void RunChunks() {
     const bool was_in_worker = t_in_worker;
     t_in_worker = true;
+    std::optional<obs::Span> span;
+    if (!span_tag.empty()) span.emplace(span_tag, "parallel");
     for (std::size_t c = next.fetch_add(1); c < nchunks; c = next.fetch_add(1)) {
       const std::size_t lo = begin + c * grain;
       const std::size_t hi = std::min(end, lo + grain);
@@ -78,7 +89,10 @@ ThreadPool::ThreadPool(int num_threads) {
   const int n = ResolveThreads(num_threads);
   workers_.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
   for (int i = 0; i < n - 1; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      obs::SetCurrentThreadName("pool-worker-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -139,6 +153,7 @@ void ThreadPool::ParallelFor(
   ctx->grain = grain;
   ctx->nchunks = nchunks;
   ctx->fn = &fn;
+  if (obs::Enabled()) ctx->span_tag = obs::CurrentSpanName();
 
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -2,13 +2,25 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cooper::common {
 
+StageTimer::StageTimer() : last_us_(obs::TraceNowUs()) {}
+
 double StageTimer::Lap(std::string name) {
-  const Clock::time_point now = Clock::now();
-  const double us =
-      std::chrono::duration<double, std::micro>(now - last_).count();
-  last_ = now;
+  const double now_us = obs::TraceNowUs();
+  const double us = now_us - last_us_;
+  if (obs::Enabled()) {
+    // One measurement feeds the lap table, the trace lane and the stage
+    // histogram, so every consumer reports identical timings.
+    obs::Tracer::Global().Emit(name, "stage", last_us_, us);
+    obs::MetricsRegistry::Global()
+        .GetHistogram("stage." + name + ".us")
+        .Record(us);
+  }
+  last_us_ = now_us;
   for (auto& [existing, total] : laps_) {
     if (existing == name) {
       total += us;
@@ -46,7 +58,7 @@ std::string StageTimer::Summary() const {
 
 void StageTimer::Reset() {
   laps_.clear();
-  last_ = Clock::now();
+  last_us_ = obs::TraceNowUs();
 }
 
 }  // namespace cooper::common

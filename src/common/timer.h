@@ -5,9 +5,14 @@
 // under that name.  Laps keep their first-recorded order, so a breakdown
 // table prints in pipeline order; repeated names accumulate (e.g. a stage
 // that runs once per cooperator).
+//
+// StageTimer is a thin wrapper over the obs span/metrics layer: it reads the
+// obs trace clock, and when observability is enabled each lap is emitted as
+// a trace event (category "stage") and recorded into the
+// `stage.<name>.us` histogram — the lap duration computed here is the single
+// source of truth for bench tables, exported traces and metric snapshots.
 #pragma once
 
-#include <chrono>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -17,7 +22,7 @@ namespace cooper::common {
 
 class StageTimer {
  public:
-  StageTimer() : last_(Clock::now()) {}
+  StageTimer();
 
   /// Records the time since construction (or the previous Lap) under `name`
   /// and restarts the lap clock.  Returns the lap in microseconds.
@@ -41,8 +46,7 @@ class StageTimer {
   void Reset();
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point last_;
+  double last_us_;  // obs::TraceNowUs() at the previous lap boundary
   std::vector<std::pair<std::string, double>> laps_;
 };
 

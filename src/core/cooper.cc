@@ -1,5 +1,8 @@
 #include "core/cooper.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cooper::core {
 
 namespace {
@@ -17,24 +20,33 @@ CooperConfig WithThreads(CooperConfig config) {
 CooperPipeline::CooperPipeline(const CooperConfig& config)
     : config_(WithThreads(config)),
       detector_(config_.detector, config_.sensor, config_.detector_weight_seed),
-      codec_(config_.codec) {}
+      codec_(config_.codec) {
+  // Sticky: enabling is one-way so overlapping pipelines cannot strobe the
+  // process-wide flag off under a pipeline that asked for it.
+  if (config_.observability) obs::SetEnabled(true);
+}
 
 ExchangePackage CooperPipeline::MakePackage(std::uint32_t sender_id,
                                             double timestamp_s,
                                             RoiCategory roi,
                                             const NavMetadata& nav,
                                             const pc::PointCloud& local_cloud) const {
+  obs::Span span("cooper.make_package", "core");
   const pc::PointCloud roi_cloud = ExtractRoi(local_cloud, roi, config_.roi);
+  COOPER_COUNT("cooper.packages_built");
+  COOPER_COUNT_N("cooper.roi_points", roi_cloud.size());
   return BuildPackage(sender_id, timestamp_s, roi, nav, roi_cloud, codec_);
 }
 
 spod::SpodResult CooperPipeline::DetectSingleShot(
     const pc::PointCloud& local_cloud) const {
+  obs::Span span("cooper.detect_single_shot", "core");
   return detector_.Detect(local_cloud);
 }
 
 Result<pc::PointCloud> CooperPipeline::ReconstructRemoteCloud(
     const NavMetadata& local_nav, const ExchangePackage& package) const {
+  obs::Span span("cooper.reconstruct", "core");
   COOPER_ASSIGN_OR_RETURN(pc::PointCloud remote_cloud, DecodePackage(package));
   // Densify while still in the sender's sensor frame — the spherical
   // projection is only meaningful from the originating viewpoint.
@@ -50,6 +62,8 @@ Result<pc::PointCloud> CooperPipeline::ReconstructRemoteCloud(
 Result<CooperOutput> CooperPipeline::DetectCooperative(
     const pc::PointCloud& local_cloud, const NavMetadata& local_nav,
     const ExchangePackage& package) const {
+  obs::Span span("cooper.detect_cooperative", "core");
+  COOPER_COUNT("cooper.cooperative_detections");
   common::StageTimer timer;
   COOPER_ASSIGN_OR_RETURN(pc::PointCloud remote,
                           ReconstructRemoteCloud(local_nav, package));

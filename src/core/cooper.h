@@ -38,6 +38,12 @@ struct CooperConfig {
   // detector and ICP configs, so it is the single switch callers tune.
   // Output is bit-identical for every value — see DESIGN.md.
   int num_threads = 1;
+  // Master switch for the obs subsystem (metrics + tracing).  Constructing a
+  // pipeline with this set flips the process-wide `obs::Enabled()` flag on;
+  // it stays on (sticky) so overlapping pipelines cannot strobe it.  Off by
+  // default: disabled cost is one relaxed atomic load per instrumentation
+  // site.  See DESIGN.md "Observability".
+  bool observability = false;
 };
 
 /// Output of one cooperative-perception step.

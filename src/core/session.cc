@@ -1,6 +1,8 @@
 #include "core/session.h"
 
 #include "net/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cooper::core {
 
@@ -15,16 +17,19 @@ Status CooperativeSession::ReceivePackage(ExchangePackage package,
   ExpireOld(now_s);
   if (now_s - package.timestamp_s > session_config_.max_package_age_s) {
     ++stats_.packages_rejected_old;
+    COOPER_COUNT("session.packages_rejected_old");
     return FailedPreconditionError("package already stale on arrival");
   }
   const auto it = packages_.find(package.sender_id);
   if (it != packages_.end()) {
     if (package.timestamp_s <= it->second.timestamp_s) {
       ++stats_.packages_rejected_old;
+      COOPER_COUNT("session.packages_rejected_old");
       return FailedPreconditionError("older than the held frame");
     }
     it->second = std::move(package);
     ++stats_.packages_replaced;
+    COOPER_COUNT("session.packages_replaced");
     return Status::Ok();
   }
   if (packages_.size() >= session_config_.max_cooperators) {
@@ -42,21 +47,26 @@ Status CooperativeSession::ReceivePackage(ExchangePackage package,
     }
     if (package.timestamp_s <= victim->second.timestamp_s) {
       ++stats_.packages_rejected_full;
+      COOPER_COUNT("session.packages_rejected_full");
       return ResourceExhaustedError("cooperator slots full");
     }
     packages_.erase(victim);
     ++stats_.packages_evicted;
+    COOPER_COUNT("session.packages_evicted");
   }
   packages_.emplace(package.sender_id, std::move(package));
   ++stats_.packages_accepted;
+  COOPER_COUNT("session.packages_accepted");
   return Status::Ok();
 }
 
 Status CooperativeSession::ReceiveWire(
     const std::vector<std::uint8_t>& package_bytes, double now_s) {
+  obs::Span span("session.receive_wire", "core");
   auto package_or = net::DeserializePackage(package_bytes);
   if (!package_or.ok()) {
     ++stats_.packages_corrupt;
+    COOPER_COUNT("session.packages_corrupt");
     return package_or.status();
   }
   // Validate the payload up front: a package whose cloud cannot decode would
@@ -64,6 +74,7 @@ Status CooperativeSession::ReceiveWire(
   // older healthy package this sender may already hold.
   if (const auto cloud_or = DecodePackage(*package_or); !cloud_or.ok()) {
     ++stats_.packages_corrupt;
+    COOPER_COUNT("session.packages_corrupt");
     return cloud_or.status();
   }
   return ReceivePackage(std::move(*package_or), now_s);
@@ -71,6 +82,7 @@ Status CooperativeSession::ReceiveWire(
 
 Status CooperativeSession::ReceiveFrame(
     const std::vector<std::uint8_t>& frame_bytes, double now_s) {
+  obs::Span span("session.receive_frame", "core");
   ExpireStaleReassembly(now_s);
   net::Reassembler::Event event = reassembler_.Offer(frame_bytes, now_s * 1e3);
   using Kind = net::Reassembler::Event::Kind;
@@ -81,11 +93,13 @@ Status CooperativeSession::ReceiveFrame(
       // A fragment we already hold: retransmission overlap or channel
       // duplication.  Benign, but worth counting.
       ++stats_.frames_retransmitted;
+      COOPER_COUNT("session.frames_retransmitted");
       return Status::Ok();
     case Kind::kCorruptFrame:
       return DataLossError("corrupt transport frame");
     case Kind::kPackageCorrupt:
       ++stats_.packages_corrupt;
+      COOPER_COUNT("session.packages_corrupt");
       return DataLossError("reassembled package size mismatch");
     case Kind::kPackageComplete:
       return ReceiveWire(event.package, now_s);
@@ -98,6 +112,7 @@ void CooperativeSession::ExpireOld(double now_s) {
     if (now_s - it->second.timestamp_s > session_config_.max_package_age_s) {
       it = packages_.erase(it);
       ++stats_.packages_expired;
+      COOPER_COUNT("session.packages_expired");
     } else {
       ++it;
     }
@@ -105,12 +120,15 @@ void CooperativeSession::ExpireOld(double now_s) {
 }
 
 void CooperativeSession::ExpireStaleReassembly(double now_s) {
-  stats_.packages_incomplete += reassembler_.ExpireStale(now_s * 1e3);
+  const std::size_t expired = reassembler_.ExpireStale(now_s * 1e3);
+  stats_.packages_incomplete += expired;
+  COOPER_COUNT_N("session.packages_incomplete", expired);
 }
 
 CooperOutput CooperativeSession::DetectCooperative(
     const pc::PointCloud& local_cloud, const NavMetadata& local_nav,
     double now_s) {
+  obs::Span span("session.detect_cooperative", "core");
   ExpireOld(now_s);
   ExpireStaleReassembly(now_s);
   CooperOutput out;
@@ -122,6 +140,7 @@ CooperOutput CooperativeSession::DetectCooperative(
       // coverage instead of being retried (and skipped) every frame.
       it = packages_.erase(it);
       ++stats_.packages_corrupt;
+      COOPER_COUNT("session.packages_corrupt");
       continue;
     }
     out.transmitter_points += remote->size();

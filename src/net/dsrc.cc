@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace cooper::net {
 
 double DsrcChannel::LatencyMs(std::size_t bytes) const {
@@ -16,13 +18,17 @@ TransmitReport DsrcChannel::Transmit(std::size_t bytes, Rng& rng) {
   ++total_messages_;
   // A lost message still burned its airtime on the shared channel.
   total_bytes_on_air_ += bytes;
+  COOPER_COUNT("dsrc.messages");
+  COOPER_COUNT_N("dsrc.bytes_on_air", bytes);
   if (config_.loss_prob > 0.0 && rng.Bernoulli(config_.loss_prob)) {
     ++total_dropped_;
+    COOPER_COUNT("dsrc.messages_dropped");
     return report;  // delivered = false
   }
   report.delivered = true;
   report.latency_ms = LatencyMs(bytes);
   total_bytes_delivered_ += bytes;
+  COOPER_COUNT_N("dsrc.bytes_delivered", bytes);
   return report;
 }
 

@@ -1,5 +1,7 @@
 #include "net/fault.h"
 
+#include "obs/metrics.h"
+
 namespace cooper::net {
 namespace {
 
@@ -17,8 +19,10 @@ void FlipRandomBits(std::vector<std::uint8_t>& bytes, Rng& rng) {
 std::vector<FaultedDelivery> FaultInjector::Apply(
     const std::vector<std::uint8_t>& frame) {
   ++stats_.frames_seen;
+  COOPER_COUNT("fault.frames_seen");
   if (profile_.drop_prob > 0.0 && rng_.Bernoulli(profile_.drop_prob)) {
     ++stats_.frames_dropped;
+    COOPER_COUNT("fault.frames_dropped");
     return {};
   }
 
@@ -26,6 +30,7 @@ std::vector<FaultedDelivery> FaultInjector::Apply(
   out.push_back(FaultedDelivery{frame, 0.0});
   if (profile_.duplicate_prob > 0.0 && rng_.Bernoulli(profile_.duplicate_prob)) {
     ++stats_.frames_duplicated;
+    COOPER_COUNT("fault.frames_duplicated");
     // The copy trails the original by a random fraction of the hold-back.
     out.push_back(
         FaultedDelivery{frame, rng_.Uniform(0.0, profile_.reorder_delay_ms)});
@@ -34,21 +39,25 @@ std::vector<FaultedDelivery> FaultInjector::Apply(
   for (auto& delivery : out) {
     if (profile_.corrupt_prob > 0.0 && rng_.Bernoulli(profile_.corrupt_prob)) {
       ++stats_.frames_corrupted;
+      COOPER_COUNT("fault.frames_corrupted");
       FlipRandomBits(delivery.bytes, rng_);
     }
     if (profile_.truncate_prob > 0.0 &&
         rng_.Bernoulli(profile_.truncate_prob) && !delivery.bytes.empty()) {
       ++stats_.frames_truncated;
+      COOPER_COUNT("fault.frames_truncated");
       delivery.bytes.resize(rng_.UniformInt(delivery.bytes.size()));
     }
     if (profile_.reorder_prob > 0.0 && rng_.Bernoulli(profile_.reorder_prob)) {
       ++stats_.frames_reordered;
+      COOPER_COUNT("fault.frames_reordered");
       // Held back long enough to land after frames sent later.
       delivery.extra_delay_ms +=
           profile_.reorder_delay_ms + rng_.Uniform(0.0, profile_.reorder_delay_ms);
     }
     if (profile_.delay_prob > 0.0 && rng_.Bernoulli(profile_.delay_prob)) {
       ++stats_.frames_delayed;
+      COOPER_COUNT("fault.frames_delayed");
       delivery.extra_delay_ms += rng_.Uniform(0.0, profile_.delay_ms);
     }
   }

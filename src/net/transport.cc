@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "net/crc32.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cooper::net {
 namespace {
@@ -80,6 +82,7 @@ Result<Frame> DeserializeFrame(const std::vector<std::uint8_t>& bytes) {
 Result<std::vector<std::vector<std::uint8_t>>> FragmentPackage(
     const std::vector<std::uint8_t>& package, std::uint32_t sender_id,
     std::uint32_t package_seq, std::size_t mtu_bytes) {
+  obs::Span span("transport.fragment", "net");
   if (package.empty()) return InvalidArgumentError("cannot fragment an empty package");
   if (mtu_bytes <= kFrameOverheadBytes) {
     return InvalidArgumentError("MTU leaves no room for payload");
@@ -128,6 +131,7 @@ void Reassembler::EvictIfOverCapacity() {
   }
   partials_.erase(victim);
   ++stats_.packages_expired;
+  COOPER_COUNT("reassembly.packages_expired");
 }
 
 Reassembler::Event Reassembler::Offer(const std::vector<std::uint8_t>& frame_bytes,
@@ -136,6 +140,7 @@ Reassembler::Event Reassembler::Offer(const std::vector<std::uint8_t>& frame_byt
   auto frame_or = DeserializeFrame(frame_bytes);
   if (!frame_or.ok()) {
     ++stats_.frames_corrupt;
+    COOPER_COUNT("reassembly.frames_corrupt");
     event.kind = Event::Kind::kCorruptFrame;
     return event;
   }
@@ -149,6 +154,7 @@ Reassembler::Event Reassembler::Offer(const std::vector<std::uint8_t>& frame_byt
   if (std::find(completed_ring_.begin(), completed_ring_.end(), key) !=
       completed_ring_.end()) {
     ++stats_.frames_duplicate;
+    COOPER_COUNT("reassembly.frames_duplicate");
     event.kind = Event::Kind::kDuplicate;
     return event;
   }
@@ -165,6 +171,7 @@ Reassembler::Event Reassembler::Offer(const std::vector<std::uint8_t>& frame_byt
     // Same package key but a disagreeing shape: a corrupted header that
     // happened to parse, or a misbehaving sender.  Keep the first-seen shape.
     ++stats_.frames_inconsistent;
+    COOPER_COUNT("reassembly.frames_inconsistent");
     event.kind = Event::Kind::kCorruptFrame;
     return event;
   }
@@ -173,11 +180,13 @@ Reassembler::Event Reassembler::Offer(const std::vector<std::uint8_t>& frame_byt
   partial.last_activity_ms = now_ms;
   if (partial.fragments.count(frame.frag_index) != 0) {
     ++stats_.frames_duplicate;
+    COOPER_COUNT("reassembly.frames_duplicate");
     event.kind = Event::Kind::kDuplicate;
     return event;
   }
   partial.fragments.emplace(frame.frag_index, std::move(frame.payload));
   ++stats_.frames_accepted;
+  COOPER_COUNT("reassembly.frames_accepted");
 
   if (partial.fragments.size() < partial.frag_count) {
     event.kind = Event::Kind::kFrameAccepted;
@@ -195,10 +204,12 @@ Reassembler::Event Reassembler::Offer(const std::vector<std::uint8_t>& frame_byt
   RememberCompleted(key);
   if (package.size() == expected_bytes) {
     ++stats_.packages_completed;
+    COOPER_COUNT("reassembly.packages_completed");
     event.kind = Event::Kind::kPackageComplete;
     event.package = std::move(package);
   } else {
     ++stats_.packages_corrupt;
+    COOPER_COUNT("reassembly.packages_corrupt");
     event.kind = Event::Kind::kPackageCorrupt;
   }
   return event;
@@ -226,6 +237,7 @@ std::size_t Reassembler::ExpireStale(double now_ms) {
     if (now_ms - it->second.last_activity_ms > config_.reassembly_timeout_ms) {
       it = partials_.erase(it);
       ++stats_.packages_expired;
+      COOPER_COUNT("reassembly.packages_expired");
       ++expired;
     } else {
       ++it;
@@ -237,6 +249,7 @@ std::size_t Reassembler::ExpireStale(double now_ms) {
 void Reassembler::Abandon(std::uint32_t sender_id, std::uint32_t package_seq) {
   if (partials_.erase(Key(sender_id, package_seq)) > 0) {
     ++stats_.packages_expired;
+    COOPER_COUNT("reassembly.packages_expired");
   }
 }
 
@@ -250,6 +263,12 @@ Result<TransportDelivery> Transport::SendPackage(
       std::vector<std::vector<std::uint8_t>> frames,
       FragmentPackage(package_bytes, sender_id, seq, config_.mtu_bytes));
   ++stats_.packages_sent;
+  COOPER_COUNT("transport.packages_sent");
+  if (obs::Enabled()) {
+    obs::MetricsRegistry::Global()
+        .GetHistogram("transport.package_bytes")
+        .Record(static_cast<double>(package_bytes.size()));
+  }
 
   const double start_ms = clock_ms_;
   double t = clock_ms_;
@@ -269,10 +288,13 @@ Result<TransportDelivery> Transport::SendPackage(
   for (int round = 0;; ++round) {
     if (round == 0) {
       stats_.frames_sent += pending.size();
+      COOPER_COUNT_N("transport.frames_sent", pending.size());
     } else {
       stats_.frames_retransmitted += pending.size();
       ++stats_.retransmit_rounds;
       retransmitted += pending.size();
+      COOPER_COUNT_N("transport.frames_retransmitted", pending.size());
+      COOPER_COUNT("transport.retransmit_rounds");
     }
 
     // Frames go out back-to-back; each occupies the channel for its
@@ -306,6 +328,7 @@ Result<TransportDelivery> Transport::SendPackage(
       Reassembler::Event event = reassembler_.Offer(arrival.bytes, arrival.at_ms);
       if (event.kind == Reassembler::Event::Kind::kPackageComplete) {
         ++stats_.packages_delivered;
+        COOPER_COUNT("transport.packages_delivered");
         clock_ms_ = std::max(t, arrival.at_ms);
         TransportDelivery delivery;
         delivery.package = std::move(event.package);
@@ -318,6 +341,7 @@ Result<TransportDelivery> Transport::SendPackage(
         // All fragments arrived but the sizes disagree with the header:
         // retransmission cannot repair a lying shape, so give up.
         ++stats_.packages_failed;
+        COOPER_COUNT("transport.packages_failed");
         clock_ms_ = std::max(t, last_arrival_ms);
         return DataLossError("reassembled package size mismatch");
       }
@@ -326,6 +350,7 @@ Result<TransportDelivery> Transport::SendPackage(
     if (round >= config_.max_retransmit_rounds) {
       reassembler_.Abandon(sender_id, seq);
       ++stats_.packages_failed;
+      COOPER_COUNT("transport.packages_failed");
       clock_ms_ = std::max(t, last_arrival_ms);
       return UnavailableError("package undelivered after " +
                               std::to_string(round) + " retransmit rounds");

@@ -1,0 +1,238 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cooper::obs::json {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::optional<Value> Run() {
+    Value v;
+    if (!ParseValue(v, 0)) return std::nullopt;
+    SkipWs();
+    if (i_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\n' ||
+            s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (i_ >= s_.size() || s_[i_] != c) return false;
+    ++i_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (s_.substr(i_, lit.size()) != lit) return false;
+    i_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(Value& out, int depth) {
+    if (depth > kMaxDepth) return false;
+    SkipWs();
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out.type = Value::Type::kString;
+        return ParseString(out.str);
+      case 't':
+        out.type = Value::Type::kBool;
+        out.boolean = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out.type = Value::Type::kBool;
+        out.boolean = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out.type = Value::Type::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Value& out, int depth) {
+    out.type = Value::Type::kObject;
+    ++i_;  // '{'
+    SkipWs();
+    if (i_ < s_.size() && s_[i_] == '}') {
+      ++i_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (i_ >= s_.size() || s_[i_] != '"') return false;
+      std::string key;
+      if (!ParseString(key)) return false;
+      if (!Consume(':')) return false;
+      Value v;
+      if (!ParseValue(v, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+
+  bool ParseArray(Value& out, int depth) {
+    out.type = Value::Type::kArray;
+    ++i_;  // '['
+    SkipWs();
+    if (i_ < s_.size() && s_[i_] == ']') {
+      ++i_;
+      return true;
+    }
+    for (;;) {
+      Value v;
+      if (!ParseValue(v, depth + 1)) return false;
+      out.array.push_back(std::move(v));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+
+  bool ParseHex4(unsigned& out) {
+    if (i_ + 4 > s_.size()) return false;
+    out = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = s_[i_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    ++i_;  // '"'
+    out.clear();
+    while (i_ < s_.size()) {
+      const char c = s_[i_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (i_ >= s_.size()) return false;
+      const char esc = s_[i_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!ParseHex4(cp)) return false;
+          // Basic-plane UTF-8 encoding; surrogates come out as-is (the
+          // exporters never emit them).
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(Value& out) {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && s_[i_] == '-') ++i_;
+    while (i_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 ||
+            s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '+' ||
+            s_[i_] == '-')) {
+      ++i_;
+    }
+    if (i_ == start) return false;
+    const std::string text(s_.substr(start, i_ - start));
+    char* end = nullptr;
+    out.type = Value::Type::kNumber;
+    out.number = std::strtod(text.c_str(), &end);
+    return end == text.c_str() + text.size();
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<Value> Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+std::string Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace cooper::obs::json

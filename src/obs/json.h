@@ -1,0 +1,44 @@
+// Minimal JSON support for the observability layer.
+//
+// Two jobs only: escape strings the exporters embed in hand-built JSON, and
+// parse the files they produce (metrics JSONL, Chrome trace-event JSON) so
+// tests can schema-check exports and `cooper_trace_summary` can read traces
+// back.  Not a general-purpose JSON library: numbers are doubles, \uXXXX
+// escapes decode basic-plane code points only (the exporters emit ASCII).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cooper::obs::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  // insertion order kept
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// First member with `key`, or nullptr (also nullptr on non-objects).
+  const Value* Find(std::string_view key) const;
+};
+
+/// Parses one JSON document.  The whole input must be consumed (trailing
+/// whitespace allowed); returns nullopt on any syntax error.
+std::optional<Value> Parse(std::string_view text);
+
+/// JSON string-literal escaping (quotes not included).
+std::string Escape(std::string_view raw);
+
+}  // namespace cooper::obs::json

@@ -1,0 +1,309 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace cooper::obs {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+std::size_t ThreadStripe() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+
+// CAS-add for pre-C++20-style portability across toolchains (and to keep
+// ordering relaxed regardless of the library's fetch_add support).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+// --- Counter ---
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t sum = 0;
+  for (const auto& stripe : stripes_) {
+    sum += stripe.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Counter::ResetValue() {
+  for (auto& stripe : stripes_) {
+    stripe.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Gauge ---
+
+void Gauge::Add(double delta) {
+  if (!Enabled()) return;
+  AtomicAdd(value_, delta);
+}
+
+// --- Histogram ---
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)),
+      bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (bounds_.empty()) bounds_ = DefaultBounds();
+  stripes_.reserve(internal::kStripes);
+  for (std::size_t i = 0; i < internal::kStripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::RecordImpl(double value) {
+  Stripe& stripe = *stripes_[internal::ThreadStripe()];
+  const std::size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  stripe.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(stripe.sum, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+void Histogram::ResetValue() {
+  for (auto& stripe : stripes_) {
+    for (auto& b : stripe->buckets) b.store(0, std::memory_order_relaxed);
+    stripe->sum.store(0.0, std::memory_order_relaxed);
+  }
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q, const std::vector<std::uint64_t>& buckets,
+                           std::uint64_t count, double min_v,
+                           double max_v) const {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const std::uint64_t prev = cum;
+    cum += buckets[i];
+    if (static_cast<double>(cum) < target) continue;
+    // Interpolate linearly inside bucket i; the open-ended edges borrow the
+    // observed min/max so a single-bucket histogram still reports sane
+    // quantiles.
+    double lo = i == 0 ? min_v : bounds_[i - 1];
+    double hi = i < bounds_.size() ? bounds_[i] : max_v;
+    lo = std::max(lo, min_v);
+    hi = std::min(hi, max_v);
+    if (hi < lo) hi = lo;
+    const double frac =
+        (target - static_cast<double>(prev)) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return max_v;
+}
+
+Histogram::Summary Histogram::Snapshot() const {
+  Summary s;
+  s.buckets.assign(bounds_.size() + 1, 0);
+  for (const auto& stripe : stripes_) {
+    for (std::size_t i = 0; i < stripe->buckets.size(); ++i) {
+      s.buckets[i] += stripe->buckets[i].load(std::memory_order_relaxed);
+    }
+    s.sum += stripe->sum.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t b : s.buckets) s.count += b;
+  if (s.count == 0) {
+    s.sum = 0.0;
+    return s;
+  }
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = Quantile(0.50, s.buckets, s.count, s.min, s.max);
+  s.p95 = Quantile(0.95, s.buckets, s.count, s.min, s.max);
+  s.p99 = Quantile(0.99, s.buckets, s.count, s.min, s.max);
+  return s;
+}
+
+const std::vector<double>& DefaultBounds() {
+  static const std::vector<double>* bounds = [] {
+    auto* v = new std::vector<double>();
+    for (double decade = 1.0; decade <= 1e7; decade *= 10.0) {
+      v->push_back(decade);
+      v->push_back(2.0 * decade);
+      v->push_back(5.0 * decade);
+    }
+    return v;
+  }();
+  return *bounds;
+}
+
+// --- MetricsSnapshot ---
+
+std::string MetricsSnapshot::ToJsonl() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += "{\"type\":\"counter\",\"name\":\"" + json::Escape(name) +
+           "\",\"value\":" + std::to_string(value) + "}\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "{\"type\":\"gauge\",\"name\":\"" + json::Escape(name) +
+           "\",\"value\":";
+    AppendDouble(out, value);
+    out += "}\n";
+  }
+  for (const auto& h : histograms) {
+    out += "{\"type\":\"histogram\",\"name\":\"" + json::Escape(h.name) +
+           "\",\"count\":" + std::to_string(h.summary.count);
+    out += ",\"sum\":";
+    AppendDouble(out, h.summary.sum);
+    out += ",\"min\":";
+    AppendDouble(out, h.summary.min);
+    out += ",\"max\":";
+    AppendDouble(out, h.summary.max);
+    out += ",\"p50\":";
+    AppendDouble(out, h.summary.p50);
+    out += ",\"p95\":";
+    AppendDouble(out, h.summary.p95);
+    out += ",\"p99\":";
+    AppendDouble(out, h.summary.p99);
+    out += ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendDouble(out, h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.summary.buckets.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(h.summary.buckets[i]);
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+// --- MetricsRegistry ---
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked: metric handles cached in function-local statics may be touched
+  // during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(
+                          new Histogram(std::string(name), bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back(
+        {name, histogram->bounds(), histogram->Snapshot()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->ResetValue();
+  for (auto& [name, gauge] : gauges_) gauge->ResetValue();
+  for (auto& [name, histogram] : histograms_) histogram->ResetValue();
+}
+
+bool WriteMetricsJsonl(const MetricsSnapshot& snapshot,
+                       const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = snapshot.ToJsonl();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace cooper::obs

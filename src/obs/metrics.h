@@ -1,0 +1,214 @@
+// cooper_obs metrics: named counters, gauges and fixed-bucket histograms.
+//
+// The paper's headline claims are measurements (detection latency, Fig. 9;
+// DSRC payload budgets, Fig. 12), so the repo needs one uniform way to count
+// and time everything.  The registry is designed for hot paths:
+//
+//   * The whole layer sits behind one process-wide switch (`SetEnabled`),
+//     off by default.  Disabled, every instrument is a relaxed atomic load
+//     and a predictable branch — cheap enough to leave in ray-casting and
+//     frame-parsing loops.
+//   * Enabled, counters and histogram buckets are striped across cache-line
+//     padded per-thread shards (relaxed atomics, no locks); shards are summed
+//     only when a snapshot is taken.  Totals are order-independent, so a
+//     deterministic workload yields bit-identical counter snapshots at any
+//     thread count.
+//   * Snapshots export as JSONL (one metric per line) so benches can dump
+//     machine-readable metrics next to their human tables.
+//
+// Metric naming scheme (see DESIGN.md "Observability"): dot-separated
+// `<subsystem>.<event>`, e.g. `transport.frames_retransmitted`,
+// `stage.detect.us`.  Units are spelled out in the final component when they
+// matter (`.us`, `.ms`, `.bytes`).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cooper::obs {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+inline constexpr std::size_t kStripes = 16;
+/// Stable per-thread stripe index in [0, kStripes): threads own a stripe for
+/// their lifetime, so increments never bounce a cache line between cores.
+std::size_t ThreadStripe();
+}  // namespace internal
+
+/// Master switch for the whole observability layer (metrics *and* tracing).
+/// Off by default; `CooperConfig::observability` flips it on at pipeline
+/// construction.  Enabling is sticky across pipelines — disable explicitly.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool on);
+
+/// Monotonic counter.  Thread-safe, wait-free on the hot path.
+class Counter {
+ public:
+  void Inc(std::uint64_t n = 1) {
+    if (!Enabled()) return;
+    stripes_[internal::ThreadStripe()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all stripes.
+  std::uint64_t Value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void ResetValue();
+
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::string name_;
+  std::array<Stripe, internal::kStripes> stripes_;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) {
+    if (Enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void ResetValue() { value_.store(0.0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with p50/p95/p99 summaries.  Bucket `i` counts
+/// values <= bounds[i] (and greater than bounds[i-1]); one implicit overflow
+/// bucket catches everything past the last bound.  Bucket counts are striped
+/// like counters; min/max/sum merge with CAS loops on record.
+class Histogram {
+ public:
+  void Record(double value) {
+    if (Enabled()) RecordImpl(value);
+  }
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when count == 0
+    double max = 0.0;
+    double p50 = 0.0;  // linear interpolation inside the owning bucket
+    double p95 = 0.0;
+    double p99 = 0.0;
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+  };
+  Summary Snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+  void RecordImpl(double value);
+  void ResetValue();
+  double Quantile(double q, const std::vector<std::uint64_t>& buckets,
+                  std::uint64_t count, double min_v, double max_v) const;
+
+  struct alignas(64) Stripe {
+    explicit Stripe(std::size_t n) : buckets(n) {}
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;  // strictly ascending
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// 1-2-5 exponential bounds, 1e0 .. 1e7 — a generic default that covers
+/// microsecond latencies and byte sizes alike.
+const std::vector<double>& DefaultBounds();
+
+/// Point-in-time view of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  struct HistogramEntry {
+    std::string name;
+    std::vector<double> bounds;
+    Histogram::Summary summary;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  /// One JSON object per line:
+  ///   {"type":"counter","name":...,"value":...}
+  ///   {"type":"gauge","name":...,"value":...}
+  ///   {"type":"histogram","name":...,"count":...,"sum":...,"min":...,
+  ///    "max":...,"p50":...,"p95":...,"p99":...,"bounds":[...],"buckets":[...]}
+  std::string ToJsonl() const;
+};
+
+/// Thread-safe name -> metric registry.  Lookups take a mutex; hot paths
+/// should cache the returned reference (metric objects live for the process
+/// lifetime, addresses are stable).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `bounds` applies on first registration only (empty = DefaultBounds());
+  /// later calls with the same name return the existing histogram.
+  Histogram& GetHistogram(std::string_view name,
+                          const std::vector<double>& bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric's value.  Registrations (and cached references)
+  /// stay valid.
+  void ResetValues();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Writes `snapshot.ToJsonl()` to `path`.  Returns false on I/O failure.
+bool WriteMetricsJsonl(const MetricsSnapshot& snapshot,
+                       const std::string& path);
+
+}  // namespace cooper::obs
+
+// Hot-path counter bump: caches the registry lookup in a function-local
+// static, so steady-state cost is one relaxed load + branch (disabled) or
+// one striped relaxed fetch_add (enabled).
+#define COOPER_COUNT(name) COOPER_COUNT_N(name, 1)
+#define COOPER_COUNT_N(name, n)                                            \
+  do {                                                                     \
+    if (::cooper::obs::Enabled()) {                                        \
+      static ::cooper::obs::Counter& cooper_obs_counter_local =            \
+          ::cooper::obs::MetricsRegistry::Global().GetCounter(name);       \
+      cooper_obs_counter_local.Inc(                                        \
+          static_cast<std::uint64_t>(n));                                  \
+    }                                                                      \
+  } while (0)

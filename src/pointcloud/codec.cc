@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace cooper::pc {
 namespace {
 
@@ -87,6 +90,7 @@ std::int64_t Quantize(double v, double origin, double resolution) {
 }  // namespace
 
 std::vector<std::uint8_t> CloudCodec::Encode(const PointCloud& cloud) const {
+  obs::Span span("codec.encode", "codec");
   std::vector<std::uint8_t> out;
   out.reserve(16 + cloud.size() * 7);
   PutU32(out, kMagic);
@@ -113,10 +117,13 @@ std::vector<std::uint8_t> CloudCodec::Encode(const PointCloud& cloud) const {
     const double r = std::clamp(static_cast<double>(p.reflectance), 0.0, 1.0);
     out.push_back(static_cast<std::uint8_t>(std::lround(r * 255.0)));
   }
+  COOPER_COUNT_N("codec.points_encoded", cloud.size());
+  COOPER_COUNT_N("codec.bytes_encoded", out.size());
   return out;
 }
 
 Result<PointCloud> CloudCodec::Decode(const std::vector<std::uint8_t>& bytes) {
+  obs::Span span("codec.decode", "codec");
   Reader r(bytes);
   std::uint32_t magic = 0, count = 0;
   std::uint8_t flags = 0;
@@ -157,6 +164,8 @@ Result<PointCloud> CloudCodec::Decode(const std::vector<std::uint8_t>& bytes) {
                origin.z + static_cast<double>(q[2]) * resolution},
               static_cast<float>(refl) / 255.0f);
   }
+  COOPER_COUNT_N("codec.points_decoded", cloud.size());
+  COOPER_COUNT_N("codec.bytes_decoded", bytes.size());
   return cloud;
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/thread_pool.h"
 #include "geom/rotation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cooper::pc {
 namespace {
@@ -54,6 +56,8 @@ double RmsError(const std::vector<Correspondence>& corrs) {
 
 IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
                    const geom::Pose& initial_guess, const IcpConfig& config) {
+  obs::Span span("icp.align", "pointcloud");
+  COOPER_COUNT("icp.alignments");
   IcpResult result;
   result.transform = initial_guess;
   if (source.empty() || target.empty()) return result;
@@ -136,6 +140,7 @@ IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
     result.correspondences = final_corrs.size();
     result.rms_error = RmsError(final_corrs);
   }
+  COOPER_COUNT_N("icp.iterations", result.iterations);
   return result;
 }
 

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cooper::sim {
 namespace {
@@ -45,6 +47,7 @@ LidarConfig Vlp16Config() {
 pc::PointCloud LidarSimulator::Scan(const Scene& scene,
                                     const geom::Pose& vehicle_pose,
                                     Rng& rng) const {
+  obs::Span span("lidar.scan", "sim");
   pc::PointCloud cloud;
   cloud.reserve(static_cast<std::size_t>(config_.beams) * config_.azimuth_steps / 2);
 
@@ -100,6 +103,8 @@ pc::PointCloud LidarSimulator::Scan(const Scene& scene,
     const geom::Vec3 world_point = origin + ray.dir * t;
     cloud.Add(world_to_sensor * world_point, ray.reflectance);
   }
+  COOPER_COUNT_N("lidar.rays", rays.size());
+  COOPER_COUNT_N("lidar.points", cloud.size());
   return cloud;
 }
 
@@ -107,6 +112,7 @@ pc::PointCloud LidarSimulator::ScanMoving(const Scene& scene,
                                           const geom::Pose& start_pose,
                                           const pc::EgoMotion& motion, Rng& rng,
                                           double revolution_s) const {
+  obs::Span span("lidar.scan_moving", "sim");
   pc::PointCloud cloud;
   cloud.reserve(static_cast<std::size_t>(config_.beams) * config_.azimuth_steps / 2);
 
@@ -171,6 +177,8 @@ pc::PointCloud LidarSimulator::ScanMoving(const Scene& scene,
       cloud.Add(world_to_sensor[a] * world_point, ray.reflectance);
     }
   }
+  COOPER_COUNT_N("lidar.rays", rays.size());
+  COOPER_COUNT_N("lidar.points", cloud.size());
   return cloud;
 }
 

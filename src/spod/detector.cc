@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spod/clustering.h"
 
 namespace cooper::spod {
@@ -111,6 +113,7 @@ SpodDetector::SpodDetector(const SpodConfig& config,
 
 pc::PointCloud SpodDetector::Densify(const pc::PointCloud& cloud) const {
   if (!config_.densify_sparse_input) return cloud;
+  obs::Span span("spod.densify", "spod");
   pc::RangeImage image(config_.spherical);
   image.Project(cloud);
   image.Densify(1);
@@ -119,6 +122,7 @@ pc::PointCloud SpodDetector::Densify(const pc::PointCloud& cloud) const {
 
 SpodResult SpodDetector::Detect(const pc::PointCloud& input) const {
   if (!config_.densify_sparse_input) return DetectPreprocessed(input);
+  obs::Span span("spod.detect", "spod");
   common::StageTimer timer;
   const pc::PointCloud densified = Densify(input);
   const double densify_us = timer.Lap("densify");
@@ -129,8 +133,10 @@ SpodResult SpodDetector::Detect(const pc::PointCloud& input) const {
 }
 
 SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
+  obs::Span span("spod.detect", "spod");
   SpodResult result;
   result.num_input_points = input.size();
+  COOPER_COUNT_N("spod.input_points", input.size());
   common::StageTimer timer;
 
   // --- Stage 1: preprocessing. ---
@@ -305,6 +311,8 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
   result.detections.reserve(kept.size());
   for (auto& k : kept) result.detections.push_back(k.det);
   result.timings.proposals_us = timer.Lap("proposals");
+  COOPER_COUNT_N("spod.voxels", result.num_voxels);
+  COOPER_COUNT_N("spod.detections", result.detections.size());
   return result;
 }
 

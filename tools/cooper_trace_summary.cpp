@@ -1,0 +1,197 @@
+// Prints the top-N spans of an exported Chrome trace by *self* time.
+//
+// Self time is a span's duration minus the time covered by spans nested
+// inside it on the same thread lane — the time the stage actually spent in
+// its own code rather than in instrumented callees.  That is the number to
+// sort by when hunting for the pipeline's real hot spots: a parent like
+// `session.detect_cooperative` dominates every wall-clock ranking while all
+// its time lives in children.
+//
+// Usage: cooper_trace_summary <trace.json> [--top N]
+// Reads traces produced by `obs::Tracer::WriteChromeTrace` (or any trace
+// with complete "X" events carrying ts/dur/tid).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using cooper::obs::json::Parse;
+using cooper::obs::json::Value;
+
+struct Interval {
+  std::string name;
+  std::string category;
+  double ts = 0.0;
+  double dur = 0.0;
+};
+
+struct Aggregate {
+  std::string name;
+  std::string category;
+  std::size_t count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+};
+
+// Self time per event on one lane.  Events sorted by (ts asc, dur desc)
+// visit parents before their children, so a stack of open intervals tells
+// each event its direct parent; the child's duration is subtracted from the
+// parent's self time.
+void AccumulateLane(std::vector<Interval> lane,
+                    std::map<std::string, Aggregate>& by_name) {
+  std::sort(lane.begin(), lane.end(), [](const Interval& a, const Interval& b) {
+    if (a.ts != b.ts) return a.ts < b.ts;
+    return a.dur > b.dur;
+  });
+  std::vector<double> self_stack;   // self time of each open ancestor
+  std::vector<const Interval*> open;
+  std::vector<std::pair<const Interval*, double>> finished;
+  for (const Interval& e : lane) {
+    while (!open.empty() &&
+           e.ts >= open.back()->ts + open.back()->dur) {
+      finished.emplace_back(open.back(), self_stack.back());
+      open.pop_back();
+      self_stack.pop_back();
+    }
+    if (!open.empty()) self_stack.back() -= e.dur;
+    open.push_back(&e);
+    self_stack.push_back(e.dur);
+  }
+  while (!open.empty()) {
+    finished.emplace_back(open.back(), self_stack.back());
+    open.pop_back();
+    self_stack.pop_back();
+  }
+  for (const auto& [e, self_us] : finished) {
+    Aggregate& agg = by_name[e->name];
+    agg.name = e->name;
+    if (agg.category.empty()) agg.category = e->category;
+    ++agg.count;
+    agg.total_us += e->dur;
+    // Negative self time means overlapping (non-nested) events on one lane;
+    // clamp rather than let a malformed trace produce nonsense totals.
+    agg.self_us += std::max(0.0, self_us);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  long top = 15;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top" && i + 1 < argc) {
+      top = std::strtol(argv[++i], nullptr, 10);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (path.empty() || top <= 0) {
+    std::fprintf(stderr, "usage: cooper_trace_summary <trace.json> [--top N]\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = Parse(buffer.str());
+  if (!doc.has_value() || !doc->is_object()) {
+    std::fprintf(stderr, "%s: not a JSON object\n", path.c_str());
+    return 1;
+  }
+  const Value* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: no traceEvents array\n", path.c_str());
+    return 1;
+  }
+
+  std::map<int, std::vector<Interval>> lanes;
+  std::map<int, std::string> lane_names;
+  for (const Value& e : events->array) {
+    const Value* ph = e.Find("ph");
+    const Value* tid = e.Find("tid");
+    if (ph == nullptr || tid == nullptr) continue;
+    const int lane = static_cast<int>(tid->number);
+    if (ph->str == "M") {
+      const Value* name = e.Find("name");
+      const Value* args = e.Find("args");
+      if (name != nullptr && name->str == "thread_name" && args != nullptr &&
+          args->Find("name") != nullptr) {
+        lane_names[lane] = args->Find("name")->str;
+      }
+      continue;
+    }
+    if (ph->str != "X") continue;
+    const Value* name = e.Find("name");
+    const Value* ts = e.Find("ts");
+    const Value* dur = e.Find("dur");
+    if (name == nullptr || ts == nullptr || dur == nullptr) continue;
+    Interval interval;
+    interval.name = name->str;
+    if (const Value* cat = e.Find("cat")) interval.category = cat->str;
+    interval.ts = ts->number;
+    interval.dur = dur->number;
+    lanes[lane].push_back(std::move(interval));
+  }
+
+  std::map<std::string, Aggregate> by_name;
+  std::size_t total_events = 0;
+  for (auto& [lane, intervals] : lanes) {
+    total_events += intervals.size();
+    AccumulateLane(std::move(intervals), by_name);
+  }
+
+  std::vector<const Aggregate*> ranked;
+  ranked.reserve(by_name.size());
+  for (const auto& [name, agg] : by_name) ranked.push_back(&agg);
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Aggregate* a, const Aggregate* b) {
+              if (a->self_us != b->self_us) return a->self_us > b->self_us;
+              return a->name < b->name;
+            });
+
+  std::printf("%s: %zu events, %zu lanes", path.c_str(), total_events,
+              lanes.size());
+  if (!lane_names.empty()) {
+    std::printf(" (");
+    bool first = true;
+    for (const auto& [lane, name] : lane_names) {
+      std::printf("%s%d=%s", first ? "" : ", ", lane, name.c_str());
+      first = false;
+    }
+    std::printf(")");
+  }
+  std::printf("\n\n%-32s %-10s %8s %12s %12s %8s\n", "span", "cat", "count",
+              "self (ms)", "total (ms)", "self %");
+  double self_sum = 0.0;
+  for (const auto* agg : ranked) self_sum += agg->self_us;
+  const std::size_t n =
+      std::min(ranked.size(), static_cast<std::size_t>(top));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Aggregate& agg = *ranked[i];
+    std::printf("%-32s %-10s %8zu %12.3f %12.3f %7.1f%%\n", agg.name.c_str(),
+                agg.category.c_str(), agg.count, agg.self_us / 1e3,
+                agg.total_us / 1e3,
+                self_sum > 0.0 ? 100.0 * agg.self_us / self_sum : 0.0);
+  }
+  if (ranked.size() > n) {
+    std::printf("... %zu more span names (raise --top)\n", ranked.size() - n);
+  }
+  return 0;
+}

@@ -1,0 +1,295 @@
+// Micro-benchmarks for the SPOD hot-path kernels this codebase optimises:
+// rulebook sparse conv (vs the hash-probe reference), voxelisation with and
+// without a reusable scratch, the RPN Conv2d row sweep, BEV flattening and
+// the ICP correspondence gather.
+//
+// Two modes:
+//   default       — timed run (best-of-reps), writes a JSON baseline to
+//                   BENCH_kernels.json (override with --out=PATH).  The
+//                   committed baseline in the repo root is produced this way.
+//   --smoke       — few iterations, no timing thresholds; instead asserts
+//                   that every optimised kernel is bit-identical to its
+//                   reference (rulebook vs map probe, scratch vs fresh,
+//                   out-param vs by-value).  This is what the `perf` ctest
+//                   label runs, including under the sanitizer presets.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "nn/layers.h"
+#include "nn/sparse_conv.h"
+#include "nn/tensor.h"
+#include "pointcloud/icp.h"
+#include "pointcloud/point_cloud.h"
+#include "pointcloud/voxel_grid.h"
+
+using namespace cooper;
+
+namespace {
+
+struct BenchResult {
+  std::string name;
+  int reps = 0;
+  double best_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+/// Best/mean wall-clock over `reps` calls of `fn` (first call not excluded:
+/// warmup is the caller's job where it matters).
+template <typename Fn>
+BenchResult TimeKernel(const std::string& name, int reps, Fn&& fn) {
+  BenchResult r;
+  r.name = name;
+  r.reps = reps;
+  double sum = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    sum += ms;
+    if (i == 0 || ms < r.best_ms) r.best_ms = ms;
+  }
+  r.mean_ms = sum / reps;
+  std::printf("  %-32s best %8.3f ms  mean %8.3f ms  (%d reps)\n",
+              name.c_str(), r.best_ms, r.mean_ms, reps);
+  return r;
+}
+
+// --- Deterministic workloads ---
+
+pc::PointCloud MakeScanLikeCloud(std::size_t n, Rng& rng) {
+  pc::PointCloud cloud;
+  cloud.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cloud.Add({rng.Uniform(0.0, 70.0), rng.Uniform(-40.0, 40.0),
+               rng.Uniform(-2.5, 0.8)},
+              static_cast<float>(rng.Uniform()));
+  }
+  return cloud;
+}
+
+nn::SparseTensor MakeSparseField(std::size_t channels, int ex, int ey, int ez,
+                                 double density, Rng& rng) {
+  nn::SparseTensor s;
+  s.spatial_shape = {ex, ey, ez};
+  for (int z = 0; z < ez; ++z) {
+    for (int y = 0; y < ey; ++y) {
+      for (int x = 0; x < ex; ++x) {
+        if (rng.Uniform() < density) s.coords.push_back({x, y, z});
+      }
+    }
+  }
+  s.features = nn::Tensor({s.coords.size(), channels});
+  for (std::size_t i = 0; i < s.features.size(); ++i) {
+    s.features[i] = static_cast<float>(rng.Normal());
+  }
+  return s;
+}
+
+// --- Bit-identity checks (the --smoke contract) ---
+
+void CheckSparseEqual(const nn::SparseTensor& a, const nn::SparseTensor& b,
+                      const char* what) {
+  COOPER_CHECK(a.spatial_shape == b.spatial_shape);
+  COOPER_CHECK(a.coords.size() == b.coords.size());
+  for (std::size_t i = 0; i < a.coords.size(); ++i) {
+    COOPER_CHECK(a.coords[i] == b.coords[i]);
+  }
+  COOPER_CHECK(a.features.size() == b.features.size());
+  for (std::size_t i = 0; i < a.features.size(); ++i) {
+    COOPER_CHECK(a.features[i] == b.features[i]);
+  }
+  std::printf("  %-32s bit-identical: yes\n", what);
+}
+
+void CheckTensorEqual(const nn::Tensor& a, const nn::Tensor& b,
+                      const char* what) {
+  COOPER_CHECK(a.shape() == b.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) COOPER_CHECK(a[i] == b[i]);
+  std::printf("  %-32s bit-identical: yes\n", what);
+}
+
+void CheckGridsEqual(const pc::VoxelGrid& a, const pc::VoxelGrid& b,
+                     const char* what) {
+  COOPER_CHECK(a.voxels().size() == b.voxels().size());
+  for (std::size_t i = 0; i < a.voxels().size(); ++i) {
+    COOPER_CHECK(a.voxels()[i].coord == b.voxels()[i].coord);
+    COOPER_CHECK(a.voxels()[i].point_indices == b.voxels()[i].point_indices);
+  }
+  std::printf("  %-32s bit-identical: yes\n", what);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+  const int reps = smoke ? 2 : 10;
+  std::printf("Cooper micro-kernel benchmarks (%s mode)\n\n",
+              smoke ? "smoke" : "timed");
+  std::vector<BenchResult> results;
+
+  // --- Voxelisation ---
+  {
+    Rng rng(101);
+    const pc::PointCloud cloud = MakeScanLikeCloud(120000, rng);
+    pc::VoxelGridConfig cfg;  // KITTI-style defaults
+    std::printf("voxelize: %zu points\n", cloud.size());
+    results.push_back(TimeKernel("voxelize_cold", reps, [&] {
+      const pc::VoxelGrid grid(cloud, cfg);
+      COOPER_CHECK(!grid.voxels().empty());
+    }));
+    pc::VoxelGridScratch scratch;
+    { const pc::VoxelGrid warmup(cloud, cfg, &scratch); }  // prime capacities
+    results.push_back(TimeKernel("voxelize_warm_scratch", reps, [&] {
+      const pc::VoxelGrid grid(cloud, cfg, &scratch);
+      COOPER_CHECK(!grid.voxels().empty());
+    }));
+    if (smoke) {
+      const pc::VoxelGrid plain(cloud, cfg);
+      CheckGridsEqual(plain, pc::VoxelGrid(cloud, cfg, &scratch),
+                      "voxelize scratch vs fresh");
+      pc::VoxelGridConfig mt = cfg;
+      mt.num_threads = 4;
+      CheckGridsEqual(plain, pc::VoxelGrid(cloud, mt, &scratch),
+                      "voxelize 4T vs 1T");
+    }
+  }
+
+  // --- Sparse conv: rulebook vs hash-probe reference ---
+  {
+    Rng rng(202);
+    const nn::SparseTensor x = MakeSparseField(8, 64, 64, 10, 0.12, rng);
+    std::printf("sparse_conv: %zu active sites\n", x.num_active());
+    const nn::SparseConv3d sub(8, 8, 3, 1, nn::SparseConvMode::kSubmanifold, rng);
+    const nn::SparseConv3d down(8, 16, 3, 2, nn::SparseConvMode::kRegular, rng);
+    results.push_back(TimeKernel("sparse_sub_map_reference", reps, [&] {
+      const auto y = sub.ForwardMapReference(x, 1);
+      COOPER_CHECK(y.num_active() == x.num_active());
+    }));
+    nn::SparseConvScratch scratch;
+    { const auto warmup = sub.Forward(x, 1, &scratch); }  // build rulebook
+    results.push_back(TimeKernel("sparse_sub_rulebook_warm", reps, [&] {
+      const auto y = sub.Forward(x, 1, &scratch);
+      COOPER_CHECK(y.num_active() == x.num_active());
+    }));
+    results.push_back(TimeKernel("sparse_down_map_reference", reps, [&] {
+      const auto y = down.ForwardMapReference(x, 1);
+      COOPER_CHECK(y.num_active() > 0);
+    }));
+    { const auto warmup = down.Forward(x, 1, &scratch); }
+    results.push_back(TimeKernel("sparse_down_rulebook_warm", reps, [&] {
+      const auto y = down.Forward(x, 1, &scratch);
+      COOPER_CHECK(y.num_active() > 0);
+    }));
+    if (smoke) {
+      CheckSparseEqual(sub.ForwardMapReference(x, 1), sub.Forward(x, 1, &scratch),
+                       "sub rulebook vs map probe");
+      CheckSparseEqual(down.ForwardMapReference(x, 1),
+                       down.Forward(x, 1, &scratch),
+                       "down rulebook vs map probe");
+      CheckSparseEqual(sub.Forward(x, 5, &scratch), sub.Forward(x, 1, nullptr),
+                       "sub 5T scratch vs 1T fresh");
+    }
+  }
+
+  // --- RPN Conv2d row sweep + BEV flatten ---
+  {
+    Rng rng(303);
+    const nn::Conv2d conv(16, 16, 3, 1, 1, rng);
+    nn::Tensor bev({16, 200, 176});
+    for (std::size_t i = 0; i < bev.size(); ++i) {
+      bev[i] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+    }
+    std::printf("conv2d_rpn: 16x200x176 input, 3x3 16->16\n");
+    nn::Tensor out;
+    conv.ForwardInto(bev, 1, &out);  // prime out's storage
+    results.push_back(TimeKernel("conv2d_rpn_forward_into", reps, [&] {
+      conv.ForwardInto(bev, 1, &out);
+      COOPER_CHECK(out.size() > 0);
+    }));
+    if (smoke) {
+      CheckTensorEqual(conv.Forward(bev, 1), out, "conv2d into vs by-value");
+      nn::Tensor mt;
+      conv.ForwardInto(bev, 4, &mt);
+      CheckTensorEqual(out, mt, "conv2d 4T vs 1T");
+    }
+    Rng srng(404);
+    const nn::SparseTensor field = MakeSparseField(16, 176, 200, 10, 0.1, srng);
+    nn::Tensor flat;
+    nn::SparseToBev(field, &flat);
+    results.push_back(TimeKernel("sparse_to_bev_reuse", reps, [&] {
+      nn::SparseToBev(field, &flat);
+      COOPER_CHECK(flat.size() > 0);
+    }));
+    if (smoke) {
+      CheckTensorEqual(nn::SparseToBev(field), flat,
+                       "sparse_to_bev out-param vs by-value");
+    }
+  }
+
+  // --- ICP correspondence gather (full alignment) ---
+  {
+    Rng rng(505);
+    const pc::PointCloud target = MakeScanLikeCloud(20000, rng);
+    pc::PointCloud source = target;
+    source.Transform(geom::Pose::FromGpsImu({0.4, -0.3, 0.0},
+                                            {geom::DegToRad(2.0), 0.0, 0.0}));
+    pc::IcpConfig cfg;
+    std::printf("icp_align: %zu -> %zu points\n", source.size(), target.size());
+    results.push_back(TimeKernel("icp_align_cold", reps, [&] {
+      const auto r = pc::IcpAlign(source, target, geom::Pose::Identity(), cfg);
+      COOPER_CHECK(r.correspondences > 0);
+    }));
+    pc::IcpScratch scratch;
+    // Prime the scratch capacities before the warm timing.
+    (void)pc::IcpAlign(source, target, geom::Pose::Identity(), cfg, &scratch);
+    results.push_back(TimeKernel("icp_align_warm_scratch", reps, [&] {
+      const auto r =
+          pc::IcpAlign(source, target, geom::Pose::Identity(), cfg, &scratch);
+      COOPER_CHECK(r.correspondences > 0);
+    }));
+    if (smoke) {
+      const auto plain = pc::IcpAlign(source, target, geom::Pose::Identity(), cfg);
+      const auto reused =
+          pc::IcpAlign(source, target, geom::Pose::Identity(), cfg, &scratch);
+      COOPER_CHECK(plain.transform.translation().x ==
+                   reused.transform.translation().x);
+      COOPER_CHECK(plain.transform.translation().y ==
+                   reused.transform.translation().y);
+      COOPER_CHECK(plain.transform.translation().z ==
+                   reused.transform.translation().z);
+      COOPER_CHECK(plain.rms_error == reused.rms_error);
+      COOPER_CHECK(plain.iterations == reused.iterations);
+      std::printf("  %-32s bit-identical: yes\n", "icp scratch vs fresh");
+    }
+  }
+
+  // --- JSON baseline ---
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  COOPER_CHECK(f != nullptr);
+  std::fprintf(f, "{\n  \"mode\": \"%s\",\n  \"benchmarks\": [\n",
+               smoke ? "smoke" : "timed");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"reps\": %d, \"best_ms\": %.3f, "
+                 "\"mean_ms\": %.3f}%s\n",
+                 r.name.c_str(), r.reps, r.best_ms, r.mean_ms,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (smoke) std::printf("smoke checks passed: all kernels bit-identical\n");
+  return 0;
+}

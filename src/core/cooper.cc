@@ -11,6 +11,7 @@ namespace {
 // overrides whatever the sub-configs carried.
 CooperConfig WithThreads(CooperConfig config) {
   config.detector.num_threads = config.num_threads;
+  config.detector.reuse_scratch = config.reuse_scratch;
   config.icp.num_threads = config.num_threads;
   return config;
 }
@@ -76,7 +77,8 @@ Result<CooperOutput> CooperPipeline::DetectCooperative(
     const pc::PointCloud dst =
         local_cloud.FilterMinZ(pc::EstimateGroundZ(local_cloud) + 0.3);
     const pc::IcpResult icp =
-        pc::IcpAlign(src, dst, geom::Pose::Identity(), config_.icp);
+        pc::IcpAlign(src, dst, geom::Pose::Identity(), config_.icp,
+                     config_.reuse_scratch ? &icp_scratch_ : nullptr);
     if (icp.Improved()) remote.Transform(icp.transform);
     timer.Lap("icp");
   }

@@ -1,5 +1,6 @@
 #include "nn/layers.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/thread_pool.h"
@@ -47,40 +48,83 @@ Conv2d::Conv2d(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
 }
 
 Tensor Conv2d::Forward(const Tensor& x, int num_threads) const {
+  Tensor y;
+  ForwardInto(x, num_threads, &y);
+  return y;
+}
+
+void Conv2d::ForwardInto(const Tensor& x, int num_threads, Tensor* out) const {
   COOPER_CHECK(x.rank() == 3 && x.dim(0) == weight_.dim(1));
   const std::size_t cin = x.dim(0), h = x.dim(1), w = x.dim(2);
   const std::size_t cout = weight_.dim(0);
   const std::size_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
   const std::size_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
-  Tensor y({cout, oh, ow});
-  // Each flattened (oc, oy) output row is written by exactly one chunk;
-  // every element's arithmetic is independent of the thread count.
+  if (out->rank() != 3 || out->dim(0) != cout || out->dim(1) != oh ||
+      out->dim(2) != ow) {
+    *out = Tensor({cout, oh, ow});
+  }
+  Tensor& y = *out;
+  const float* xd = x.data();
+  const float* wd = weight_.data();
+  float* yd = y.data();
+  // Each flattened (oc, oy) output row is written by exactly one chunk.  The
+  // kx loop sweeps the whole output row against one scalar weight — a
+  // vectorisable saxpy over contiguous input — but every single output
+  // element still accumulates bias, then (ic, ky, kx) ascending, exactly the
+  // scalar per-pixel order, so results are bit-identical at any thread count
+  // (and to the pre-restructure implementation).
   common::ParallelFor(num_threads, 0, cout * oh, 8, [&](std::size_t lo,
                                                         std::size_t hi) {
     for (std::size_t row = lo; row < hi; ++row) {
       const std::size_t oc = row / oh;
       const std::size_t oy = row % oh;
-      for (std::size_t ox = 0; ox < ow; ++ox) {
-        float acc = bias_[oc];
-        for (std::size_t ic = 0; ic < cin; ++ic) {
-          for (std::size_t ky = 0; ky < kernel_; ++ky) {
-            const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
-                                      static_cast<std::ptrdiff_t>(padding_);
-            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
-            for (std::size_t kx = 0; kx < kernel_; ++kx) {
-              const std::ptrdiff_t ix = static_cast<std::ptrdiff_t>(ox * stride_ + kx) -
-                                        static_cast<std::ptrdiff_t>(padding_);
-              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(w)) continue;
-              acc += x.At(ic, static_cast<std::size_t>(iy), static_cast<std::size_t>(ix)) *
-                     weight_.At(oc, ic, ky, kx);
+      float* yrow = yd + row * ow;  // == (oc * oh + oy) * ow
+      const float b = bias_[oc];
+      for (std::size_t ox = 0; ox < ow; ++ox) yrow[ox] = b;
+      for (std::size_t ic = 0; ic < cin; ++ic) {
+        const float* wch = wd + (oc * cin + ic) * kernel_ * kernel_;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          const std::ptrdiff_t iy = static_cast<std::ptrdiff_t>(oy * stride_ + ky) -
+                                    static_cast<std::ptrdiff_t>(padding_);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(h)) continue;
+          const float* xrow = xd + (ic * h + static_cast<std::size_t>(iy)) * w;
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            const float wv = wch[ky * kernel_ + kx];
+            const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(kx) -
+                                       static_cast<std::ptrdiff_t>(padding_);
+            // The ox values with in-bounds ix = ox*stride + off form one
+            // contiguous run [lo0, hi0); outside it this (ic, ky, kx) term
+            // contributes nothing, matching the scalar loop's bounds skip.
+            std::size_t lo0 = 0;
+            if (off < 0) {
+              lo0 = static_cast<std::size_t>(
+                  (-off + static_cast<std::ptrdiff_t>(stride_) - 1) /
+                  static_cast<std::ptrdiff_t>(stride_));
+            }
+            const std::ptrdiff_t last = static_cast<std::ptrdiff_t>(w) - 1 - off;
+            if (last < 0) continue;
+            const std::size_t hi0 =
+                std::min(ow, static_cast<std::size_t>(last) / stride_ + 1);
+            if (lo0 >= hi0) continue;
+            if (stride_ == 1) {
+              const float* xk =
+                  xrow + (static_cast<std::ptrdiff_t>(lo0) + off);
+              float* yk = yrow + lo0;
+              const std::size_t n = hi0 - lo0;
+              for (std::size_t i = 0; i < n; ++i) yk[i] += xk[i] * wv;
+            } else {
+              for (std::size_t ox = lo0; ox < hi0; ++ox) {
+                yrow[ox] += xrow[static_cast<std::size_t>(
+                                static_cast<std::ptrdiff_t>(ox * stride_) +
+                                off)] *
+                            wv;
+              }
             }
           }
         }
-        y.At(oc, oy, ox) = acc;
       }
     }
   });
-  return y;
 }
 
 ConvTranspose2d::ConvTranspose2d(std::size_t in_ch, std::size_t out_ch,

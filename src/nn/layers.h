@@ -37,6 +37,11 @@ class Conv2d {
   /// 1: serial); every element is identical for every thread count.
   Tensor Forward(const Tensor& x, int num_threads = 1) const;
 
+  /// Same computation into `y`, reusing its storage when the output shape
+  /// already matches — the RPN runs this layer every frame on a fixed-size
+  /// BEV map, so the caller-owned output avoids a per-frame allocation.
+  void ForwardInto(const Tensor& x, int num_threads, Tensor* y) const;
+
   std::size_t out_channels() const { return weight_.dim(0); }
 
   Tensor& weight() { return weight_; }

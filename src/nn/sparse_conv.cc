@@ -1,10 +1,28 @@
 #include "nn/sparse_conv.h"
 
+#include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/thread_pool.h"
 
 namespace cooper::nn {
+namespace {
+
+// Order-dependent 64-bit fold of the coordinate list — the cache-key filter
+// for rulebook lookups (full coords are compared before a hit counts, so
+// collisions cost a rebuild, never a wrong rulebook).
+std::uint64_t HashCoords(const std::vector<pc::VoxelCoord>& coords) {
+  pc::VoxelCoordHash ch;
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ coords.size();
+  for (const auto& c : coords) {
+    h ^= static_cast<std::uint64_t>(ch(c)) + 0x9e3779b97f4a7c15ull +
+         (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
 
 SparseConv3d::SparseConv3d(std::size_t in_ch, std::size_t out_ch, int kernel,
                            int stride, SparseConvMode mode, Rng& rng)
@@ -31,21 +49,199 @@ float& SparseConv3d::WeightAt(int kz, int ky, int kx, std::size_t cin,
   return weight_[WeightIndex(kz, ky, kx, cin, cout)];
 }
 
-SparseTensor SparseConv3d::Forward(const SparseTensor& x, int num_threads) const {
+pc::VoxelCoord SparseConv3d::OutShape(const pc::VoxelCoord& s) const {
+  if (mode_ == SparseConvMode::kSubmanifold) return s;
+  auto out_dim = [&](std::int32_t d) {
+    // "valid"-style sparse conv with stride (SECOND convention):
+    // out = floor((d - kernel) / stride) + 1, at least 1.
+    return std::max<std::int32_t>(1, (d - kernel_) / stride_ + 1);
+  };
+  return {out_dim(s.x), out_dim(s.y), out_dim(s.z)};
+}
+
+void SparseConv3d::BuildRulebook(const SparseTensor& x, CoordIndex& in_index,
+                                 CoordIndex& out_index,
+                                 SparseConvRulebook* rb) const {
+  const int pad = (mode_ == SparseConvMode::kSubmanifold) ? kernel_ / 2 : 0;
+  rb->out_shape = OutShape(x.spatial_shape);
+  rb->out_coords.clear();
+  rb->in_rows.clear();
+  rb->out_rows.clear();
+  rb->offset_begin.clear();
+
+  in_index.Clear();
+  in_index.Reserve(x.coords.size());
+  for (std::size_t i = 0; i < x.coords.size(); ++i) {
+    in_index[x.coords[i]] = static_cast<std::uint32_t>(i);
+  }
+
+  if (mode_ == SparseConvMode::kSubmanifold) {
+    rb->out_coords = x.coords;
+  } else {
+    // Regular: every input site activates the output sites whose kernel
+    // footprint covers it: out = floor((in - k) / stride) for k in [0, K).
+    // Input-major, offsets ascending — first-appearance order downstream
+    // consumers (SparseToBev) depend on.
+    out_index.Clear();
+    out_index.Reserve(x.coords.size());
+    for (const auto& c : x.coords) {
+      for (int kz = 0; kz < kernel_; ++kz) {
+        const int z = c.z - kz;
+        if (z < 0 || z % stride_ != 0) continue;
+        const int oz = z / stride_;
+        if (oz >= rb->out_shape.z) continue;
+        for (int ky = 0; ky < kernel_; ++ky) {
+          const int y = c.y - ky;
+          if (y < 0 || y % stride_ != 0) continue;
+          const int oy = y / stride_;
+          if (oy >= rb->out_shape.y) continue;
+          for (int kx = 0; kx < kernel_; ++kx) {
+            const int xx = c.x - kx;
+            if (xx < 0 || xx % stride_ != 0) continue;
+            const int ox = xx / stride_;
+            if (ox >= rb->out_shape.x) continue;
+            const pc::VoxelCoord oc{ox, oy, oz};
+            const auto [slot, inserted] = out_index.TryEmplace(
+                oc, static_cast<std::uint32_t>(rb->out_coords.size()));
+            (void)slot;
+            if (inserted) rb->out_coords.push_back(oc);
+          }
+        }
+      }
+    }
+  }
+
+  // Pair lists, offset-major in z-major (kz, ky, kx) order — the weight
+  // block order.  Within an offset, pairs are listed by ascending output
+  // row; each output row appears at most once per offset (the offset maps
+  // outputs to inputs injectively), so an offset's scatters are disjoint.
+  const std::size_t n_out = rb->out_coords.size();
+  rb->offset_begin.reserve(
+      static_cast<std::size_t>(kernel_) * kernel_ * kernel_ + 1);
+  for (int kz = 0; kz < kernel_; ++kz) {
+    for (int ky = 0; ky < kernel_; ++ky) {
+      for (int kx = 0; kx < kernel_; ++kx) {
+        rb->offset_begin.push_back(
+            static_cast<std::uint32_t>(rb->in_rows.size()));
+        for (std::size_t row = 0; row < n_out; ++row) {
+          const auto& oc = rb->out_coords[row];
+          pc::VoxelCoord ic;
+          if (mode_ == SparseConvMode::kSubmanifold) {
+            ic = {oc.x + kx - pad, oc.y + ky - pad, oc.z + kz - pad};
+          } else {
+            ic = {oc.x * stride_ + kx, oc.y * stride_ + ky,
+                  oc.z * stride_ + kz};
+          }
+          const std::uint32_t* in_row = in_index.Find(ic);
+          if (in_row == nullptr) continue;
+          rb->in_rows.push_back(*in_row);
+          rb->out_rows.push_back(static_cast<std::uint32_t>(row));
+        }
+      }
+    }
+  }
+  rb->offset_begin.push_back(static_cast<std::uint32_t>(rb->in_rows.size()));
+}
+
+const SparseConvRulebook& SparseConv3d::GetRulebook(
+    const SparseTensor& x, SparseConvScratch& scratch) const {
+  const std::uint64_t h = HashCoords(x.coords);
+  for (auto& e : scratch.entries_) {
+    if (e.kernel == kernel_ && e.stride == stride_ && e.mode == mode_ &&
+        e.in_shape == x.spatial_shape && e.coords_hash == h &&
+        e.in_coords == x.coords) {
+      e.last_used = ++scratch.tick_;
+      ++scratch.hits_;
+      return e.rulebook;
+    }
+  }
+  ++scratch.misses_;
+  if (scratch.entries_.size() >= SparseConvScratch::kMaxEntries) {
+    auto lru = std::min_element(
+        scratch.entries_.begin(), scratch.entries_.end(),
+        [](const auto& a, const auto& b) { return a.last_used < b.last_used; });
+    scratch.entries_.erase(lru);
+  }
+  auto& e = scratch.entries_.emplace_back();
+  e.kernel = kernel_;
+  e.stride = stride_;
+  e.mode = mode_;
+  e.in_shape = x.spatial_shape;
+  e.coords_hash = h;
+  e.in_coords = x.coords;
+  e.last_used = ++scratch.tick_;
+  BuildRulebook(x, scratch.in_index_, scratch.out_index_, &e.rulebook);
+  return e.rulebook;
+}
+
+SparseTensor SparseConv3d::Forward(const SparseTensor& x, int num_threads,
+                                   SparseConvScratch* scratch) const {
+  COOPER_CHECK(x.channels() == in_ch_);
+
+  SparseConvRulebook local;
+  const SparseConvRulebook* rb;
+  if (scratch != nullptr) {
+    rb = &GetRulebook(x, *scratch);
+  } else {
+    CoordIndex in_index, out_index;
+    BuildRulebook(x, in_index, out_index, &local);
+    rb = &local;
+  }
+
+  SparseTensor y;
+  y.spatial_shape = rb->out_shape;
+  y.coords = rb->out_coords;  // copy: a cached rulebook keeps its own
+  const std::size_t n_out = rb->out_coords.size();
+  y.features = Tensor({n_out, out_ch_});
+
+  float* yd = y.features.data();
+  const float* xd = x.features.data();
+
+  common::ParallelFor(num_threads, 0, n_out, 256,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t row = lo; row < hi; ++row) {
+                          float* yr = yd + row * out_ch_;
+                          for (std::size_t co = 0; co < out_ch_; ++co) {
+                            yr[co] = bias_[co];
+                          }
+                        }
+                      });
+
+  // Offsets execute sequentially in weight order; an offset's pairs scatter
+  // to distinct output rows, so they chunk freely across threads.  Each
+  // output element therefore accumulates bias, then offsets ascending, then
+  // input channels ascending — exactly the map-probing reference's order.
+  const std::size_t num_offsets =
+      static_cast<std::size_t>(kernel_) * kernel_ * kernel_;
+  for (std::size_t ko = 0; ko < num_offsets; ++ko) {
+    const float* wk = weight_.data() + ko * in_ch_ * out_ch_;
+    const std::size_t begin = rb->offset_begin[ko];
+    const std::size_t end = rb->offset_begin[ko + 1];
+    if (begin == end) continue;
+    common::ParallelFor(
+        num_threads, begin, end, 64, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t p = lo; p < hi; ++p) {
+            const float* xr = xd + rb->in_rows[p] * in_ch_;
+            float* yr = yd + rb->out_rows[p] * out_ch_;
+            for (std::size_t ci = 0; ci < in_ch_; ++ci) {
+              const float v = xr[ci];
+              if (v == 0.0f) continue;
+              const float* wrow = wk + ci * out_ch_;
+              for (std::size_t co = 0; co < out_ch_; ++co) {
+                yr[co] += v * wrow[co];
+              }
+            }
+          }
+        });
+  }
+  return y;
+}
+
+SparseTensor SparseConv3d::ForwardMapReference(const SparseTensor& x,
+                                               int num_threads) const {
   COOPER_CHECK(x.channels() == in_ch_);
   const int pad = (mode_ == SparseConvMode::kSubmanifold) ? kernel_ / 2 : 0;
-
-  // Output spatial shape.
-  pc::VoxelCoord out_shape = x.spatial_shape;
-  if (mode_ == SparseConvMode::kRegular) {
-    auto out_dim = [&](std::int32_t d) {
-      // "valid"-style sparse conv with stride (SECOND convention):
-      // out = floor((d - kernel) / stride) + 1, at least 1.
-      return std::max<std::int32_t>(1, (d - kernel_) / stride_ + 1);
-    };
-    out_shape = {out_dim(x.spatial_shape.x), out_dim(x.spatial_shape.y),
-                 out_dim(x.spatial_shape.z)};
-  }
+  const pc::VoxelCoord out_shape = OutShape(x.spatial_shape);
 
   // Map from output coordinate to output row index.
   std::unordered_map<pc::VoxelCoord, std::size_t, pc::VoxelCoordHash> out_index;
@@ -56,8 +252,6 @@ SparseTensor SparseConv3d::Forward(const SparseTensor& x, int num_threads) const
     out_index.reserve(out_coords.size() * 2);
     for (std::size_t i = 0; i < out_coords.size(); ++i) out_index[out_coords[i]] = i;
   } else {
-    // Regular: every input site activates the output sites whose kernel
-    // footprint covers it: out = floor((in - k) / stride) for k in [0, K).
     for (const auto& c : x.coords) {
       for (int kz = 0; kz < kernel_; ++kz) {
         const int z = c.z - kz;
@@ -191,18 +385,28 @@ Tensor SparseConv3d::ForwardDenseReference(const SparseTensor& x) const {
   return out;
 }
 
-Tensor SparseToBev(const SparseTensor& x) {
+void SparseToBev(const SparseTensor& x, Tensor* bev) {
   const std::size_t c = x.channels();
   const std::size_t h = static_cast<std::size_t>(x.spatial_shape.y);
   const std::size_t w = static_cast<std::size_t>(x.spatial_shape.x);
-  Tensor bev({c, h, w});
+  if (bev->rank() != 3 || bev->dim(0) != c || bev->dim(1) != h ||
+      bev->dim(2) != w) {
+    *bev = Tensor({c, h, w});
+  } else {
+    std::fill(bev->data(), bev->data() + bev->size(), 0.0f);
+  }
   for (std::size_t i = 0; i < x.coords.size(); ++i) {
     const auto& vc = x.coords[i];
     for (std::size_t ch = 0; ch < c; ++ch) {
-      bev.At(ch, static_cast<std::size_t>(vc.y), static_cast<std::size_t>(vc.x)) +=
+      bev->At(ch, static_cast<std::size_t>(vc.y), static_cast<std::size_t>(vc.x)) +=
           x.features.At(i, ch);
     }
   }
+}
+
+Tensor SparseToBev(const SparseTensor& x) {
+  Tensor bev;
+  SparseToBev(x, &bev);
   return bev;
 }
 

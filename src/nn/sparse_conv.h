@@ -9,11 +9,20 @@
 //    stride > 1 for downsampling);
 //  * submanifold: output sites are exactly the input sites (no dilation) —
 //    keeps sparsity constant through deep stacks.
+//
+// Execution follows the spconv rulebook scheme (DESIGN.md "Kernel execution
+// & memory"): hash probing happens once, during rulebook construction, which
+// records for every kernel offset the (input row, output row) pairs it
+// connects; the convolution itself is then pure arithmetic over contiguous
+// per-offset weight blocks.  Rulebooks depend only on the active-coordinate
+// geometry — not on features or weights — so a `SparseConvScratch` caches
+// them across layers and frames.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "nn/tensor.h"
 #include "pointcloud/voxel_grid.h"
@@ -35,17 +44,80 @@ struct SparseTensor {
 
 enum class SparseConvMode { kRegular, kSubmanifold };
 
+/// Precomputed gather–scatter plan for one (layer geometry, input coords)
+/// pair.  Pairs are stored CSR by kernel offset in z-major (kz, ky, kx)
+/// order — the same order as the weight layout, so offset `k`'s pairs
+/// multiply against the contiguous Cin x Cout block at `weight + k*Cin*Cout`.
+struct SparseConvRulebook {
+  std::vector<pc::VoxelCoord> out_coords;  // first-appearance order
+  pc::VoxelCoord out_shape;
+  std::vector<std::uint32_t> in_rows;      // gather source rows
+  std::vector<std::uint32_t> out_rows;     // scatter target rows
+  std::vector<std::uint32_t> offset_begin; // K^3 + 1 entries; offset k's
+                                           // pairs are [begin[k], begin[k+1])
+};
+
+/// Cross-frame rulebook cache + reusable index maps for SparseConv3d.
+/// Rulebooks are keyed on (kernel, stride, mode, input spatial shape, input
+/// coords identity); the coords hash is a fast filter, verified by a full
+/// coordinate compare before a hit counts.  Bounded LRU.  A scratch may be
+/// shared by successive Forward calls but not by concurrent ones.
+class SparseConvScratch {
+ public:
+  std::size_t cache_hits() const { return hits_; }
+  std::size_t cache_misses() const { return misses_; }
+
+  /// Drops all cached rulebooks (index-map capacity is kept).
+  void Clear() {
+    entries_.clear();
+    hits_ = misses_ = 0;
+  }
+
+ private:
+  friend class SparseConv3d;
+
+  struct Entry {
+    int kernel = 0;
+    int stride = 0;
+    SparseConvMode mode = SparseConvMode::kRegular;
+    pc::VoxelCoord in_shape;
+    std::uint64_t coords_hash = 0;
+    std::vector<pc::VoxelCoord> in_coords;  // full key (the hash is a filter)
+    SparseConvRulebook rulebook;
+    std::uint64_t last_used = 0;
+  };
+
+  static constexpr std::size_t kMaxEntries = 8;
+
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  // Reused across rulebook builds (cleared, not freed).
+  common::FlatMap<pc::VoxelCoord, std::uint32_t, pc::VoxelCoordHash> in_index_;
+  common::FlatMap<pc::VoxelCoord, std::uint32_t, pc::VoxelCoordHash> out_index_;
+};
+
 class SparseConv3d {
  public:
   /// Cubic kernel of size `kernel` (odd for submanifold), given stride.
   SparseConv3d(std::size_t in_ch, std::size_t out_ch, int kernel, int stride,
                SparseConvMode mode, Rng& rng);
 
-  /// Runs the convolution.  `num_threads` parallelises the per-output-row
-  /// channel loops (<= 0: hardware concurrency, 1: serial); every row writes
-  /// only its own slice of the output, so results are identical for every
-  /// thread count.
-  SparseTensor Forward(const SparseTensor& x, int num_threads = 1) const;
+  /// Runs the convolution via the rulebook.  `num_threads` parallelises the
+  /// per-offset pair lists (<= 0: hardware concurrency, 1: serial); within
+  /// one offset every pair writes a distinct output row, and offsets execute
+  /// sequentially in weight order, so each output element accumulates in the
+  /// same order at every thread count — results are bit-identical to the
+  /// map-probing reference.  `scratch` (optional) caches rulebooks across
+  /// calls; identical output with or without it.
+  SparseTensor Forward(const SparseTensor& x, int num_threads = 1,
+                       SparseConvScratch* scratch = nullptr) const;
+
+  /// Pre-rulebook implementation (per-output-row hash probing), retained as
+  /// a bit-exact oracle for property tests.
+  SparseTensor ForwardMapReference(const SparseTensor& x,
+                                   int num_threads = 1) const;
 
   std::size_t out_channels() const { return out_ch_; }
   SparseConvMode mode() const { return mode_; }
@@ -58,6 +130,22 @@ class SparseConv3d {
   Tensor ForwardDenseReference(const SparseTensor& x) const;
 
  private:
+  using CoordIndex =
+      common::FlatMap<pc::VoxelCoord, std::uint32_t, pc::VoxelCoordHash>;
+
+  /// Output spatial shape for input shape `s` under this layer's geometry.
+  pc::VoxelCoord OutShape(const pc::VoxelCoord& s) const;
+
+  /// Builds the rulebook for `x` into `rb`, using the caller's index maps
+  /// (cleared on entry) as working storage.
+  void BuildRulebook(const SparseTensor& x, CoordIndex& in_index,
+                     CoordIndex& out_index, SparseConvRulebook* rb) const;
+
+  /// Cached lookup: returns the scratch's rulebook for `x`, building and
+  /// inserting it (LRU eviction) on miss.
+  const SparseConvRulebook& GetRulebook(const SparseTensor& x,
+                                        SparseConvScratch& scratch) const;
+
   std::size_t in_ch_, out_ch_;
   int kernel_, stride_;
   SparseConvMode mode_;
@@ -73,6 +161,9 @@ class SparseConv3d {
 
 /// Collapses a sparse tensor to a dense BEV map (C*Dz x H x W -> here we sum
 /// over z into C x Ny x Nx), the standard SECOND reshape before the RPN.
+/// The out-parameter form reuses `bev`'s storage when the shape already
+/// matches (zero-filled, then accumulated in coords order).
+void SparseToBev(const SparseTensor& x, Tensor* bev);
 Tensor SparseToBev(const SparseTensor& x);
 
 }  // namespace cooper::nn

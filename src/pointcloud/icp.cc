@@ -11,17 +11,9 @@
 namespace cooper::pc {
 namespace {
 
-// One gated nearest-neighbour pair: the moved source point, its match in the
-// target cloud, and the squared distance between them.
-struct Correspondence {
-  geom::Vec3 src;
-  geom::Vec3 dst;
-  double d2 = 0.0;
-};
-
 // Closed-form planar Procrustes: the yaw + translation minimising the summed
 // squared distance between paired points (z handled as a mean offset).
-geom::Pose SolvePlanarRigid(const std::vector<Correspondence>& corrs) {
+geom::Pose SolvePlanarRigid(const std::vector<IcpCorrespondence>& corrs) {
   geom::Vec3 src_mean, dst_mean;
   for (const auto& c : corrs) {
     src_mean += c.src;
@@ -46,7 +38,7 @@ geom::Pose SolvePlanarRigid(const std::vector<Correspondence>& corrs) {
 
 // RMS over the pair distances, summed in correspondence order so the result
 // is independent of how the gather was chunked across threads.
-double RmsError(const std::vector<Correspondence>& corrs) {
+double RmsError(const std::vector<IcpCorrespondence>& corrs) {
   double err2 = 0.0;
   for (const auto& c : corrs) err2 += c.d2;
   return std::sqrt(err2 / static_cast<double>(corrs.size()));
@@ -55,7 +47,8 @@ double RmsError(const std::vector<Correspondence>& corrs) {
 }  // namespace
 
 IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
-                   const geom::Pose& initial_guess, const IcpConfig& config) {
+                   const geom::Pose& initial_guess, const IcpConfig& config,
+                   IcpScratch* scratch) {
   obs::Span span("icp.align", "pointcloud");
   COOPER_COUNT("icp.alignments");
   IcpResult result;
@@ -65,39 +58,47 @@ IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
   const KdTree tree(target);
   const std::size_t stride = std::max<std::size_t>(1, config.subsample_stride);
 
-  std::vector<std::uint32_t> sample;
-  sample.reserve(source.size() / stride + 1);
+  IcpScratch local;
+  IcpScratch& sc = scratch ? *scratch : local;
+  sc.sample.clear();
+  sc.sample.reserve(source.size() / stride + 1);
   for (std::size_t i = 0; i < source.size(); i += stride) {
-    sample.push_back(static_cast<std::uint32_t>(i));
+    sc.sample.push_back(static_cast<std::uint32_t>(i));
   }
 
   // Correspondence search is the ICP hot path: every sampled point runs an
   // independent read-only KdTree query, so the loop parallelises cleanly.
   // Per-chunk results are concatenated in chunk order, which reproduces the
-  // serial gather order exactly for every thread count.
+  // serial gather order exactly for every thread count.  The part and merge
+  // vectors are scratch-owned and cleared (not freed) between gathers, so
+  // steady-state iterations allocate nothing.
   constexpr std::size_t kGrain = 256;
-  auto gather = [&](const geom::Pose& transform, double gate2) {
-    const std::size_t n = sample.size();
-    std::vector<std::vector<Correspondence>> parts((n + kGrain - 1) / kGrain);
+  auto gather =
+      [&](const geom::Pose& transform,
+          double gate2) -> const std::vector<IcpCorrespondence>& {
+    const std::size_t n = sc.sample.size();
+    const std::size_t num_parts = (n + kGrain - 1) / kGrain;
+    if (sc.parts.size() < num_parts) sc.parts.resize(num_parts);
+    for (std::size_t s = 0; s < num_parts; ++s) sc.parts[s].clear();
     common::ParallelFor(
         config.num_threads, 0, n, kGrain,
         [&](std::size_t lo, std::size_t hi) {
-          auto& out = parts[lo / kGrain];
+          auto& out = sc.parts[lo / kGrain];
           out.reserve(hi - lo);
           for (std::size_t k = lo; k < hi; ++k) {
-            const geom::Vec3 moved = transform * source[sample[k]].position;
+            const geom::Vec3 moved = transform * source[sc.sample[k]].position;
             const auto nn = tree.NearestWithin(moved, gate2);
             if (!nn) continue;
             out.push_back(
                 {moved, target[nn->index].position, nn->squared_distance});
           }
         });
-    std::vector<Correspondence> corrs;
-    corrs.reserve(n);
-    for (auto& p : parts) {
-      corrs.insert(corrs.end(), p.begin(), p.end());
+    sc.corrs.clear();
+    sc.corrs.reserve(n);
+    for (std::size_t s = 0; s < num_parts; ++s) {
+      sc.corrs.insert(sc.corrs.end(), sc.parts[s].begin(), sc.parts[s].end());
     }
-    return corrs;
+    return sc.corrs;
   };
 
   double gate = config.max_correspondence_distance;
@@ -107,7 +108,8 @@ IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
     const double gate2 = gate * gate;
     final_gate2 = gate2;
 
-    const std::vector<Correspondence> corrs = gather(result.transform, gate2);
+    const std::vector<IcpCorrespondence>& corrs =
+        gather(result.transform, gate2);
     result.correspondences = corrs.size();
     if (corrs.size() < config.min_correspondences) {
       result.converged = false;
@@ -134,7 +136,7 @@ IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
   // final delta was applied, overstating the residual by one iteration.
   // Re-gather once under the final transform so rms_error reports the
   // alignment actually achieved.
-  const std::vector<Correspondence> final_corrs =
+  const std::vector<IcpCorrespondence>& final_corrs =
       gather(result.transform, final_gate2);
   if (!final_corrs.empty()) {
     result.correspondences = final_corrs.size();

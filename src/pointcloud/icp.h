@@ -34,6 +34,26 @@ struct IcpConfig {
   int num_threads = 1;
 };
 
+/// One gated nearest-neighbour pair: the moved source point, its match in
+/// the target cloud, and the squared distance between them.
+struct IcpCorrespondence {
+  geom::Vec3 src;
+  geom::Vec3 dst;
+  double d2 = 0.0;
+};
+
+/// Reusable working set for IcpAlign.  The correspondence gather runs many
+/// times per alignment (one per iteration plus a final residual pass) and
+/// once per frame in the cooperative pipeline; a caller-owned scratch keeps
+/// the sample index list, per-chunk part vectors and merged correspondence
+/// vector alive across calls, cleared — not freed — between them.  A scratch
+/// may be shared by successive alignments but not by concurrent ones.
+struct IcpScratch {
+  std::vector<std::uint32_t> sample;
+  std::vector<std::vector<IcpCorrespondence>> parts;  // one per gather chunk
+  std::vector<IcpCorrespondence> corrs;               // chunk-ordered merge
+};
+
 struct IcpResult {
   geom::Pose transform;   // maps source points into the target frame
   bool converged = false;
@@ -53,8 +73,10 @@ struct IcpResult {
 
 /// Aligns `source` onto `target`; `initial_guess` maps source -> target
 /// frame (e.g. the GPS/IMU-derived Eq. 3 transform).  The returned transform
-/// replaces the guess.
+/// replaces the guess.  `scratch` (optional) provides reusable gather
+/// storage; the result is bit-identical with or without it.
 IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
-                   const geom::Pose& initial_guess, const IcpConfig& config = {});
+                   const geom::Pose& initial_guess, const IcpConfig& config = {},
+                   IcpScratch* scratch = nullptr);
 
 }  // namespace cooper::pc

@@ -96,10 +96,16 @@ void KdTree::RadiusImpl(std::int32_t node, const geom::Vec3& q, double r2,
   if (delta * delta <= r2) RadiusImpl(far, q, r2, out);
 }
 
+void KdTree::RadiusSearch(const geom::Vec3& query, double radius,
+                          std::vector<std::uint32_t>* out) const {
+  out->clear();
+  if (root_ >= 0) RadiusImpl(root_, query, radius * radius, out);
+}
+
 std::vector<std::uint32_t> KdTree::RadiusSearch(const geom::Vec3& query,
                                                 double radius) const {
   std::vector<std::uint32_t> out;
-  if (root_ >= 0) RadiusImpl(root_, query, radius * radius, &out);
+  RadiusSearch(query, radius, &out);
   return out;
 }
 

@@ -31,7 +31,13 @@ class KdTree {
   std::optional<Neighbor> NearestWithin(const geom::Vec3& query,
                                         double max_squared_distance) const;
 
-  /// Indices of all points within `radius` of `query`.
+  /// Indices of all points within `radius` of `query` (inclusive), appended
+  /// into `out` after clearing it.  The output-parameter form lets hot
+  /// callers (clustering seeds) reuse one vector's capacity across queries.
+  void RadiusSearch(const geom::Vec3& query, double radius,
+                    std::vector<std::uint32_t>* out) const;
+
+  /// Convenience by-value form; delegates to the overload above.
   std::vector<std::uint32_t> RadiusSearch(const geom::Vec3& query,
                                           double radius) const;
 

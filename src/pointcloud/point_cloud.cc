@@ -17,11 +17,13 @@ PointCloud PointCloud::Transformed(const geom::Pose& pose) const {
 }
 
 void PointCloud::Merge(const PointCloud& other) {
+  points_.reserve(points_.size() + other.points_.size());
   points_.insert(points_.end(), other.points_.begin(), other.points_.end());
 }
 
 PointCloud PointCloud::CropBox(const geom::Box3& box) const {
   PointCloud out;
+  out.reserve(points_.size());
   for (const auto& p : points_) {
     if (box.Contains(p.position)) out.push_back(p);
   }
@@ -31,6 +33,7 @@ PointCloud PointCloud::CropBox(const geom::Box3& box) const {
 PointCloud PointCloud::FilterAzimuthSector(double center_azimuth,
                                            double half_fov) const {
   PointCloud out;
+  out.reserve(points_.size());
   for (const auto& p : points_) {
     const double az = std::atan2(p.position.y, p.position.x);
     if (std::abs(geom::WrapAngle(az - center_azimuth)) <= half_fov) {
@@ -42,6 +45,7 @@ PointCloud PointCloud::FilterAzimuthSector(double center_azimuth,
 
 PointCloud PointCloud::FilterRange(double min_range, double max_range) const {
   PointCloud out;
+  out.reserve(points_.size());
   for (const auto& p : points_) {
     const double r = p.position.NormXY();
     if (r >= min_range && r < max_range) out.push_back(p);
@@ -51,6 +55,7 @@ PointCloud PointCloud::FilterRange(double min_range, double max_range) const {
 
 PointCloud PointCloud::FilterMinZ(double min_z) const {
   PointCloud out;
+  out.reserve(points_.size());
   for (const auto& p : points_) {
     if (p.position.z >= min_z) out.push_back(p);
   }

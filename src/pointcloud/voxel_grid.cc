@@ -22,28 +22,69 @@ std::optional<VoxelCoord> CoordOf(const geom::Vec3& p,
       static_cast<std::int32_t>(std::floor((p.z - config.min_bound.z) / config.voxel_size.z))};
 }
 
+// Reuses a shard voxel slot if one is free (keeping its point_indices
+// capacity alive across frames), appending otherwise.
+Voxel& AcquireShardVoxel(VoxelGridScratch::Shard& shard, const VoxelCoord& c) {
+  if (shard.used < shard.voxels.size()) {
+    Voxel& v = shard.voxels[shard.used++];
+    v.coord = c;
+    v.point_indices.clear();
+    return v;
+  }
+  ++shard.used;
+  return shard.voxels.emplace_back(Voxel{c, {}});
+}
+
 }  // namespace
 
-VoxelGrid::VoxelGrid(const PointCloud& cloud, const VoxelGridConfig& config)
+VoxelGrid::VoxelGrid(const PointCloud& cloud, const VoxelGridConfig& config,
+                     VoxelGridScratch* scratch)
     : config_(config) {
-  // Parallel phase: group each chunk of points into chunk-local voxels.
-  struct LocalGrid {
-    std::vector<Voxel> voxels;
-    std::unordered_map<VoxelCoord, std::size_t, VoxelCoordHash> index;
-  };
   const std::size_t n = cloud.size();
+  index_.Reserve(n / 4 + 16);
+
+  // Serial fast path: group straight into the final grid — no shards, no
+  // merge copies.  The chunked parallel build below merges shards in chunk
+  // order, which reproduces exactly this single pass, so the two paths are
+  // interchangeable at any thread count.
+  if (common::ResolveThreads(config_.num_threads) == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = CoordOf(cloud[i].position, config_);
+      if (!c) continue;
+      auto [slot, inserted] =
+          index_.TryEmplace(*c, static_cast<std::uint32_t>(voxels_.size()));
+      if (inserted) voxels_.push_back(Voxel{*c, {}});
+      auto& voxel = voxels_[*slot];
+      if (voxel.point_indices.size() < config_.max_points_per_voxel) {
+        voxel.point_indices.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    return;
+  }
+
+  // Parallel phase: group each chunk of points into chunk-local shards.
+  // With a scratch the shard maps and voxel slots are reused across frames
+  // (cleared, not freed); without one a frame-local scratch stands in.
   constexpr std::size_t kGrain = 8192;
-  std::vector<LocalGrid> parts((n + kGrain - 1) / kGrain);
+  VoxelGridScratch local;
+  VoxelGridScratch& sc = scratch ? *scratch : local;
+  const std::size_t num_shards = (n + kGrain - 1) / kGrain;
+  if (sc.shards.size() < num_shards) sc.shards.resize(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    sc.shards[s].used = 0;
+    sc.shards[s].index.Clear();
+  }
   common::ParallelFor(
       config_.num_threads, 0, n, kGrain,
       [&](std::size_t lo, std::size_t hi) {
-        LocalGrid& local = parts[lo / kGrain];
+        VoxelGridScratch::Shard& shard = sc.shards[lo / kGrain];
         for (std::size_t i = lo; i < hi; ++i) {
           const auto c = CoordOf(cloud[i].position, config_);
           if (!c) continue;
-          auto [it, inserted] = local.index.try_emplace(*c, local.voxels.size());
-          if (inserted) local.voxels.push_back(Voxel{*c, {}});
-          auto& voxel = local.voxels[it->second];
+          auto [slot, inserted] = shard.index.TryEmplace(
+              *c, static_cast<std::uint32_t>(shard.used));
+          if (inserted) AcquireShardVoxel(shard, *c);
+          auto& voxel = shard.voxels[*slot];
           if (voxel.point_indices.size() < config_.max_points_per_voxel) {
             voxel.point_indices.push_back(static_cast<std::uint32_t>(i));
           }
@@ -52,15 +93,19 @@ VoxelGrid::VoxelGrid(const PointCloud& cloud, const VoxelGridConfig& config)
 
   // Serial merge in chunk order.  Voxels appear in first-appearance order
   // over the chunk-ordered traversal, and per-voxel indices concatenate in
-  // ascending point order — both identical to a serial single pass.
-  for (auto& local : parts) {
-    for (auto& lv : local.voxels) {
-      auto [it, inserted] = index_.try_emplace(lv.coord, voxels_.size());
+  // ascending point order — both identical to a serial single pass.  Shard
+  // voxels are copied (not moved) so the scratch keeps its capacity.
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const VoxelGridScratch::Shard& shard = sc.shards[s];
+    for (std::size_t k = 0; k < shard.used; ++k) {
+      const Voxel& lv = shard.voxels[k];
+      auto [slot, inserted] =
+          index_.TryEmplace(lv.coord, static_cast<std::uint32_t>(voxels_.size()));
       if (inserted) {
-        voxels_.push_back(std::move(lv));
+        voxels_.push_back(lv);
         continue;
       }
-      auto& voxel = voxels_[it->second];
+      auto& voxel = voxels_[*slot];
       for (const auto idx : lv.point_indices) {
         if (voxel.point_indices.size() < config_.max_points_per_voxel) {
           voxel.point_indices.push_back(idx);
@@ -88,8 +133,8 @@ geom::Vec3 VoxelGrid::VoxelCenter(const VoxelCoord& c) const {
 const Voxel* VoxelGrid::Find(const geom::Vec3& p) const {
   const auto c = CoordOf(p, config_);
   if (!c) return nullptr;
-  const auto it = index_.find(*c);
-  return it == index_.end() ? nullptr : &voxels_[it->second];
+  const auto* slot = index_.Find(*c);
+  return slot == nullptr ? nullptr : &voxels_[*slot];
 }
 
 double VoxelGrid::Occupancy() const {

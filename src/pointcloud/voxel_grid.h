@@ -3,9 +3,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "pointcloud/point_cloud.h"
 
 namespace cooper::pc {
@@ -18,17 +18,21 @@ struct VoxelCoord {
   friend bool operator==(const VoxelCoord&, const VoxelCoord&) = default;
 };
 
+/// 64-bit mix of the three coordinates (SplitMix64-style finalisers over the
+/// packed words).  The sparse-conv, voxel-grid and clustering maps are
+/// power-of-two `common::FlatMap`s that index with the *low* hash bits, so
+/// every input bit must diffuse into them — the old FNV-style fold left
+/// neighbouring coordinates in neighbouring buckets and degraded linear
+/// probing into long runs.
 struct VoxelCoordHash {
   std::size_t operator()(const VoxelCoord& c) const {
-    // FNV-style mix of the three coordinates.
-    std::uint64_t h = 1469598103934665603ull;
-    for (std::uint64_t v : {static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x)),
-                            static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.y)),
-                            static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.z))}) {
-      h ^= v;
-      h *= 1099511628211ull;
-    }
-    return static_cast<std::size_t>(h);
+    std::uint64_t h =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.x)) << 32) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.y));
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.z));
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(h ^ (h >> 31));
   }
 };
 
@@ -49,12 +53,30 @@ struct Voxel {
   std::vector<std::uint32_t> point_indices;
 };
 
+/// Reusable working set for VoxelGrid construction.  The parallel grouping
+/// phase shards the cloud into chunk-local grids; with a scratch the shard
+/// maps and voxel slots (including their `point_indices` capacity) survive
+/// across frames, cleared — not freed — between builds, so steady-state
+/// frames allocate near zero.  A scratch may be shared by successive builds
+/// but not by concurrent ones.
+struct VoxelGridScratch {
+  struct Shard {
+    std::vector<Voxel> voxels;  // recycled slots; only the first `used` are live
+    std::size_t used = 0;
+    common::FlatMap<VoxelCoord, std::uint32_t, VoxelCoordHash> index;
+  };
+  std::vector<Shard> shards;
+};
+
 class VoxelGrid {
  public:
   /// Builds the set of occupied voxels for `cloud` under `config`. Points
   /// outside the bounds are ignored; each voxel keeps at most
   /// `max_points_per_voxel` points (first-come, deterministic order).
-  VoxelGrid(const PointCloud& cloud, const VoxelGridConfig& config);
+  /// `scratch` (optional) provides reusable shard storage for the parallel
+  /// grouping phase; the result is bit-identical with or without it.
+  VoxelGrid(const PointCloud& cloud, const VoxelGridConfig& config,
+            VoxelGridScratch* scratch = nullptr);
 
   const std::vector<Voxel>& voxels() const { return voxels_; }
   const VoxelGridConfig& config() const { return config_; }
@@ -78,7 +100,7 @@ class VoxelGrid {
  private:
   VoxelGridConfig config_;
   std::vector<Voxel> voxels_;
-  std::unordered_map<VoxelCoord, std::size_t, VoxelCoordHash> index_;
+  common::FlatMap<VoxelCoord, std::uint32_t, VoxelCoordHash> index_;
 };
 
 }  // namespace cooper::pc

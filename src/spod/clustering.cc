@@ -4,91 +4,161 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
+#include <tuple>
 #include <utility>
-#include <vector>
 
 #include "common/thread_pool.h"
+#include "pointcloud/kdtree.h"
 
 namespace cooper::spod {
 namespace {
 
-struct CellKey {
-  std::int32_t x, y;
-  friend bool operator==(const CellKey&, const CellKey&) = default;
-};
+constexpr std::uint32_t kNone = 0xffffffffu;
 
-struct CellKeyHash {
-  std::size_t operator()(const CellKey& k) const {
-    return std::hash<std::uint64_t>()(
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.x)) << 32) |
-        static_cast<std::uint32_t>(k.y));
-  }
-};
+// Below this size the FlatMap grid costs more than it saves; a k-d tree over
+// z-flattened points answers the identical inclusive BEV-radius predicate
+// (squared norm with z = 0), so both paths produce the same merge-edge set
+// and therefore the same components.
+constexpr std::size_t kKdTreeMaxPoints = 256;
 
-// Union-find over point indices.
+// Union-find over point indices, on caller-owned storage.
 class DisjointSet {
  public:
-  explicit DisjointSet(std::size_t n) : parent_(n) {
-    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  explicit DisjointSet(std::vector<std::uint32_t>& parent, std::size_t n)
+      : parent_(parent) {
+    parent_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      parent_[i] = static_cast<std::uint32_t>(i);
+    }
   }
-  std::size_t Find(std::size_t i) {
+  std::uint32_t Find(std::uint32_t i) {
     while (parent_[i] != i) {
       parent_[i] = parent_[parent_[i]];
       i = parent_[i];
     }
     return i;
   }
-  void Union(std::size_t a, std::size_t b) { parent_[Find(a)] = Find(b); }
+  void Union(std::uint32_t a, std::uint32_t b) { parent_[Find(a)] = Find(b); }
 
  private:
-  std::vector<std::size_t> parent_;
+  std::vector<std::uint32_t>& parent_;
 };
+
+// Components -> clusters: scan points in ascending index order, opening a
+// cluster slot at each new root, so every cluster's first point is its
+// lowest-index member.  Components never depend on union order, and the
+// final sort gives one canonical cluster order (first-point positions are
+// distinct across clusters in x/y — coincident BEV points always merge).
+std::vector<Cluster> CollectClusters(const pc::PointCloud& cloud,
+                                     DisjointSet& ds, std::size_t min_points,
+                                     std::vector<std::uint32_t>& root_slot) {
+  const std::size_t n = cloud.size();
+  root_slot.assign(n, kNone);
+  std::vector<Cluster> clusters;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t root = ds.Find(i);
+    std::uint32_t slot = root_slot[root];
+    if (slot == kNone) {
+      slot = static_cast<std::uint32_t>(clusters.size());
+      root_slot[root] = slot;
+      clusters.emplace_back();
+    }
+    clusters[slot].points.push_back(cloud[i]);
+  }
+  std::vector<Cluster> out;
+  out.reserve(clusters.size());
+  for (auto& c : clusters) {
+    if (c.points.size() >= min_points) out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(), [](const Cluster& a, const Cluster& b) {
+    const auto& pa = a.points[0].position;
+    const auto& pb = b.points[0].position;
+    return std::tie(pa.x, pa.y, pa.z) < std::tie(pb.x, pb.y, pb.z);
+  });
+  return out;
+}
 
 }  // namespace
 
 std::vector<Cluster> ClusterPoints(const pc::PointCloud& cloud,
                                    double merge_radius,
                                    std::size_t min_points,
-                                   int num_threads) {
+                                   int num_threads,
+                                   ClusterScratch* scratch) {
   if (cloud.empty()) return {};
-  const double cell = merge_radius;
-  std::unordered_map<CellKey, std::vector<std::uint32_t>, CellKeyHash> grid;
-  grid.reserve(cloud.size());
-  for (std::uint32_t i = 0; i < cloud.size(); ++i) {
-    const auto& p = cloud[i].position;
-    grid[CellKey{static_cast<std::int32_t>(std::floor(p.x / cell)),
-                 static_cast<std::int32_t>(std::floor(p.y / cell))}]
-        .push_back(i);
+  ClusterScratch local;
+  ClusterScratch& sc = scratch ? *scratch : local;
+  const std::size_t n = cloud.size();
+  DisjointSet ds(sc.parent, n);
+
+  if (n <= kKdTreeMaxPoints) {
+    // Small clouds: query a k-d tree over z-flattened points instead of
+    // building the cell index.  The output-parameter RadiusSearch reuses one
+    // result vector's capacity across all seeds.
+    sc.flat.clear();
+    sc.flat.reserve(n);
+    for (const auto& p : cloud) {
+      sc.flat.push_back({{p.position.x, p.position.y, 0.0}, p.reflectance});
+    }
+    const pc::KdTree tree(sc.flat);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      tree.RadiusSearch(sc.flat[i].position, merge_radius, &sc.radius_result);
+      for (const std::uint32_t j : sc.radius_result) {
+        if (j > i) ds.Union(i, j);
+      }
+    }
+    return CollectClusters(cloud, ds, min_points, sc.root_slot);
   }
 
-  // Stable cell list so the parallel sweep chunks deterministically.
-  std::vector<const std::pair<const CellKey, std::vector<std::uint32_t>>*> cells;
-  cells.reserve(grid.size());
-  for (const auto& kv : grid) cells.push_back(&kv);
+  // Cell index: FlatMap cell -> dense cell id, with per-cell point lists as
+  // prepend chains over two flat arrays (no per-cell vector allocations).
+  const double cell = merge_radius;
+  sc.grid.Clear();
+  sc.grid.Reserve(n / 2 + 16);
+  sc.cell_keys.clear();
+  sc.cell_head.clear();
+  sc.point_next.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto& p = cloud[i].position;
+    const pc::VoxelCoord key{static_cast<std::int32_t>(std::floor(p.x / cell)),
+                             static_cast<std::int32_t>(std::floor(p.y / cell)),
+                             0};
+    const auto [slot, inserted] = sc.grid.TryEmplace(
+        key, static_cast<std::uint32_t>(sc.cell_keys.size()));
+    if (inserted) {
+      sc.cell_keys.push_back(key);
+      sc.cell_head.push_back(kNone);
+    }
+    sc.point_next[i] = sc.cell_head[*slot];
+    sc.cell_head[*slot] = i;
+  }
 
   // Parallel phase: the O(pairs) distance sweep — each seed cell emits the
-  // merge edges of its 3x3 neighbourhood into its chunk's buffer.
-  struct Edge {
-    std::uint32_t i, j;
-  };
+  // merge edges of its 3x3 neighbourhood into its chunk's scratch buffer.
+  // A qualifying pair is emitted exactly once (outer index < inner index),
+  // and since dist <= radius = cell size implies adjacent cells, the edge
+  // set is precisely every point pair within the BEV merge radius.
   const double r2 = merge_radius * merge_radius;
+  const std::size_t num_cells = sc.cell_keys.size();
   constexpr std::size_t kGrain = 32;
-  std::vector<std::vector<Edge>> parts((cells.size() + kGrain - 1) / kGrain);
+  const std::size_t num_parts = (num_cells + kGrain - 1) / kGrain;
+  if (sc.parts.size() < num_parts) sc.parts.resize(num_parts);
+  for (std::size_t s = 0; s < num_parts; ++s) sc.parts[s].clear();
   common::ParallelFor(
-      num_threads, 0, cells.size(), kGrain,
+      num_threads, 0, num_cells, kGrain,
       [&](std::size_t lo, std::size_t hi) {
-        auto& out = parts[lo / kGrain];
+        auto& out = sc.parts[lo / kGrain];
         for (std::size_t ci = lo; ci < hi; ++ci) {
-          const CellKey& key = cells[ci]->first;
-          const auto& indices = cells[ci]->second;
-          // Check the 3x3 neighbourhood (half to avoid double work).
+          const pc::VoxelCoord& key = sc.cell_keys[ci];
           for (int dy = -1; dy <= 1; ++dy) {
             for (int dx = -1; dx <= 1; ++dx) {
-              const auto it = grid.find(CellKey{key.x + dx, key.y + dy});
-              if (it == grid.end()) continue;
-              for (const auto i : indices) {
-                for (const auto j : it->second) {
+              const std::uint32_t* nb =
+                  sc.grid.Find({key.x + dx, key.y + dy, 0});
+              if (nb == nullptr) continue;
+              for (std::uint32_t i = sc.cell_head[ci]; i != kNone;
+                   i = sc.point_next[i]) {
+                for (std::uint32_t j = sc.cell_head[*nb]; j != kNone;
+                     j = sc.point_next[j]) {
                   if (j <= i) continue;
                   const double ddx = cloud[i].position.x - cloud[j].position.x;
                   const double ddy = cloud[i].position.y - cloud[j].position.y;
@@ -101,26 +171,10 @@ std::vector<Cluster> ClusterPoints(const pc::PointCloud& cloud,
       });
 
   // Serial phase: union-find over the gathered edges.
-  DisjointSet ds(cloud.size());
-  for (const auto& part : parts) {
-    for (const auto& e : part) ds.Union(e.i, e.j);
+  for (std::size_t s = 0; s < num_parts; ++s) {
+    for (const auto& e : sc.parts[s]) ds.Union(e.i, e.j);
   }
-
-  std::unordered_map<std::size_t, Cluster> by_root;
-  for (std::uint32_t i = 0; i < cloud.size(); ++i) {
-    by_root[ds.Find(i)].points.push_back(cloud[i]);
-  }
-  std::vector<Cluster> out;
-  for (auto& [root, c] : by_root) {
-    if (c.points.size() >= min_points) out.push_back(std::move(c));
-  }
-  // Deterministic order: by first point position.
-  std::sort(out.begin(), out.end(), [](const Cluster& a, const Cluster& b) {
-    const auto& pa = a.points[0].position;
-    const auto& pb = b.points[0].position;
-    return std::tie(pa.x, pa.y, pa.z) < std::tie(pb.x, pb.y, pb.z);
-  });
-  return out;
+  return CollectClusters(cloud, ds, min_points, sc.root_slot);
 }
 
 geom::Box3 FitOrientedBox(const pc::PointCloud& cluster) {

@@ -72,6 +72,12 @@ struct SpodConfig {
   // clustering; <= 0: hardware concurrency, 1: serial).  Detections are
   // bit-identical for every thread count — see DESIGN.md "Threading model".
   int num_threads = 1;
+  // Keep the detector's working storage (rulebook cache, hash indices,
+  // feature maps, candidate buffers) alive across Detect calls so
+  // steady-state frames allocate near zero.  Detections are bit-identical
+  // either way.  With reuse on, one detector instance must not run Detect
+  // concurrently from several threads; turn it off to restore that property.
+  bool reuse_scratch = true;
 };
 
 /// Default config for dense 64-beam input over a KITTI-style front range.

@@ -139,6 +139,11 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
   COOPER_COUNT_N("spod.input_points", input.size());
   common::StageTimer timer;
 
+  // Cross-frame working set: every consumer is bit-identical with or
+  // without its scratch, so the knob only changes allocation behaviour.
+  PipelineScratch frame_scratch;
+  PipelineScratch& sc = config_.reuse_scratch ? scratch_ : frame_scratch;
+
   // --- Stage 1: preprocessing. ---
   pc::PointCloud cloud = input;
   cloud.RemoveInvalid();
@@ -149,7 +154,7 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
   // --- Stage 2: voxelisation + VFE. ---
   pc::VoxelGridConfig voxel_cfg = config_.voxel;
   voxel_cfg.num_threads = config_.num_threads;
-  pc::VoxelGrid grid(above, voxel_cfg);
+  pc::VoxelGrid grid(above, voxel_cfg, &sc.voxel_grid);
   result.num_voxels = grid.voxels().size();
   result.timings.voxelize_us = timer.Lap("voxelize");
 
@@ -157,25 +162,27 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
   result.timings.vfe_us = timer.Lap("vfe");
 
   // --- Stage 3: sparse convolutional middle layers. ---
-  nn::SparseTensor mid = net_.mid_sub1.Forward(features, config_.num_threads);
+  nn::SparseTensor mid =
+      net_.mid_sub1.Forward(features, config_.num_threads, &sc.sparse_conv);
   mid.features.Relu();
-  mid = net_.mid_down.Forward(mid, config_.num_threads);
+  mid = net_.mid_down.Forward(mid, config_.num_threads, &sc.sparse_conv);
   mid.features.Relu();
-  mid = net_.mid_sub2.Forward(mid, config_.num_threads);
+  mid = net_.mid_sub2.Forward(mid, config_.num_threads, &sc.sparse_conv);
   mid.features.Relu();
   result.timings.middle_us = timer.Lap("middle");
 
   // --- Stage 4: RPN over the BEV map. ---
-  nn::Tensor bev = nn::SparseToBev(mid);
-  nn::Tensor rpn = net_.rpn_conv1.Forward(bev, config_.num_threads);
-  rpn.Relu();
-  rpn = net_.rpn_conv2.Forward(rpn, config_.num_threads);
-  rpn.Relu();
+  nn::SparseToBev(mid, &sc.bev);
+  net_.rpn_conv1.ForwardInto(sc.bev, config_.num_threads, &sc.rpn1);
+  sc.rpn1.Relu();
+  net_.rpn_conv2.ForwardInto(sc.rpn1, config_.num_threads, &sc.rpn2);
+  sc.rpn2.Relu();
   result.timings.rpn_us = timer.Lap("rpn");
 
   // --- Stage 5: proposals, confidence, NMS. ---
   auto clusters = ClusterPoints(above, config_.cluster_merge_radius,
-                                config_.min_cluster_points, config_.num_threads);
+                                config_.min_cluster_points, config_.num_threads,
+                                &sc.cluster);
   // Oversized clusters are usually several objects bridged by stray returns
   // (a car parked against a truck); split them once at a tighter radius so
   // the parts get their own proposals instead of a blanket rejection.
@@ -187,7 +194,7 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
         auto parts = ClusterPoints(cluster.points,
                                    0.55 * config_.cluster_merge_radius,
                                    config_.min_cluster_points,
-                                   config_.num_threads);
+                                   config_.num_threads, &sc.cluster);
         for (auto& part : parts) refined.push_back(std::move(part));
       } else {
         refined.push_back(std::move(cluster));
@@ -195,10 +202,6 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
     }
     clusters = std::move(refined);
   }
-  struct Candidate {
-    Detection det;
-    pc::PointCloud points;
-  };
   auto score_cluster = [this](const pc::PointCloud& points,
                               Detection* out) -> bool {
     const geom::Box3 fitted = FitOrientedBox(points);
@@ -241,9 +244,12 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
     return any;
   };
 
-  std::vector<Candidate> candidates;
+  // Candidate buffers live in the scratch so their top-level capacity
+  // carries across frames (the per-candidate point storage is rebuilt).
+  std::vector<DetectorCandidate>& candidates = sc.candidates;
+  candidates.clear();
   for (auto& cluster : clusters) {
-    Candidate c;
+    DetectorCandidate c;
     if (!score_cluster(cluster.points, &c.det)) continue;
     c.points = std::move(cluster.points);
     candidates.push_back(std::move(c));
@@ -281,12 +287,13 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
   // the weaker wall, its points are merged into the keeper and the keeper is
   // refitted — this is where cooperative evidence actually combines.
   std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
+            [](const DetectorCandidate& a, const DetectorCandidate& b) {
               return a.det.score > b.det.score;
             });
-  std::vector<Candidate> kept;
+  std::vector<DetectorCandidate>& kept = sc.kept;
+  kept.clear();
   for (auto& c : candidates) {
-    Candidate* overlaps = nullptr;
+    DetectorCandidate* overlaps = nullptr;
     for (auto& k : kept) {
       if (geom::BevIou(c.det.box, k.det.box) > config_.nms_iou) {
         overlaps = &k;

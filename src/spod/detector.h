@@ -23,6 +23,7 @@
 #include "nn/vfe.h"
 #include "spod/confidence.h"
 #include "spod/detection.h"
+#include "spod/scratch.h"
 
 namespace cooper::spod {
 
@@ -90,6 +91,10 @@ class SpodDetector {
   SpodConfig config_;
   SensorResolution sensor_;
   Net net_;
+  // Cross-frame working set, reused when `config_.reuse_scratch` (cleared,
+  // not freed, between Detect calls).  Mutable: Detect stays const for
+  // callers; with reuse on, one instance must not Detect concurrently.
+  mutable PipelineScratch scratch_;
 };
 
 /// Convenience: sensor resolution from beam geometry.

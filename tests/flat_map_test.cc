@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/rng.h"
+#include "pointcloud/voxel_grid.h"
+
+namespace cooper::common {
+namespace {
+
+struct IdentityHash {
+  std::size_t operator()(int k) const { return static_cast<std::size_t>(k); }
+};
+
+// Mixed hash for the fuzz suite, so probe runs stay short.
+struct MixHash {
+  std::size_t operator()(int k) const {
+    std::uint64_t h = static_cast<std::uint64_t>(static_cast<std::uint32_t>(k));
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(h ^ (h >> 31));
+  }
+};
+
+TEST(FlatMapTest, StartsEmpty) {
+  FlatMap<int, int, MixHash> m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(7), nullptr);
+  EXPECT_FALSE(m.Erase(7));
+}
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<int, std::string, MixHash> m;
+  auto [v1, inserted1] = m.TryEmplace(1, "one");
+  EXPECT_TRUE(inserted1);
+  EXPECT_EQ(*v1, "one");
+  auto [v2, inserted2] = m.TryEmplace(1, "uno");
+  EXPECT_FALSE(inserted2);  // existing value untouched
+  EXPECT_EQ(*v2, "one");
+  EXPECT_EQ(m.size(), 1u);
+  ASSERT_NE(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(1), "one");
+  EXPECT_TRUE(m.Contains(1));
+  EXPECT_FALSE(m.Contains(2));
+  EXPECT_TRUE(m.Erase(1));
+  EXPECT_FALSE(m.Erase(1));
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Find(1), nullptr);
+}
+
+TEST(FlatMapTest, OperatorBracketInsertsDefault) {
+  FlatMap<int, int, MixHash> m;
+  m[5] = 50;
+  EXPECT_EQ(m[5], 50);
+  EXPECT_EQ(m[6], 0);  // default-inserted
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMapTest, GrowsThroughRehash) {
+  FlatMap<int, int, MixHash> m;
+  for (int i = 0; i < 1000; ++i) m[i] = i * 3;
+  EXPECT_EQ(m.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    EXPECT_EQ(*m.Find(i), i * 3);
+  }
+  EXPECT_EQ(m.Find(1000), nullptr);
+}
+
+TEST(FlatMapTest, ClearKeepsCapacity) {
+  FlatMap<int, int, MixHash> m;
+  for (int i = 0; i < 100; ++i) m[i] = i;
+  const std::size_t cap = m.capacity();
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.Find(5), nullptr);
+  for (int i = 0; i < 100; ++i) m[i] = i;  // refill without growth
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehash) {
+  FlatMap<int, int, MixHash> m;
+  m.Reserve(500);
+  const std::size_t cap = m.capacity();
+  for (int i = 0; i < 500; ++i) m[i] = i;
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+// Backward-shift deletion must keep colliding probe runs reachable — the
+// identity hash forces every key into the same cluster.
+TEST(FlatMapTest, EraseBackwardShiftKeepsCollidersReachable) {
+  FlatMap<int, int, IdentityHash> m;
+  // Keys 16, 32, 48 all land on slot 0 of a 16-slot table.
+  m[16] = 1;
+  m[32] = 2;
+  m[48] = 3;
+  ASSERT_EQ(m.capacity(), 16u);
+  EXPECT_TRUE(m.Erase(16));
+  ASSERT_NE(m.Find(32), nullptr);
+  EXPECT_EQ(*m.Find(32), 2);
+  ASSERT_NE(m.Find(48), nullptr);
+  EXPECT_EQ(*m.Find(48), 3);
+  EXPECT_TRUE(m.Erase(32));
+  ASSERT_NE(m.Find(48), nullptr);
+  EXPECT_EQ(*m.Find(48), 3);
+}
+
+TEST(FlatMapTest, EraseClusterWrappingTableEnd) {
+  FlatMap<int, int, IdentityHash> m;
+  // Home slot 15 of a 16-slot table: the probe run wraps to slot 0.
+  m[15] = 1;
+  m[31] = 2;
+  m[47] = 3;
+  ASSERT_EQ(m.capacity(), 16u);
+  EXPECT_TRUE(m.Erase(15));
+  EXPECT_EQ(*m.Find(31), 2);
+  EXPECT_EQ(*m.Find(47), 3);
+}
+
+TEST(FlatMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatMap<int, int, MixHash> m;
+  for (int i = 0; i < 37; ++i) m[i] = i;
+  std::vector<bool> seen(37, false);
+  m.ForEach([&](const int& k, const int& v) {
+    EXPECT_EQ(k, v);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 37);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(k)]);
+    seen[static_cast<std::size_t>(k)] = true;
+  });
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(FlatMapTest, VoxelCoordKeys) {
+  FlatMap<pc::VoxelCoord, std::uint32_t, pc::VoxelCoordHash> m;
+  for (std::int32_t x = -5; x < 5; ++x) {
+    for (std::int32_t y = -5; y < 5; ++y) {
+      m[{x, y, 0}] = static_cast<std::uint32_t>((x + 5) * 10 + (y + 5));
+    }
+  }
+  EXPECT_EQ(m.size(), 100u);
+  ASSERT_NE(m.Find({-5, 4, 0}), nullptr);
+  EXPECT_EQ(*m.Find({-5, 4, 0}), 9u);
+  EXPECT_EQ(m.Find({-5, 4, 1}), nullptr);
+}
+
+// Fuzz: random insert/erase/lookup churn against a std::unordered_map
+// oracle, including rehash boundaries and negative keys.
+TEST(FlatMapFuzzTest, MatchesUnorderedMapOracle) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 977 + 11);
+    FlatMap<int, int, MixHash> map;
+    std::unordered_map<int, int> oracle;
+    for (int step = 0; step < 4000; ++step) {
+      const int key = static_cast<int>(rng.Uniform(-200.0, 200.0));
+      const double op = rng.Uniform();
+      if (op < 0.45) {
+        const int value = static_cast<int>(rng.Uniform(0.0, 1000.0));
+        const auto [slot, inserted] = map.TryEmplace(key, value);
+        const auto [it, oracle_inserted] = oracle.try_emplace(key, value);
+        ASSERT_EQ(inserted, oracle_inserted) << "seed " << seed;
+        ASSERT_EQ(*slot, it->second) << "seed " << seed;
+      } else if (op < 0.7) {
+        ASSERT_EQ(map.Erase(key), oracle.erase(key) > 0) << "seed " << seed;
+      } else if (op < 0.95) {
+        const int* found = map.Find(key);
+        const auto it = oracle.find(key);
+        ASSERT_EQ(found != nullptr, it != oracle.end()) << "seed " << seed;
+        if (found != nullptr) {
+          ASSERT_EQ(*found, it->second);
+        }
+      } else {
+        ASSERT_EQ(map.size(), oracle.size()) << "seed " << seed;
+      }
+    }
+    // Final sweep: identical contents, both directions.
+    ASSERT_EQ(map.size(), oracle.size()) << "seed " << seed;
+    for (const auto& [k, v] : oracle) {
+      const int* found = map.Find(k);
+      ASSERT_NE(found, nullptr) << "seed " << seed << " key " << k;
+      ASSERT_EQ(*found, v);
+    }
+    std::size_t visited = 0;
+    map.ForEach([&](const int& k, const int& v) {
+      ++visited;
+      const auto it = oracle.find(k);
+      ASSERT_NE(it, oracle.end()) << "seed " << seed << " key " << k;
+      ASSERT_EQ(v, it->second);
+    });
+    ASSERT_EQ(visited, oracle.size()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cooper::common

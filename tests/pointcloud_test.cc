@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <limits>
+#include <vector>
 
 #include "common/rng.h"
 #include "pointcloud/codec.h"
@@ -501,6 +504,50 @@ TEST(CodecTest, EncodedSizeMatchesEncode) {
   const PointCloud c = RandomCloud(321, rng);
   const CloudCodec codec;
   EXPECT_EQ(codec.EncodedSize(c), codec.Encode(c).size());
+}
+
+// --- VoxelCoordHash ---
+
+// The open-addressing tables index with `hash & (capacity - 1)`, so the LOW
+// bits must already be well mixed for the dense, small-magnitude coordinate
+// blocks a voxel grid produces.  Hash a 32x32x16 block (16384 coords) into
+// the bucket count a FlatMap would use and require near-uniform occupancy.
+TEST(VoxelCoordHashTest, DenseBlockSpreadsAcrossLowBitBuckets) {
+  constexpr std::size_t kBuckets = 32768;  // 2 * 16384, power of two
+  std::vector<int> load(kBuckets, 0);
+  VoxelCoordHash hash;
+  std::size_t n = 0;
+  for (std::int32_t z = 0; z < 16; ++z) {
+    for (std::int32_t y = -16; y < 16; ++y) {
+      for (std::int32_t x = -16; x < 16; ++x) {
+        ++load[hash({x, y, z}) & (kBuckets - 1)];
+        ++n;
+      }
+    }
+  }
+  ASSERT_EQ(n, 16384u);
+  int max_load = 0;
+  std::size_t occupied = 0;
+  for (const int l : load) {
+    max_load = std::max(max_load, l);
+    occupied += l > 0;
+  }
+  // A uniform random throw of 16384 balls into 32768 bins occupies ~39% of
+  // bins with a max load of ~5; a hash that leaks coordinate structure into
+  // the low bits collapses to a few hundred buckets with huge piles.
+  EXPECT_GE(occupied, kBuckets / 4) << "low bits are not mixing";
+  EXPECT_LE(max_load, 8);
+}
+
+TEST(VoxelCoordHashTest, AxisShiftsChangeTheHash) {
+  VoxelCoordHash hash;
+  const std::size_t base = hash({5, -3, 2});
+  EXPECT_NE(base, hash({6, -3, 2}));
+  EXPECT_NE(base, hash({5, -2, 2}));
+  EXPECT_NE(base, hash({5, -3, 3}));
+  // Swapping axes must not collide either (the pack is asymmetric).
+  EXPECT_NE(hash({1, 2, 3}), hash({2, 1, 3}));
+  EXPECT_NE(hash({1, 2, 3}), hash({1, 3, 2}));
 }
 
 }  // namespace

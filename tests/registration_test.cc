@@ -95,6 +95,24 @@ TEST(KdTreeTest, RadiusSearchMatchesBruteForce) {
   }
 }
 
+TEST(KdTreeTest, RadiusSearchOutParamMatchesByValue) {
+  Rng rng(17);
+  const PointCloud cloud = RandomCloud(300, rng);
+  const KdTree tree(cloud);
+  std::vector<std::uint32_t> out;
+  for (int trial = 0; trial < 50; ++trial) {
+    const geom::Vec3 q{rng.Uniform(-20, 20), rng.Uniform(-20, 20),
+                       rng.Uniform(-2, 2)};
+    const double r = rng.Uniform(0.5, 8.0);
+    const std::vector<std::uint32_t> by_value = tree.RadiusSearch(q, r);
+    tree.RadiusSearch(q, r, &out);  // must clear previous contents itself
+    ASSERT_EQ(out, by_value) << "trial " << trial;
+  }
+  // Stale contents from a hit-rich query must not leak into an empty result.
+  tree.RadiusSearch({1000, 1000, 1000}, 0.1, &out);
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(KdTreeTest, DuplicatePointsHandled) {
   PointCloud c;
   for (int i = 0; i < 10; ++i) c.Add({1, 1, 1}, 0.0f);

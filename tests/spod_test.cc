@@ -74,6 +74,56 @@ TEST(ClusteringTest, ZDoesNotSplitClusters) {
   EXPECT_EQ(ClusterPoints(cloud, 0.9, 5).size(), 1u);
 }
 
+void ExpectClustersIdentical(const std::vector<Cluster>& a,
+                             const std::vector<Cluster>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].points.size(), b[i].points.size()) << "cluster " << i;
+    for (std::size_t p = 0; p < a[i].points.size(); ++p) {
+      EXPECT_EQ(a[i].points[p].position.x, b[i].points[p].position.x);
+      EXPECT_EQ(a[i].points[p].position.y, b[i].points[p].position.y);
+      EXPECT_EQ(a[i].points[p].position.z, b[i].points[p].position.z);
+      EXPECT_EQ(a[i].points[p].reflectance, b[i].points[p].reflectance);
+    }
+  }
+}
+
+TEST(ClusteringTest, ScratchAndThreadCountDoNotChangeClusters) {
+  pc::PointCloud cloud = GridPatch(0, 0, 2.0, 0.2);       // > 256 pts: grid path
+  cloud.Merge(GridPatch(12, 4, 1.5, 0.2));
+  cloud.Merge(GridPatch(-9, -7, 1.0, 0.2));
+  ASSERT_GT(cloud.size(), 256u);
+  const auto base = ClusterPoints(cloud, 0.9, 5);
+  ClusterScratch scratch;
+  for (const int threads : {1, 2, 5}) {
+    ExpectClustersIdentical(base, ClusterPoints(cloud, 0.9, 5, threads));
+    // Same scratch reused across calls and thread counts.
+    ExpectClustersIdentical(base,
+                            ClusterPoints(cloud, 0.9, 5, threads, &scratch));
+  }
+}
+
+TEST(ClusteringTest, KdPathAgreesWithGridPathOnSharedStructure) {
+  // Two patches close to the origin; the small cloud (k-d path, <= 256 pts)
+  // and the same patches padded past 256 points with one distant extra patch
+  // (grid path) must produce identical clusters for the shared structure.
+  pc::PointCloud small = GridPatch(0, 0, 1.0, 0.25);      // 81 pts
+  small.Merge(GridPatch(8, 2, 1.0, 0.25));                // 162 total
+  ASSERT_LE(small.size(), 256u);
+  pc::PointCloud large = small;
+  large.Merge(GridPatch(60, 60, 1.5, 0.2));               // pushes past 256
+  ASSERT_GT(large.size(), 256u);
+  const auto small_clusters = ClusterPoints(small, 0.9, 5);
+  const auto large_clusters = ClusterPoints(large, 0.9, 5);
+  ASSERT_EQ(small_clusters.size(), 2u);
+  ASSERT_EQ(large_clusters.size(), 3u);
+  // Canonical order sorts by first-point position, so the shared clusters
+  // occupy the same slots in both results (the padding patch sorts last).
+  std::vector<Cluster> shared(large_clusters.begin(),
+                              large_clusters.begin() + 2);
+  ExpectClustersIdentical(small_clusters, shared);
+}
+
 // --- Box fitting ---
 
 class BoxFitYawTest : public ::testing::TestWithParam<double> {};
@@ -307,6 +357,51 @@ TEST(DetectorTest, DeterministicResults) {
   for (std::size_t i = 0; i < a.detections.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.detections[i].score, b.detections[i].score);
   }
+}
+
+TEST(DetectorTest, ScratchReuseIsBitIdentical) {
+  // Warm scratch (second and later frames on one instance), cold scratch
+  // (fresh instance per call) and scratch reuse disabled must all produce
+  // bit-identical detections, at one thread and several.
+  sim::Scene scene;
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({12, 2, 0}, 30.0), 0.6);
+  scene.AddObject(sim::ObjectClass::kCar, sim::MakeCarBox({16, -5, 0}, 75.0), 0.6);
+  const pc::PointCloud cloud = ScanScene(scene, 64);
+  const auto base = DenseDetector().Detect(cloud);
+  ASSERT_FALSE(base.detections.empty());
+
+  auto expect_same = [&](const SpodResult& r, const char* what) {
+    ASSERT_EQ(r.detections.size(), base.detections.size()) << what;
+    for (std::size_t i = 0; i < base.detections.size(); ++i) {
+      const auto& a = base.detections[i];
+      const auto& b = r.detections[i];
+      EXPECT_EQ(a.score, b.score) << what << " det " << i;
+      EXPECT_EQ(a.num_points, b.num_points) << what << " det " << i;
+      EXPECT_EQ(a.box.center.x, b.box.center.x) << what << " det " << i;
+      EXPECT_EQ(a.box.center.y, b.box.center.y) << what << " det " << i;
+      EXPECT_EQ(a.box.center.z, b.box.center.z) << what << " det " << i;
+      EXPECT_EQ(a.box.length, b.box.length) << what << " det " << i;
+      EXPECT_EQ(a.box.width, b.box.width) << what << " det " << i;
+      EXPECT_EQ(a.box.height, b.box.height) << what << " det " << i;
+      EXPECT_EQ(a.box.yaw, b.box.yaw) << what << " det " << i;
+    }
+  };
+
+  const SpodDetector warm = DenseDetector();
+  expect_same(warm.Detect(cloud), "warm frame 1");
+  expect_same(warm.Detect(cloud), "warm frame 2");  // rulebook cache hit path
+  expect_same(warm.Detect(cloud), "warm frame 3");
+
+  SpodConfig no_reuse = MakeDenseSpodConfig();
+  no_reuse.reuse_scratch = false;
+  const SpodDetector cold(no_reuse, MakeSensorResolution(64, 2.0, -24.8, 720));
+  expect_same(cold.Detect(cloud), "reuse off");
+
+  SpodConfig threaded = MakeDenseSpodConfig();
+  threaded.num_threads = 4;
+  const SpodDetector par(threaded, MakeSensorResolution(64, 2.0, -24.8, 720));
+  expect_same(par.Detect(cloud), "4 threads frame 1");
+  expect_same(par.Detect(cloud), "4 threads frame 2");
 }
 
 TEST(DetectorTest, TimingsArePopulated) {

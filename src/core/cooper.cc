@@ -45,6 +45,35 @@ spod::SpodResult CooperPipeline::DetectSingleShot(
   return detector_.Detect(local_cloud);
 }
 
+geom::Pose CooperPipeline::ReceiverFromSender(const NavMetadata& local_nav,
+                                              const NavMetadata& remote_nav) {
+  // Eq. 3: the transform follows from the difference between the two
+  // vehicles' GPS/IMU readings (both poses are in the shared world frame).
+  return geom::Pose::Between(local_nav.SensorPose(), remote_nav.SensorPose());
+}
+
+pc::PointCloud CooperPipeline::IcpTarget(const pc::PointCloud& local_cloud) const {
+  if (!config_.icp_refinement || local_cloud.empty()) return {};
+  return local_cloud.FilterMinZ(pc::EstimateGroundZ(local_cloud) + 0.3);
+}
+
+pc::PointCloud CooperPipeline::RefineAlignment(pc::PointCloud remote,
+                                               const pc::PointCloud& icp_target,
+                                               pc::IcpScratch* scratch) const {
+  if (!config_.icp_refinement || remote.empty() || icp_target.empty()) {
+    return remote;
+  }
+  // Register above-ground structure only: flat ground constrains neither
+  // x/y translation nor yaw, which are exactly the drifting axes.
+  const pc::PointCloud src =
+      remote.FilterMinZ(pc::EstimateGroundZ(remote) + 0.3);
+  const pc::IcpResult icp = pc::IcpAlign(src, icp_target,
+                                         geom::Pose::Identity(), config_.icp,
+                                         scratch);
+  if (icp.Improved()) remote.Transform(icp.transform);
+  return remote;
+}
+
 Result<pc::PointCloud> CooperPipeline::ReconstructRemoteCloud(
     const NavMetadata& local_nav, const ExchangePackage& package) const {
   obs::Span span("cooper.reconstruct", "core");
@@ -52,11 +81,7 @@ Result<pc::PointCloud> CooperPipeline::ReconstructRemoteCloud(
   // Densify while still in the sender's sensor frame — the spherical
   // projection is only meaningful from the originating viewpoint.
   remote_cloud = detector_.Densify(remote_cloud);
-  // Eq. 3: the transform follows from the difference between the two
-  // vehicles' GPS/IMU readings (both poses are in the shared world frame).
-  const geom::Pose to_receiver = geom::Pose::Between(local_nav.SensorPose(),
-                                                     package.nav.SensorPose());
-  remote_cloud.Transform(to_receiver);
+  remote_cloud.Transform(ReceiverFromSender(local_nav, package.nav));
   return remote_cloud;
 }
 
@@ -69,17 +94,9 @@ Result<CooperOutput> CooperPipeline::DetectCooperative(
   COOPER_ASSIGN_OR_RETURN(pc::PointCloud remote,
                           ReconstructRemoteCloud(local_nav, package));
   timer.Lap("reconstruct");
-  if (config_.icp_refinement && !remote.empty() && !local_cloud.empty()) {
-    // Register above-ground structure only: flat ground constrains neither
-    // x/y translation nor yaw, which are exactly the drifting axes.
-    const pc::PointCloud src =
-        remote.FilterMinZ(pc::EstimateGroundZ(remote) + 0.3);
-    const pc::PointCloud dst =
-        local_cloud.FilterMinZ(pc::EstimateGroundZ(local_cloud) + 0.3);
-    const pc::IcpResult icp =
-        pc::IcpAlign(src, dst, geom::Pose::Identity(), config_.icp,
-                     config_.reuse_scratch ? &icp_scratch_ : nullptr);
-    if (icp.Improved()) remote.Transform(icp.transform);
+  if (config_.icp_refinement) {
+    remote = RefineAlignment(std::move(remote), IcpTarget(local_cloud),
+                             config_.reuse_scratch ? &icp_scratch_ : nullptr);
     timer.Lap("icp");
   }
   CooperOutput out;

@@ -85,6 +85,29 @@ class CooperPipeline {
   Result<pc::PointCloud> ReconstructRemoteCloud(
       const NavMetadata& local_nav, const ExchangePackage& package) const;
 
+  /// Eq. 3 transform taking `remote_nav`'s sensor frame into `local_nav`'s:
+  /// the factored-out alignment step of reconstruction, so callers that
+  /// cache a decoded+densified sender-frame cloud can re-express it under a
+  /// new receiver pose without decoding again.
+  static geom::Pose ReceiverFromSender(const NavMetadata& local_nav,
+                                       const NavMetadata& remote_nav);
+
+  /// The ICP registration target derived from the receiver's cloud: its
+  /// above-ground structure (flat ground constrains neither x/y translation
+  /// nor yaw, which are exactly the drifting axes).  Empty when
+  /// `icp_refinement` is off — computing it would be wasted work.
+  pc::PointCloud IcpTarget(const pc::PointCloud& local_cloud) const;
+
+  /// ICP half of reconstruction: registers `remote` (already in the
+  /// receiver's frame) against `icp_target` and applies the correction when
+  /// it improves the fit.  No-op when refinement is off or either cloud is
+  /// empty.  `scratch` may be null; concurrent callers must pass distinct
+  /// scratches (the session hands out one `IcpScratchPool` lane per
+  /// reconstruction worker).
+  pc::PointCloud RefineAlignment(pc::PointCloud remote,
+                                 const pc::PointCloud& icp_target,
+                                 pc::IcpScratch* scratch) const;
+
   const CooperConfig& config() const { return config_; }
   const spod::SpodDetector& detector() const { return detector_; }
 

@@ -1,10 +1,32 @@
 #include "core/session.h"
 
+#include <utility>
+
+#include "common/thread_pool.h"
 #include "net/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace cooper::core {
+
+namespace {
+
+// Exact-match comparison for the reconstruction-cache key: the Eq. 3
+// transform is a pure function of the two nav readings, so any bit change
+// in the receiver's reading invalidates the cached alignment.
+bool SameNav(const NavMetadata& a, const NavMetadata& b) {
+  return a.gps_position.x == b.gps_position.x &&
+         a.gps_position.y == b.gps_position.y &&
+         a.gps_position.z == b.gps_position.z &&
+         a.imu_attitude.yaw == b.imu_attitude.yaw &&
+         a.imu_attitude.pitch == b.imu_attitude.pitch &&
+         a.imu_attitude.roll == b.imu_attitude.roll &&
+         a.lidar_mount.x == b.lidar_mount.x &&
+         a.lidar_mount.y == b.lidar_mount.y &&
+         a.lidar_mount.z == b.lidar_mount.z;
+}
+
+}  // namespace
 
 CooperativeSession::CooperativeSession(const CooperConfig& config,
                                        const SessionConfig& session_config)
@@ -14,20 +36,48 @@ CooperativeSession::CooperativeSession(const CooperConfig& config,
 
 Status CooperativeSession::ReceivePackage(ExchangePackage package,
                                           double now_s) {
+  return ReceivePackageInternal(std::move(package), now_s, nullptr);
+}
+
+void CooperativeSession::SeedRecon(std::uint32_t sender_id, double timestamp_s,
+                                   pc::PointCloud* decoded) {
+  if (decoded == nullptr || !session_config_.cache_reconstructions) return;
+  ReconEntry entry;
+  entry.timestamp_s = timestamp_s;
+  entry.sender_frame = std::move(*decoded);
+  entry.has_sender_frame = true;  // raw decode; densified lazily at fusion
+  recon_cache_[sender_id] = std::move(entry);
+}
+
+Status CooperativeSession::ReceivePackageInternal(ExchangePackage package,
+                                                  double now_s,
+                                                  pc::PointCloud* decoded) {
   ExpireOld(now_s);
-  if (now_s - package.timestamp_s > session_config_.max_package_age_s) {
-    ++stats_.packages_rejected_old;
-    COOPER_COUNT("session.packages_rejected_old");
+  const double age_s = now_s - package.timestamp_s;
+  if (age_s < -session_config_.max_future_skew_s) {
+    // A future-dated package would never age past the expiry sweep: reject
+    // it instead of letting a skewed (or malicious) clock pin a slot.
+    ++stats_.packages_rejected_future;
+    COOPER_COUNT("session.packages_rejected_future");
+    return FailedPreconditionError("package timestamp ahead of local clock");
+  }
+  if (age_s > session_config_.max_package_age_s) {
+    ++stats_.packages_rejected_stale;
+    COOPER_COUNT("session.packages_rejected_stale");
     return FailedPreconditionError("package already stale on arrival");
   }
-  const auto it = packages_.find(package.sender_id);
+  const std::uint32_t sender = package.sender_id;
+  const double timestamp_s = package.timestamp_s;
+  const auto it = packages_.find(sender);
   if (it != packages_.end()) {
-    if (package.timestamp_s <= it->second.timestamp_s) {
+    if (timestamp_s <= it->second.timestamp_s) {
       ++stats_.packages_rejected_old;
       COOPER_COUNT("session.packages_rejected_old");
       return FailedPreconditionError("older than the held frame");
     }
     it->second = std::move(package);
+    InvalidateRecon(sender);
+    SeedRecon(sender, timestamp_s, decoded);
     ++stats_.packages_replaced;
     COOPER_COUNT("session.packages_replaced");
     return Status::Ok();
@@ -45,16 +95,19 @@ Status CooperativeSession::ReceivePackage(ExchangePackage package,
         victim = cand;
       }
     }
-    if (package.timestamp_s <= victim->second.timestamp_s) {
+    if (timestamp_s <= victim->second.timestamp_s) {
       ++stats_.packages_rejected_full;
       COOPER_COUNT("session.packages_rejected_full");
       return ResourceExhaustedError("cooperator slots full");
     }
+    InvalidateRecon(victim->first);
     packages_.erase(victim);
     ++stats_.packages_evicted;
     COOPER_COUNT("session.packages_evicted");
   }
-  packages_.emplace(package.sender_id, std::move(package));
+  packages_.emplace(sender, std::move(package));
+  InvalidateRecon(sender);  // no stale entry may outlive a fresh slot
+  SeedRecon(sender, timestamp_s, decoded);
   ++stats_.packages_accepted;
   COOPER_COUNT("session.packages_accepted");
   return Status::Ok();
@@ -71,13 +124,16 @@ Status CooperativeSession::ReceiveWire(
   }
   // Validate the payload up front: a package whose cloud cannot decode would
   // contribute nothing at fusion time, so reject it here and keep whatever
-  // older healthy package this sender may already hold.
-  if (const auto cloud_or = DecodePackage(*package_or); !cloud_or.ok()) {
+  // older healthy package this sender may already hold.  The decoded cloud
+  // is kept and seeds the reconstruction cache — fusion must never pay for
+  // this decode a second time.
+  auto cloud_or = DecodePackage(*package_or);
+  if (!cloud_or.ok()) {
     ++stats_.packages_corrupt;
     COOPER_COUNT("session.packages_corrupt");
     return cloud_or.status();
   }
-  return ReceivePackage(std::move(*package_or), now_s);
+  return ReceivePackageInternal(std::move(*package_or), now_s, &*cloud_or);
 }
 
 Status CooperativeSession::ReceiveFrame(
@@ -90,10 +146,18 @@ Status CooperativeSession::ReceiveFrame(
     case Kind::kFrameAccepted:
       return Status::Ok();
     case Kind::kDuplicate:
-      // A fragment we already hold: retransmission overlap or channel
-      // duplication.  Benign, but worth counting.
-      ++stats_.frames_retransmitted;
-      COOPER_COUNT("session.frames_retransmitted");
+      // Benign either way, but the two causes are different signals: a
+      // fragment of an already-delivered package is the sender retransmitting
+      // inside its repair window (the receiver's done-report was lost), while
+      // a fragment we already hold in a partial can only be channel
+      // duplication — retransmit rounds resend missing fragments only.
+      if (event.duplicate_of_completed) {
+        ++stats_.frames_retransmitted;
+        COOPER_COUNT("session.frames_retransmitted");
+      } else {
+        ++stats_.frames_duplicate;
+        COOPER_COUNT("session.frames_duplicate");
+      }
       return Status::Ok();
     case Kind::kCorruptFrame:
       return DataLossError("corrupt transport frame");
@@ -110,6 +174,7 @@ Status CooperativeSession::ReceiveFrame(
 void CooperativeSession::ExpireOld(double now_s) {
   for (auto it = packages_.begin(); it != packages_.end();) {
     if (now_s - it->second.timestamp_s > session_config_.max_package_age_s) {
+      InvalidateRecon(it->first);
       it = packages_.erase(it);
       ++stats_.packages_expired;
       COOPER_COUNT("session.packages_expired");
@@ -131,23 +196,126 @@ CooperOutput CooperativeSession::DetectCooperative(
   obs::Span span("session.detect_cooperative", "core");
   ExpireOld(now_s);
   ExpireStaleReassembly(now_s);
+  common::StageTimer timer;
+
+  // Plan one lane per held package (ascending sender id — the merge order).
+  // A hit contributes its cached ego-frame cloud untouched; a miss records
+  // what must be recomputed.
+  struct Lane {
+    std::uint32_t sender = 0;
+    const ExchangePackage* package = nullptr;
+    ReconEntry* entry = nullptr;  // null when the cache is off
+    bool hit = false;
+    pc::PointCloud ego;  // miss result when the cache is off
+    Status status = Status::Ok();
+  };
+  const bool use_cache = session_config_.cache_reconstructions;
+  std::vector<Lane> lanes;
+  lanes.reserve(packages_.size());
+  std::vector<std::size_t> misses;
+  misses.reserve(packages_.size());
+  for (auto& [sender, package] : packages_) {
+    Lane lane;
+    lane.sender = sender;
+    lane.package = &package;
+    if (use_cache) {
+      ReconEntry& entry = recon_cache_[sender];
+      if (entry.timestamp_s != package.timestamp_s) {
+        entry = ReconEntry{};
+        entry.timestamp_s = package.timestamp_s;
+      }
+      lane.entry = &entry;
+      lane.hit = entry.has_ego && SameNav(entry.ego_nav, local_nav);
+    }
+    if (lane.hit) {
+      ++stats_.recon_cache_hits;
+      COOPER_COUNT("session.recon_cache_hit");
+    } else {
+      ++stats_.recon_cache_misses;
+      COOPER_COUNT("session.recon_cache_miss");
+      misses.push_back(lanes.size());
+    }
+    lanes.push_back(std::move(lane));
+  }
+
+  // Cache-miss reconstructions fan out over the shared pool: each lane only
+  // touches its own sender's state, every input is read-only, and the merge
+  // below walks lanes in ascending sender order — so the fused cloud is
+  // bit-identical at any thread count.
+  if (!misses.empty()) {
+    const pc::PointCloud icp_target = pipeline_.IcpTarget(local_cloud);
+    const bool pool_scratch = pipeline_.config().reuse_scratch;
+    if (pool_scratch) icp_scratch_pool_.EnsureLanes(misses.size());
+    common::ParallelFor(
+        pipeline_.config().num_threads, 0, misses.size(), 1,
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t j = lo; j < hi; ++j) {
+            obs::Span lane_span("session.reconstruct_peer", "core");
+            Lane& lane = lanes[misses[j]];
+            pc::IcpScratch* scratch =
+                pool_scratch ? &icp_scratch_pool_.Lane(j) : nullptr;
+            if (lane.entry == nullptr) {
+              // Cache off: full reconstruct-every-frame path.
+              auto remote =
+                  pipeline_.ReconstructRemoteCloud(local_nav, *lane.package);
+              if (!remote.ok()) {
+                lane.status = remote.status();
+                continue;
+              }
+              lane.ego = pipeline_.RefineAlignment(std::move(*remote),
+                                                   icp_target, scratch);
+              continue;
+            }
+            ReconEntry& entry = *lane.entry;
+            obs::Span recon_span("cooper.reconstruct", "core");
+            if (!entry.has_sender_frame) {
+              auto decoded = DecodePackage(*lane.package);
+              if (!decoded.ok()) {
+                lane.status = decoded.status();
+                continue;
+              }
+              entry.sender_frame = std::move(*decoded);
+              entry.has_sender_frame = true;
+              entry.densified = false;
+            }
+            if (!entry.densified) {
+              entry.sender_frame =
+                  pipeline_.detector().Densify(entry.sender_frame);
+              entry.densified = true;
+            }
+            pc::PointCloud ego = entry.sender_frame;
+            ego.Transform(CooperPipeline::ReceiverFromSender(
+                local_nav, lane.package->nav));
+            entry.ego =
+                pipeline_.RefineAlignment(std::move(ego), icp_target, scratch);
+            entry.ego_nav = local_nav;
+            entry.has_ego = true;
+          }
+        });
+  }
+  timer.Lap("reconstruct");
+
   CooperOutput out;
   out.fused_cloud = pipeline_.detector().Densify(local_cloud);
-  for (auto it = packages_.begin(); it != packages_.end();) {
-    auto remote = pipeline_.ReconstructRemoteCloud(local_nav, it->second);
-    if (!remote.ok()) {
+  for (const Lane& lane : lanes) {
+    if (!lane.status.ok()) {
       // Corrupt payload: evict so this cooperator degrades to single-shot
       // coverage instead of being retried (and skipped) every frame.
-      it = packages_.erase(it);
+      InvalidateRecon(lane.sender);
+      packages_.erase(lane.sender);
       ++stats_.packages_corrupt;
       COOPER_COUNT("session.packages_corrupt");
       continue;
     }
-    out.transmitter_points += remote->size();
-    out.fused_cloud.Merge(*remote);
-    ++it;
+    const pc::PointCloud& remote =
+        lane.entry != nullptr ? lane.entry->ego : lane.ego;
+    out.transmitter_points += remote.size();
+    out.fused_cloud.Merge(remote);
   }
+  timer.Lap("merge");
   out.fused = pipeline_.detector().DetectPreprocessed(out.fused_cloud);
+  timer.Lap("detect");
+  out.stages = timer;
   return out;
 }
 

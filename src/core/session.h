@@ -14,6 +14,15 @@
 // counted in `SessionStats` and never enters the fusion set — the session
 // degrades to whatever healthy cooperators remain (ultimately single-shot
 // detection) rather than fusing garbage.
+//
+// Fusion cost is kept flat in the steady state by a per-sender
+// reconstruction cache: each cooperator's cloud, reconstructed into the
+// ego frame (decode → densify → Eq. 3 → optional ICP), is keyed by
+// (sender id, package timestamp, local nav) and reused until the package is
+// replaced, evicted or expired.  Cache misses fan out over the shared
+// ThreadPool and merge in ascending sender order, so the fused cloud — and
+// every detection — is bit-identical at any thread count, with or without
+// the cache.  See DESIGN.md "Session fusion".
 #pragma once
 
 #include <cstdint>
@@ -22,24 +31,43 @@
 
 #include "core/cooper.h"
 #include "net/transport.h"
+#include "pointcloud/icp.h"
 
 namespace cooper::core {
 
 struct SessionConfig {
   double max_package_age_s = 1.5;  // discard packages older than this
+  // Clock-skew gate: reject packages timestamped further in the future than
+  // this.  Without it a future-dated package has negative age, so it passes
+  // the staleness gate yet is never removed by the expiry sweep — pinning a
+  // cooperator slot until an even-further-future frame arrives.
+  double max_future_skew_s = 0.1;
   std::size_t max_cooperators = 8; // bound memory and fusion cost
+  // Keep each sender's reconstructed-in-ego-frame cloud alive across
+  // frames, so steady-state fusion skips decode + densify + Eq. 3 + ICP for
+  // unchanged packages entirely.  Invalidated whenever the sender's package
+  // is replaced, evicted or expired.  Fusion output is bit-identical with
+  // the cache off; off restores reconstruct-every-frame behaviour.
+  bool cache_reconstructions = true;
 };
 
 struct SessionStats {
   std::size_t packages_accepted = 0;
   std::size_t packages_replaced = 0;   // newer frame from a known sender
-  std::size_t packages_rejected_old = 0;   // older than what we hold
+  std::size_t packages_rejected_stale = 0;  // stale on arrival (age gate)
+  std::size_t packages_rejected_old = 0;    // older than the held frame
+  std::size_t packages_rejected_future = 0; // timestamp ahead of local clock
   std::size_t packages_rejected_full = 0;  // cap hit, incoming not fresher
   std::size_t packages_evicted = 0;        // stalest pushed out at the cap
   std::size_t packages_expired = 0;        // aged out before use
   std::size_t packages_corrupt = 0;        // CRC/parse/decode failure
   std::size_t packages_incomplete = 0;     // reassembly timed out
-  std::size_t frames_retransmitted = 0;    // duplicate fragments observed
+  std::size_t frames_retransmitted = 0;    // late retransmits of a package
+                                           // already delivered whole
+  std::size_t frames_duplicate = 0;        // channel-duplicated fragments of
+                                           // a still-partial package
+  std::size_t recon_cache_hits = 0;    // fusion reused a cached ego cloud
+  std::size_t recon_cache_misses = 0;  // fusion had to reconstruct
 };
 
 class CooperativeSession {
@@ -48,30 +76,39 @@ class CooperativeSession {
                      const SessionConfig& session_config = {});
 
   /// Accepts a package received at local time `now_s`.  Keeps only the
-  /// newest package per sender; rejects regressions.  At the cooperator cap
-  /// an incoming package that is fresher than the stalest held one evicts
-  /// it (ties keep the incumbent); otherwise the newcomer is rejected.
+  /// newest package per sender; rejects regressions, stale-on-arrival
+  /// packages, and packages timestamped beyond the future-skew gate.  At
+  /// the cooperator cap an incoming package that is fresher than the
+  /// stalest held one evicts it (ties keep the incumbent); otherwise the
+  /// newcomer is rejected.
   Status ReceivePackage(ExchangePackage package, double now_s);
 
   /// Wire entry point for one reassembled package: parses + CRC-checks the
   /// bytes and validates that the payload decodes before accepting.  Both
-  /// failures are recoverable (counted in `packages_corrupt`).
+  /// failures are recoverable (counted in `packages_corrupt`).  The decoded
+  /// cloud seeds the reconstruction cache, so fusion never decodes an
+  /// accepted wire package a second time.
   Status ReceiveWire(const std::vector<std::uint8_t>& package_bytes,
                      double now_s);
 
   /// Wire entry point for one transport frame.  Feeds the reassembler;
   /// when the frame completes a package it is routed through `ReceiveWire`.
-  /// Duplicate fragments (retransmission overlap) are counted and ignored;
-  /// partial packages idle past the reassembly timeout are dropped and
-  /// counted in `packages_incomplete`.
+  /// Duplicate fragments are counted (`frames_retransmitted` for late
+  /// retransmits of a delivered package, `frames_duplicate` for
+  /// channel-duplicated fragments of a partial one) and ignored; partial
+  /// packages idle past the reassembly timeout are dropped and counted in
+  /// `packages_incomplete`.
   Status ReceiveFrame(const std::vector<std::uint8_t>& frame_bytes,
                       double now_s);
 
   /// Fuses the local cloud with every fresh cooperator cloud (Eq. 1-3 per
-  /// package) and runs SPOD once on the merged frame.  Expired packages are
-  /// dropped as a side effect; a package whose payload fails to decode is
-  /// evicted and counted corrupt, so that cooperator falls back to
-  /// contributing nothing instead of poisoning the fusion.
+  /// package, ICP-refined when the pipeline enables it) and runs SPOD once
+  /// on the merged frame.  Cache-miss reconstructions run in parallel on
+  /// the shared pool; clouds merge in ascending sender order, so the result
+  /// is bit-identical at any thread count.  Expired packages are dropped as
+  /// a side effect; a package whose payload fails to decode is evicted and
+  /// counted corrupt, so that cooperator falls back to contributing nothing
+  /// instead of poisoning the fusion.
   CooperOutput DetectCooperative(const pc::PointCloud& local_cloud,
                                  const NavMetadata& local_nav, double now_s);
 
@@ -89,6 +126,29 @@ class CooperativeSession {
   const net::Reassembler& reassembler() const { return reassembler_; }
 
  private:
+  // Cached reconstruction state for one sender.  `sender_frame` (the
+  // decoded — and after first use densified — cloud in the sender's sensor
+  // frame) depends only on the package payload; `ego` additionally depends
+  // on the receiver nav it was aligned with, so a receiver pose change
+  // re-aligns from `sender_frame` without decoding again.
+  struct ReconEntry {
+    double timestamp_s = 0.0;  // package timestamp this entry was built from
+    bool has_sender_frame = false;
+    bool densified = false;  // ReceiveWire seeds the raw decode; densify is
+                             // deferred to the first fusion that needs it
+    pc::PointCloud sender_frame;
+    bool has_ego = false;
+    NavMetadata ego_nav;  // receiver nav `ego` was reconstructed under
+    pc::PointCloud ego;   // receiver frame, ICP-refined when enabled
+  };
+
+  Status ReceivePackageInternal(ExchangePackage package, double now_s,
+                                pc::PointCloud* decoded);
+  void SeedRecon(std::uint32_t sender_id, double timestamp_s,
+                 pc::PointCloud* decoded);
+  void InvalidateRecon(std::uint32_t sender_id) {
+    recon_cache_.erase(sender_id);
+  }
   void ExpireOld(double now_s);
   void ExpireStaleReassembly(double now_s);
 
@@ -96,6 +156,8 @@ class CooperativeSession {
   SessionConfig session_config_;
   net::Reassembler reassembler_;
   std::map<std::uint32_t, ExchangePackage> packages_;  // by sender id
+  std::map<std::uint32_t, ReconEntry> recon_cache_;    // by sender id
+  pc::IcpScratchPool icp_scratch_pool_;  // one lane per parallel recon
   SessionStats stats_;
 };
 

@@ -156,6 +156,7 @@ Reassembler::Event Reassembler::Offer(const std::vector<std::uint8_t>& frame_byt
     ++stats_.frames_duplicate;
     COOPER_COUNT("reassembly.frames_duplicate");
     event.kind = Event::Kind::kDuplicate;
+    event.duplicate_of_completed = true;
     return event;
   }
 

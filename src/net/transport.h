@@ -103,6 +103,12 @@ class Reassembler {
     Kind kind = Kind::kCorruptFrame;
     std::uint32_t sender_id = 0;
     std::uint32_t package_seq = 0;
+    // For kDuplicate only: true when the fragment belongs to a package that
+    // was already delivered whole (a late retransmit of a finished package),
+    // false when it duplicates a fragment still held in a partial.  The
+    // sender only retransmits fragments the receiver reported missing, so a
+    // within-partial duplicate signals channel duplication, not repair.
+    bool duplicate_of_completed = false;
     std::vector<std::uint8_t> package;  // filled on kPackageComplete
   };
 

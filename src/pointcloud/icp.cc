@@ -146,4 +146,9 @@ IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
   return result;
 }
 
+void IcpScratchPool::EnsureLanes(std::size_t n) {
+  lanes_.reserve(n);
+  while (lanes_.size() < n) lanes_.push_back(std::make_unique<IcpScratch>());
+}
+
 }  // namespace cooper::pc

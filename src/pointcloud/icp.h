@@ -8,6 +8,9 @@
 // degrees of freedom.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "geom/pose.h"
 #include "pointcloud/kdtree.h"
 #include "pointcloud/point_cloud.h"
@@ -52,6 +55,29 @@ struct IcpScratch {
   std::vector<std::uint32_t> sample;
   std::vector<std::vector<IcpCorrespondence>> parts;  // one per gather chunk
   std::vector<IcpCorrespondence> corrs;               // chunk-ordered merge
+};
+
+/// Indexed set of scratches for *concurrent* alignments — one per parallel
+/// reconstruction lane in the cooperative session.  `EnsureLanes` grows the
+/// pool on the coordinating thread before the fan-out; workers then index
+/// disjoint lanes, so no locking is needed and every scratch stays warm
+/// across frames.  Lanes are heap-pinned: growing never moves a scratch a
+/// worker may already hold.
+class IcpScratchPool {
+ public:
+  /// Grows the pool to at least `n` lanes.  Must not run concurrently with
+  /// `Lane()` calls.
+  void EnsureLanes(std::size_t n);
+
+  /// Lane `i` (requires `i < size()`).  Distinct lanes may be used from
+  /// distinct threads at the same time; one lane must not be shared by
+  /// concurrent alignments.
+  IcpScratch& Lane(std::size_t i) { return *lanes_[i]; }
+
+  std::size_t size() const { return lanes_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<IcpScratch>> lanes_;
 };
 
 struct IcpResult {

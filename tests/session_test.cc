@@ -3,6 +3,8 @@
 #include "core/session.h"
 #include "eval/experiment.h"
 #include "eval/matching.h"
+#include "net/fault.h"
+#include "net/serialize.h"
 #include "sim/lidar.h"
 #include "sim/scenario.h"
 
@@ -194,6 +196,83 @@ TEST(SessionTest, MoreCooperatorsNeverDetectFewer) {
   EXPECT_GT(prev, alone);
 }
 
+TEST(SessionTest, FutureTimestampRejectedBeyondSkewGate) {
+  // Regression: a future-dated package has negative age, so it used to pass
+  // the staleness gate and — because the expiry sweep is age-based too —
+  // was never removed, pinning a cooperator slot indefinitely.
+  SessionConfig sc;
+  sc.max_future_skew_s = 0.1;
+  CooperativeSession session(TestConfig(), sc);
+  const Status s = session.ReceivePackage(TinyPackage(1, 100.0), 10.0);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.num_cooperators(), 0u);
+  EXPECT_EQ(session.stats().packages_rejected_future, 1u);
+  // Exactly at the skew bound the package is still acceptable (strict <).
+  EXPECT_TRUE(session.ReceivePackage(TinyPackage(2, 10.1), 10.0).ok());
+  // Just past it, rejected.
+  EXPECT_EQ(session.ReceivePackage(TinyPackage(3, 10.2 + 1e-9), 10.1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.stats().packages_rejected_future, 2u);
+}
+
+TEST(SessionTest, StaleAndRegressionRejectionsCountedSeparately) {
+  CooperativeSession session(TestConfig());
+  // Stale on arrival: only the stale counter moves.
+  ASSERT_EQ(session.ReceivePackage(TinyPackage(1, 10.0), 20.0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.stats().packages_rejected_stale, 1u);
+  EXPECT_EQ(session.stats().packages_rejected_old, 0u);
+  // Regression against a held frame: only the regression counter moves.
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 20.0), 20.0).ok());
+  ASSERT_EQ(session.ReceivePackage(TinyPackage(1, 19.5), 20.0).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.stats().packages_rejected_stale, 1u);
+  EXPECT_EQ(session.stats().packages_rejected_old, 1u);
+}
+
+TEST(SessionTest, StaleOnArrivalBoundaryExactlyAtMaxAge) {
+  SessionConfig sc;
+  sc.max_package_age_s = 1.5;
+  CooperativeSession session(TestConfig(), sc);
+  // Exactly max_package_age_s old: acceptable (the gate is strictly >)...
+  EXPECT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 11.5).ok());
+  EXPECT_EQ(session.stats().packages_rejected_stale, 0u);
+  // ...one tick past it, rejected and counted as stale, not as regression.
+  EXPECT_EQ(session.ReceivePackage(TinyPackage(2, 10.0), 11.5 + 1e-9).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.stats().packages_rejected_stale, 1u);
+  EXPECT_EQ(session.stats().packages_rejected_old, 0u);
+}
+
+TEST(SessionTest, SameTimestampBurstEvictionIsDeterministic) {
+  // At the cap, a burst of same-timestamp newcomers must leave the session
+  // in a state independent of arrival interleaving: ties keep incumbents,
+  // and among equally stale incumbents the highest sender id goes first.
+  SessionConfig sc;
+  sc.max_cooperators = 2;
+  CooperativeSession session(TestConfig(), sc);
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(2, 10.0), 10.0).ok());
+  // Same-timestamp burst: every newcomer ties the stalest incumbent and is
+  // rejected — the held set never churns.
+  for (std::uint32_t sender : {5u, 6u, 7u}) {
+    EXPECT_EQ(session.ReceivePackage(TinyPackage(sender, 10.0), 10.0).code(),
+              StatusCode::kResourceExhausted);
+  }
+  EXPECT_EQ(session.Cooperators(), (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(session.stats().packages_rejected_full, 3u);
+  // A strictly fresher burst at one shared timestamp: the first arrival
+  // evicts the higher-id equally-stale incumbent (2), the second evicts the
+  // remaining stale one (1); the third ties and is rejected.
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(5, 10.5), 10.5).ok());
+  EXPECT_EQ(session.Cooperators(), (std::vector<std::uint32_t>{1, 5}));
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(6, 10.5), 10.5).ok());
+  EXPECT_EQ(session.Cooperators(), (std::vector<std::uint32_t>{5, 6}));
+  EXPECT_EQ(session.ReceivePackage(TinyPackage(7, 10.5), 10.5).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(session.stats().packages_evicted, 2u);
+}
+
 TEST(SessionTest, CorruptCooperatorSkippedNotFatal) {
   CooperativeSession session(TestConfig());
   ExchangePackage bad = TinyPackage(1, 10.0);
@@ -206,6 +285,235 @@ TEST(SessionTest, CorruptCooperatorSkippedNotFatal) {
       local, NavMetadata{{0, 0, 0}, {0, 0, 0}, {0, 0, 1.9}}, 10.0);
   // Only the healthy cooperator's 2 points arrive.
   EXPECT_EQ(out.transmitter_points, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Reconstruction cache + deterministic parallel fusion.
+
+// Fusion outputs must be *bit*-identical across cache and thread settings, so
+// every comparison below is exact, never approximate.
+void ExpectBitIdentical(const CooperOutput& a, const CooperOutput& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.transmitter_points, b.transmitter_points) << what;
+  ASSERT_EQ(a.fused_cloud.size(), b.fused_cloud.size()) << what;
+  std::size_t mismatched = 0;
+  for (std::size_t i = 0; i < a.fused_cloud.size(); ++i) {
+    const pc::Point& p = a.fused_cloud[i];
+    const pc::Point& q = b.fused_cloud[i];
+    if (p.position.x != q.position.x || p.position.y != q.position.y ||
+        p.position.z != q.position.z || p.reflectance != q.reflectance) {
+      ++mismatched;
+    }
+  }
+  EXPECT_EQ(mismatched, 0u) << what << ": fused clouds differ";
+  ASSERT_EQ(a.fused.detections.size(), b.fused.detections.size()) << what;
+  for (std::size_t i = 0; i < a.fused.detections.size(); ++i) {
+    const spod::Detection& d = a.fused.detections[i];
+    const spod::Detection& e = b.fused.detections[i];
+    EXPECT_EQ(d.box.center.x, e.box.center.x) << what;
+    EXPECT_EQ(d.box.center.y, e.box.center.y) << what;
+    EXPECT_EQ(d.box.center.z, e.box.center.z) << what;
+    EXPECT_EQ(d.box.length, e.box.length) << what;
+    EXPECT_EQ(d.box.width, e.box.width) << what;
+    EXPECT_EQ(d.box.height, e.box.height) << what;
+    EXPECT_EQ(d.box.yaw, e.box.yaw) << what;
+    EXPECT_EQ(d.score, e.score) << what;
+    EXPECT_EQ(d.cls, e.cls) << what;
+    EXPECT_EQ(d.num_points, e.num_points) << what;
+  }
+}
+
+const NavMetadata kEgoNav{{0, 0, 0}, {0, 0, 0}, {0, 0, 1.9}};
+
+TEST(SessionCacheTest, SteadyStateHitsAndIdenticalOutput) {
+  CooperativeSession session(TestConfig());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(2, 10.0), 10.0).ok());
+  pc::PointCloud local;
+  local.Add({3, 0, 0}, 0.5f);
+  const auto first = session.DetectCooperative(local, kEgoNav, 10.0);
+  EXPECT_EQ(session.stats().recon_cache_misses, 2u);
+  EXPECT_EQ(session.stats().recon_cache_hits, 0u);
+  // Same packages, same nav: the second frame is served from the cache and
+  // fuses to the exact same bytes.
+  const auto second = session.DetectCooperative(local, kEgoNav, 10.1);
+  EXPECT_EQ(session.stats().recon_cache_misses, 2u);
+  EXPECT_EQ(session.stats().recon_cache_hits, 2u);
+  ExpectBitIdentical(first, second, "steady state");
+}
+
+TEST(SessionCacheTest, ReplaceInvalidatesOnlyThatSender) {
+  CooperativeSession session(TestConfig());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(2, 10.0), 10.0).ok());
+  pc::PointCloud local;
+  local.Add({3, 0, 0}, 0.5f);
+  session.DetectCooperative(local, kEgoNav, 10.0);
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.5), 10.5).ok());
+  const auto out = session.DetectCooperative(local, kEgoNav, 10.5);
+  // Sender 1 was replaced (recomputed); sender 2 still hits.
+  EXPECT_EQ(session.stats().recon_cache_misses, 3u);
+  EXPECT_EQ(session.stats().recon_cache_hits, 1u);
+  // Correctness, not just reuse: identical to a session that never cached.
+  SessionConfig no_cache;
+  no_cache.cache_reconstructions = false;
+  CooperativeSession fresh(TestConfig(), no_cache);
+  ASSERT_TRUE(fresh.ReceivePackage(TinyPackage(1, 10.5), 10.5).ok());
+  ASSERT_TRUE(fresh.ReceivePackage(TinyPackage(2, 10.0), 10.5).ok());
+  ExpectBitIdentical(out, fresh.DetectCooperative(local, kEgoNav, 10.5),
+                     "after replace");
+}
+
+TEST(SessionCacheTest, EvictionAndExpiryDropCachedClouds) {
+  SessionConfig sc;
+  sc.max_cooperators = 1;
+  CooperativeSession session(TestConfig(), sc);
+  pc::PointCloud local;
+  local.Add({3, 0, 0}, 0.5f);
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  session.DetectCooperative(local, kEgoNav, 10.0);
+  EXPECT_EQ(session.stats().recon_cache_misses, 1u);
+  // Sender 2 evicts sender 1; its cloud must be reconstructed, not reused.
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(2, 10.5), 10.5).ok());
+  session.DetectCooperative(local, kEgoNav, 10.5);
+  EXPECT_EQ(session.stats().recon_cache_misses, 2u);
+  // Sender 1 returns after its old entry was invalidated: miss again.
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 11.0), 11.0).ok());
+  session.DetectCooperative(local, kEgoNav, 11.0);
+  EXPECT_EQ(session.stats().recon_cache_misses, 3u);
+  EXPECT_EQ(session.stats().recon_cache_hits, 0u);
+  // Expiry invalidates too: age the package out, re-receive, miss again.
+  session.DetectCooperative(local, kEgoNav, 14.0);
+  EXPECT_EQ(session.stats().packages_expired, 1u);
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 14.0), 14.0).ok());
+  session.DetectCooperative(local, kEgoNav, 14.0);
+  EXPECT_EQ(session.stats().recon_cache_misses, 4u);
+}
+
+TEST(SessionCacheTest, CorruptReplacementDoesNotServeStaleCloud) {
+  // A healthy package is cached, then the sender replaces it with a frame
+  // whose payload cannot decode.  The cached healthy cloud must not be
+  // served for the corrupt replacement.
+  CooperativeSession session(TestConfig());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  pc::PointCloud local;
+  local.Add({3, 0, 0}, 0.5f);
+  EXPECT_EQ(session.DetectCooperative(local, kEgoNav, 10.0).transmitter_points,
+            2u);
+  ExchangePackage bad = TinyPackage(1, 10.5);
+  bad.payload = {0xff, 0xee, 0xdd};
+  ASSERT_TRUE(session.ReceivePackage(bad, 10.5).ok());
+  const auto out = session.DetectCooperative(local, kEgoNav, 10.5);
+  EXPECT_EQ(out.transmitter_points, 0u);
+  EXPECT_EQ(session.stats().packages_corrupt, 1u);
+  EXPECT_EQ(session.num_cooperators(), 0u);
+}
+
+TEST(SessionCacheTest, NavChangeRealignsInsteadOfReusing) {
+  CooperativeSession session(TestConfig());
+  ASSERT_TRUE(session.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  pc::PointCloud local;
+  local.Add({3, 0, 0}, 0.5f);
+  session.DetectCooperative(local, kEgoNav, 10.0);
+  // The receiver moved: the cached alignment is for the old pose, so this
+  // frame recomputes (a miss) instead of serving a misaligned cloud.
+  const NavMetadata moved{{1.0, -0.5, 0}, {0.1, 0, 0}, {0, 0, 1.9}};
+  const auto out = session.DetectCooperative(local, moved, 10.1);
+  EXPECT_EQ(session.stats().recon_cache_misses, 2u);
+  EXPECT_EQ(session.stats().recon_cache_hits, 0u);
+  SessionConfig no_cache;
+  no_cache.cache_reconstructions = false;
+  CooperativeSession fresh(TestConfig(), no_cache);
+  ASSERT_TRUE(fresh.ReceivePackage(TinyPackage(1, 10.0), 10.0).ok());
+  ExpectBitIdentical(out, fresh.DetectCooperative(local, moved, 10.1),
+                     "after nav change");
+}
+
+TEST(SessionParallelTest, FusionBitIdenticalAcrossThreadsAndCache) {
+  // The acceptance invariant of the parallel-fusion rework: DetectCooperative
+  // output is bit-identical at 1 and N threads, with and without the
+  // reconstruction cache.  Real scenario scans so reconstruction does real
+  // work (decode, densify, Eq. 3) on every lane.
+  const sim::Scenario scenario = [] {
+    sim::Scenario sc = sim::MakeTjScenario(2);
+    sc.lidar.azimuth_steps = 900;
+    return sc;
+  }();
+  const sim::LidarSimulator lidar(scenario.lidar);
+  Rng rng(scenario.seed);
+  const geom::Vec3 mount{0, 0, scenario.lidar.sensor_height};
+  std::vector<pc::PointCloud> clouds;
+  std::vector<NavMetadata> navs;
+  for (const auto& vp : scenario.viewpoints) {
+    clouds.push_back(lidar.Scan(scenario.scene, vp.ToPose(), rng));
+    navs.push_back(NavMetadata{vp.position, vp.attitude, mount});
+  }
+
+  auto run = [&](bool cache, int threads) {
+    CooperConfig cfg = TestConfig();
+    cfg.num_threads = threads;
+    SessionConfig sc;
+    sc.cache_reconstructions = cache;
+    CooperativeSession session(cfg, sc);
+    const CooperPipeline packer(TestConfig());
+    for (std::size_t k = 1; k < clouds.size(); ++k) {
+      EXPECT_TRUE(session
+                      .ReceivePackage(
+                          packer.MakePackage(static_cast<std::uint32_t>(k),
+                                             10.0, RoiCategory::kFullFrame,
+                                             navs[k], clouds[k]),
+                          10.0)
+                      .ok());
+    }
+    // Two frames: the first populates the cache, the second (the compared
+    // one) exercises the hit path when the cache is on.
+    session.DetectCooperative(clouds[0], navs[0], 10.0);
+    return session.DetectCooperative(clouds[0], navs[0], 10.1);
+  };
+
+  const CooperOutput baseline = run(/*cache=*/false, /*threads=*/1);
+  EXPECT_GT(baseline.transmitter_points, 0u);
+  ExpectBitIdentical(baseline, run(false, 4), "uncached 4 threads");
+  ExpectBitIdentical(baseline, run(true, 1), "cached 1 thread");
+  ExpectBitIdentical(baseline, run(true, 4), "cached 4 threads");
+}
+
+TEST(SessionWireFaultTest, ChannelDuplicatesSplitFromRetransmits) {
+  // Regression for the conflated duplicate accounting: a channel that
+  // duplicates every fragment used to inflate `frames_retransmitted` even
+  // though the sender never retransmitted anything.  Duplicates of fragments
+  // still held in a partial are channel noise (`frames_duplicate`); only a
+  // fragment of an already-delivered package counts as a retransmit.
+  CooperativeSession session(TestConfig());
+  pc::PointCloud cloud;
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    cloud.Add({5 + rng.Uniform(), rng.Uniform(), rng.Uniform()}, 0.5f);
+  }
+  const pc::CloudCodec codec;
+  const ExchangePackage package =
+      BuildPackage(1, 10.0, RoiCategory::kFullFrame, kEgoNav, cloud, codec);
+  const std::vector<std::uint8_t> wire = net::SerializePackage(package);
+  const auto frames = net::FragmentPackage(wire, /*sender_id=*/1,
+                                           /*package_seq=*/0,
+                                           /*mtu_bytes=*/160);
+  ASSERT_TRUE(frames.ok());
+  ASSERT_GE(frames->size(), 2u);
+
+  net::FaultProfile profile;
+  profile.duplicate_prob = 1.0;  // every fragment arrives twice
+  net::FaultInjector injector(profile, /*seed=*/7);
+  for (const auto& frame : *frames) {
+    for (const auto& delivery : injector.Apply(frame)) {
+      session.ReceiveFrame(delivery.bytes, 10.0);
+    }
+  }
+  ASSERT_EQ(injector.stats().frames_duplicated, frames->size());
+  EXPECT_EQ(session.stats().packages_accepted, 1u);
+  // All but the final fragment's copy duplicate a still-partial package; the
+  // final copy lands after delivery, inside the retransmission window.
+  EXPECT_EQ(session.stats().frames_duplicate, frames->size() - 1);
+  EXPECT_EQ(session.stats().frames_retransmitted, 1u);
 }
 
 }  // namespace

@@ -518,14 +518,26 @@ TEST(SessionWireTest, FramesAssembleIntoAcceptedPackage) {
   EXPECT_EQ(session.stats().packages_corrupt, 0u);
 }
 
-TEST(SessionWireTest, DuplicateFramesCountedAsRetransmitted) {
+TEST(SessionWireTest, DuplicateSplitsByRetransmissionWindow) {
   const auto cfg = SessionTestConfig();
   core::CooperativeSession session(cfg);
   const auto frames = PackageFrames(4, 10.0, 1);
   ASSERT_GE(frames.size(), 2u);
+  // A second copy of a fragment still held in a partial package can only be
+  // channel duplication — retransmit rounds resend missing fragments only.
   ASSERT_TRUE(session.ReceiveFrame(frames[0], 10.0).ok());
-  ASSERT_TRUE(session.ReceiveFrame(frames[0], 10.01).ok());  // retransmit
+  ASSERT_TRUE(session.ReceiveFrame(frames[0], 10.01).ok());
+  EXPECT_EQ(session.stats().frames_duplicate, 1u);
+  EXPECT_EQ(session.stats().frames_retransmitted, 0u);
+  // Complete the package, then replay a fragment: that is a late retransmit
+  // of a delivered package (the sender's repair window had not closed).
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    ASSERT_TRUE(session.ReceiveFrame(frames[i], 10.02).ok());
+  }
+  ASSERT_EQ(session.num_cooperators(), 1u);
+  ASSERT_TRUE(session.ReceiveFrame(frames[0], 10.03).ok());
   EXPECT_EQ(session.stats().frames_retransmitted, 1u);
+  EXPECT_EQ(session.stats().frames_duplicate, 1u);
 }
 
 TEST(SessionWireTest, CorruptFrameIsRecoverableError) {

@@ -21,6 +21,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -40,7 +42,11 @@ using namespace cooper;
 namespace {
 
 constexpr int kPackagesPerLevel = 200;
+// Channel RNG seed; the fault injector derives its own as kSeed + 17 and the
+// scan noise uses kScanSeed.  All three are stamped into the JSON baseline
+// (see EXPERIMENTS.md "Seeds").
 constexpr std::uint64_t kSeed = 2026;
+constexpr std::uint64_t kScanSeed = 7;
 
 struct SweepResult {
   double loss = 0.0;
@@ -122,13 +128,17 @@ int main(int argc, char** argv) {
   std::printf("Cooper reproduction — lossy-channel transport sweep "
               "(extension)\n\n");
   const auto obs_flags = benchutil::ParseObsFlags(&argc, argv);
+  std::string out_path = "BENCH_lossy.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
 
   // One real exchange: two VLP-16 viewpoints in the T&J lot.
   auto scenario = sim::MakeTjScenario(2);
   scenario.lidar.azimuth_steps = 900;  // keep the sweep fast
   const sim::LidarSimulator lidar(scenario.lidar);
   const core::CooperPipeline pipeline(eval::MakeCooperConfig(scenario.lidar));
-  Rng scan_rng(7);
+  Rng scan_rng(kScanSeed);
   const geom::Vec3 mount{0, 0, scenario.lidar.sensor_height};
   const auto local_cloud =
       lidar.Scan(scenario.scene, scenario.viewpoints[0].ToPose(), scan_rng);
@@ -161,6 +171,38 @@ int main(int argc, char** argv) {
                   FormatFixed(100.0 * r.fallback_rate, 1)});
   }
   std::printf("%s\n", table.ToString().c_str());
+
+  // --- JSON baseline ---
+  {
+    std::FILE* jf = std::fopen(out_path.c_str(), "w");
+    COOPER_CHECK(jf != nullptr);
+    std::fprintf(jf,
+                 "{\n  \"seeds\": {\"channel\": %llu, \"fault\": %llu, "
+                 "\"scan\": %llu},\n",
+                 static_cast<unsigned long long>(kSeed),
+                 static_cast<unsigned long long>(kSeed + 17),
+                 static_cast<unsigned long long>(kScanSeed));
+    std::fprintf(jf,
+                 "  \"config\": {\"scenario\": \"%s\", \"azimuth_steps\": %d, "
+                 "\"packages_per_level\": %d, \"package_bytes\": %zu},\n",
+                 scenario.name.c_str(), scenario.lidar.azimuth_steps,
+                 kPackagesPerLevel, wire.size());
+    std::fprintf(jf, "  \"sweep\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const SweepResult& r = results[i];
+      std::fprintf(jf,
+                   "    {\"loss\": %.2f, \"delivered\": %d, \"goodput\": %.4f, "
+                   "\"mean_latency_ms\": %.3f, \"frames_sent\": %zu, "
+                   "\"frames_retransmitted\": %zu, \"bytes_on_air\": %zu, "
+                   "\"fallback_rate\": %.4f}%s\n",
+                   r.loss, r.delivered, r.goodput, r.mean_latency_ms,
+                   r.frames_sent, r.frames_retransmitted, r.bytes_on_air,
+                   r.fallback_rate, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(jf, "  ]\n}\n");
+    std::fclose(jf);
+    std::printf("wrote %s\n\n", out_path.c_str());
+  }
 
   // --- Acceptance checks ---
   const auto& at20 = results[4];

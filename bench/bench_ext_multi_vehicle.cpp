@@ -43,12 +43,16 @@ struct Fleet {
   std::vector<geom::Box3> gt;  // receiver frame
 };
 
+// Scan-noise seed for the fleet's lidar sweeps, stamped into the JSON
+// baseline so the workload is reproducible (see EXPERIMENTS.md "Seeds").
+constexpr std::uint64_t kScanSeed = 909;
+
 const Fleet& MakeFleet() {
   static const Fleet fleet = [] {
     Fleet f;
     f.scenario = sim::MakeTjScenario(2);
     const sim::LidarSimulator lidar(f.scenario.lidar);
-    Rng rng(909);
+    Rng rng(kScanSeed);
     const geom::Vec3 mount{0, 0, f.scenario.lidar.sensor_height};
     for (const auto& vp : f.scenario.viewpoints) {
       f.clouds.push_back(lidar.Scan(f.scenario.scene, vp.ToPose(), rng));
@@ -261,8 +265,21 @@ int main(int argc, char** argv) {
 
   std::FILE* jf = std::fopen(out_path.c_str(), "w");
   COOPER_CHECK(jf != nullptr);
-  std::fprintf(jf, "{\n  \"mode\": \"%s\",\n  \"sweep\": [\n",
-               smoke ? "smoke" : "timed");
+  // Stamp the workload provenance: scenario, lidar geometry and every seed
+  // feeding the deterministic scans.
+  const Fleet& fleet = MakeFleet();
+  std::fprintf(jf, "{\n  \"mode\": \"%s\",\n", smoke ? "smoke" : "timed");
+  std::fprintf(jf,
+               "  \"seeds\": {\"scan\": %llu, \"scenario\": %llu},\n",
+               static_cast<unsigned long long>(kScanSeed),
+               static_cast<unsigned long long>(fleet.scenario.seed));
+  std::fprintf(jf,
+               "  \"config\": {\"scenario\": \"%s\", \"lidar_beams\": %d, "
+               "\"azimuth_steps\": %d, \"sweep_threads\": [1, 4], "
+               "\"sweep_peers\": [1, 2, 4, 8]},\n",
+               fleet.scenario.name.c_str(), fleet.scenario.lidar.beams,
+               fleet.scenario.lidar.azimuth_steps);
+  std::fprintf(jf, "  \"sweep\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     std::fprintf(

@@ -18,11 +18,15 @@ void FlipRandomBits(std::vector<std::uint8_t>& bytes, Rng& rng) {
 
 std::vector<FaultedDelivery> FaultInjector::Apply(
     const std::vector<std::uint8_t>& frame) {
+  FaultEvent event;
+  event.frame_index = stats_.frames_seen;
   ++stats_.frames_seen;
   COOPER_COUNT("fault.frames_seen");
   if (profile_.drop_prob > 0.0 && rng_.Bernoulli(profile_.drop_prob)) {
     ++stats_.frames_dropped;
     COOPER_COUNT("fault.frames_dropped");
+    event.dropped = true;
+    if (sink_) sink_(event);
     return {};
   }
 
@@ -31,6 +35,7 @@ std::vector<FaultedDelivery> FaultInjector::Apply(
   if (profile_.duplicate_prob > 0.0 && rng_.Bernoulli(profile_.duplicate_prob)) {
     ++stats_.frames_duplicated;
     COOPER_COUNT("fault.frames_duplicated");
+    event.duplicated = true;
     // The copy trails the original by a random fraction of the hold-back.
     out.push_back(
         FaultedDelivery{frame, rng_.Uniform(0.0, profile_.reorder_delay_ms)});
@@ -40,17 +45,20 @@ std::vector<FaultedDelivery> FaultInjector::Apply(
     if (profile_.corrupt_prob > 0.0 && rng_.Bernoulli(profile_.corrupt_prob)) {
       ++stats_.frames_corrupted;
       COOPER_COUNT("fault.frames_corrupted");
+      event.corrupted = true;
       FlipRandomBits(delivery.bytes, rng_);
     }
     if (profile_.truncate_prob > 0.0 &&
         rng_.Bernoulli(profile_.truncate_prob) && !delivery.bytes.empty()) {
       ++stats_.frames_truncated;
       COOPER_COUNT("fault.frames_truncated");
+      event.truncated = true;
       delivery.bytes.resize(rng_.UniformInt(delivery.bytes.size()));
     }
     if (profile_.reorder_prob > 0.0 && rng_.Bernoulli(profile_.reorder_prob)) {
       ++stats_.frames_reordered;
       COOPER_COUNT("fault.frames_reordered");
+      event.reordered = true;
       // Held back long enough to land after frames sent later.
       delivery.extra_delay_ms +=
           profile_.reorder_delay_ms + rng_.Uniform(0.0, profile_.reorder_delay_ms);
@@ -58,9 +66,15 @@ std::vector<FaultedDelivery> FaultInjector::Apply(
     if (profile_.delay_prob > 0.0 && rng_.Bernoulli(profile_.delay_prob)) {
       ++stats_.frames_delayed;
       COOPER_COUNT("fault.frames_delayed");
+      event.delayed = true;
       delivery.extra_delay_ms += rng_.Uniform(0.0, profile_.delay_ms);
     }
   }
+  event.deliveries = out.size();
+  for (std::size_t i = 0; i < out.size() && i < 2; ++i) {
+    event.extra_delay_ms[i] = out[i].extra_delay_ms;
+  }
+  if (sink_) sink_(event);
   return out;
 }
 

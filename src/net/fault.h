@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -34,6 +36,21 @@ struct FaultedDelivery {
   double extra_delay_ms = 0.0;
 };
 
+/// What the injector decided for one Apply() call — the attribution record a
+/// trace captures so a replayed fault sequence can be explained frame by
+/// frame.  Flags aggregate over the (at most two) deliveries of the frame.
+struct FaultEvent {
+  std::size_t frame_index = 0;  // 0-based Apply() sequence number
+  bool dropped = false;
+  bool duplicated = false;
+  bool corrupted = false;
+  bool truncated = false;
+  bool reordered = false;
+  bool delayed = false;
+  std::size_t deliveries = 0;            // 0 (dropped), 1, or 2 (duplicated)
+  double extra_delay_ms[2] = {0.0, 0.0};  // per delivery, beyond channel latency
+};
+
 struct FaultStats {
   std::size_t frames_seen = 0;
   std::size_t frames_dropped = 0;
@@ -55,7 +72,16 @@ class FaultInjector {
   std::vector<FaultedDelivery> Apply(const std::vector<std::uint8_t>& frame);
 
   /// Rewinds the random stream (and zeroes stats) to replay a run exactly.
+  /// The event sink, if any, survives — a recorder observing a rewound run
+  /// sees the same event stream again.
   void Reset() { rng_ = Rng(seed_); stats_ = FaultStats{}; }
+
+  /// Observer invoked once per Apply() with the decisions taken for that
+  /// frame.  Pass an empty function to detach.  The sink must not call back
+  /// into the injector.
+  void SetEventSink(std::function<void(const FaultEvent&)> sink) {
+    sink_ = std::move(sink);
+  }
 
   const FaultProfile& profile() const { return profile_; }
   const FaultStats& stats() const { return stats_; }
@@ -65,6 +91,7 @@ class FaultInjector {
   Rng rng_;
   std::uint64_t seed_;
   FaultStats stats_;
+  std::function<void(const FaultEvent&)> sink_;
 };
 
 }  // namespace cooper::net

@@ -326,6 +326,7 @@ Result<TransportDelivery> Transport::SendPackage(
     double last_arrival_ms = t;
     for (auto& arrival : arrivals) {
       last_arrival_ms = std::max(last_arrival_ms, arrival.at_ms);
+      if (frame_tap_) frame_tap_(arrival.at_ms, arrival.bytes);
       Reassembler::Event event = reassembler_.Offer(arrival.bytes, arrival.at_ms);
       if (event.kind == Reassembler::Event::Kind::kPackageComplete) {
         ++stats_.packages_delivered;

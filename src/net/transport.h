@@ -23,7 +23,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -186,6 +188,16 @@ class Transport {
       const std::vector<std::uint8_t>& package_bytes, std::uint32_t sender_id,
       Rng& rng, FaultInjector* faults = nullptr);
 
+  /// Observer invoked for every frame the receive side is about to consume —
+  /// post-channel, post-fault, in arrival order, exactly the byte stream a
+  /// real receiver would see.  A trace recorder mirrors these frames into a
+  /// second endpoint (the session under record) so both reassemblers stay in
+  /// lock-step.  Pass an empty function to detach.
+  void SetFrameTap(
+      std::function<void(double at_ms, const std::vector<std::uint8_t>&)> tap) {
+    frame_tap_ = std::move(tap);
+  }
+
   DsrcChannel& channel() { return channel_; }
   Reassembler& reassembler() { return reassembler_; }
   const TransportConfig& config() const { return config_; }
@@ -197,6 +209,7 @@ class Transport {
   DsrcChannel channel_;
   Reassembler reassembler_;
   TransportStats stats_;
+  std::function<void(double, const std::vector<std::uint8_t>&)> frame_tap_;
   std::uint32_t next_package_seq_ = 1;
   double clock_ms_ = 0.0;
 };

@@ -78,6 +78,11 @@ struct SpodConfig {
   // either way.  With reuse on, one detector instance must not run Detect
   // concurrently from several threads; turn it off to restore that property.
   bool reuse_scratch = true;
+  // Cache sparse-conv rulebooks across Detect calls (the LRU inside
+  // SparseConvScratch).  Off rebuilds every rulebook from the voxel geometry
+  // each call — slower, but detections are bit-identical either way, which is
+  // exactly what the replay conformance matrix checks.
+  bool rulebook_cache = true;
 };
 
 /// Default config for dense 64-beam input over a KITTI-style front range.

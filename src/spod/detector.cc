@@ -162,12 +162,16 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
   result.timings.vfe_us = timer.Lap("vfe");
 
   // --- Stage 3: sparse convolutional middle layers. ---
+  // With the rulebook cache off every layer rebuilds its rulebook from the
+  // voxel geometry (same gather-GEMM path, no cross-frame state).
+  nn::SparseConvScratch* conv_sc =
+      config_.rulebook_cache ? &sc.sparse_conv : nullptr;
   nn::SparseTensor mid =
-      net_.mid_sub1.Forward(features, config_.num_threads, &sc.sparse_conv);
+      net_.mid_sub1.Forward(features, config_.num_threads, conv_sc);
   mid.features.Relu();
-  mid = net_.mid_down.Forward(mid, config_.num_threads, &sc.sparse_conv);
+  mid = net_.mid_down.Forward(mid, config_.num_threads, conv_sc);
   mid.features.Relu();
-  mid = net_.mid_sub2.Forward(mid, config_.num_threads, &sc.sparse_conv);
+  mid = net_.mid_sub2.Forward(mid, config_.num_threads, conv_sc);
   mid.features.Relu();
   result.timings.middle_us = timer.Lap("middle");
 

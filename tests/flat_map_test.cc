@@ -150,6 +150,94 @@ TEST(FlatMapTest, VoxelCoordKeys) {
   EXPECT_EQ(m.Find({-5, 4, 1}), nullptr);
 }
 
+// Erasing while scanning the table: backward-shift deletion moves entries
+// from the following probe run into the vacated slot, so a scan that erases
+// as it goes must never lose sight of a survivor.  The identity hash packs
+// all keys into one cluster (worst case for the shift), and the second pass
+// runs the same scan over a cluster that wraps the table end.
+TEST(FlatMapTest, EraseDuringScanKeepsSurvivorsReachable) {
+  for (const int home : {0, 13}) {  // 13: cluster wraps a 16-slot table
+    FlatMap<int, int, IdentityHash> m;
+    std::unordered_map<int, int> oracle;
+    for (int i = 0; i < 8; ++i) {
+      const int key = home + 16 * i;  // all collide onto slot `home`
+      m[key] = i;
+      oracle[key] = i;
+    }
+    ASSERT_EQ(m.capacity(), 16u);
+    // Scan in slot order, erasing every other visited key — the shift
+    // relocates later cluster members under the scan's feet.
+    std::vector<int> scan_order;
+    m.ForEach([&](const int& k, const int&) { scan_order.push_back(k); });
+    bool erase_this = true;
+    for (const int key : scan_order) {
+      if (erase_this) {
+        EXPECT_TRUE(m.Erase(key));
+        oracle.erase(key);
+        // Invariant after every single shift: all survivors stay findable
+        // with their values, nothing resurrects.
+        for (const auto& [k, v] : oracle) {
+          const int* found = m.Find(k);
+          ASSERT_NE(found, nullptr) << "home " << home << " lost key " << k;
+          EXPECT_EQ(*found, v);
+        }
+        EXPECT_EQ(m.Find(key), nullptr);
+      }
+      erase_this = !erase_this;
+    }
+    EXPECT_EQ(m.size(), oracle.size());
+  }
+}
+
+// Clear() must retain the slot array so per-frame scratch maps never
+// reallocate, and the cleared table must behave exactly like a fresh one.
+// Fuzz-checked: random churn, periodic Clear, capacity pinned after warmup.
+TEST(FlatMapFuzzTest, ClearThenReinsertKeepsCapacityAndMatchesOracle) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 1871 + 5);
+    FlatMap<int, int, MixHash> map;
+    std::unordered_map<int, int> oracle;
+    map.Reserve(256);  // frame-sized scratch; churn below stays within it
+    const std::size_t cap = map.capacity();
+    for (int step = 0; step < 3000; ++step) {
+      const double op = rng.Uniform();
+      if (op < 0.02) {
+        map.Clear();
+        oracle.clear();
+        ASSERT_EQ(map.capacity(), cap) << "seed " << seed;
+        ASSERT_TRUE(map.empty());
+      } else if (op < 0.55) {
+        const int key = static_cast<int>(rng.Uniform(-100.0, 100.0));
+        const int value = static_cast<int>(rng.Uniform(0.0, 1000.0));
+        const auto [slot, inserted] = map.TryEmplace(key, value);
+        const auto [it, oracle_inserted] = oracle.try_emplace(key, value);
+        ASSERT_EQ(inserted, oracle_inserted) << "seed " << seed;
+        ASSERT_EQ(*slot, it->second) << "seed " << seed;
+      } else if (op < 0.8) {
+        const int key = static_cast<int>(rng.Uniform(-100.0, 100.0));
+        ASSERT_EQ(map.Erase(key), oracle.erase(key) > 0) << "seed " << seed;
+      } else {
+        const int key = static_cast<int>(rng.Uniform(-100.0, 100.0));
+        const int* found = map.Find(key);
+        const auto it = oracle.find(key);
+        ASSERT_EQ(found != nullptr, it != oracle.end()) << "seed " << seed;
+        if (found != nullptr) {
+          ASSERT_EQ(*found, it->second);
+        }
+      }
+    }
+    // Keys span [-100, 100) and Reserve(256) covers that: the scratch map
+    // must never have grown past its warmup capacity.
+    ASSERT_EQ(map.capacity(), cap) << "seed " << seed;
+    ASSERT_EQ(map.size(), oracle.size()) << "seed " << seed;
+    for (const auto& [k, v] : oracle) {
+      const int* found = map.Find(k);
+      ASSERT_NE(found, nullptr) << "seed " << seed << " key " << k;
+      ASSERT_EQ(*found, v);
+    }
+  }
+}
+
 // Fuzz: random insert/erase/lookup churn against a std::unordered_map
 // oracle, including rehash boundaries and negative keys.
 TEST(FlatMapFuzzTest, MatchesUnorderedMapOracle) {

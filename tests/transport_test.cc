@@ -208,6 +208,57 @@ TEST(ReassemblerTest, StalePartialExpires) {
   EXPECT_EQ(reasm.stats().packages_expired, 1u);
 }
 
+TEST(ReassemblerTest, DuplicateAccountingAcrossTimeoutEviction) {
+  // A "duplicate" is only a duplicate while the reassembler remembers the
+  // package.  Three regimes for the same re-offered fragment:
+  //   1. partial still held   -> kDuplicate, duplicate_of_completed = false
+  //   2. package completed    -> kDuplicate, duplicate_of_completed = true
+  //   3. partial evicted by timeout -> a fresh partial (kFrameAccepted);
+  //      the evicted key is NOT remembered in the completed ring, so the
+  //      late copy counts as an accepted frame, not a duplicate.
+  TransportConfig cfg;
+  cfg.reassembly_timeout_ms = 100.0;
+  Rng rng(16);
+  const auto package = RandomPackage(rng, 3000);
+  const auto frames = *FragmentPackage(package, 2, 1, 1000);
+  ASSERT_GT(frames.size(), 1u);
+  Reassembler reasm(cfg);
+
+  // Regime 1: duplicate of a fragment held in a live partial.
+  reasm.Offer(frames[0], 0.0);
+  const auto dup_partial = reasm.Offer(frames[0], 1.0);
+  EXPECT_EQ(dup_partial.kind, Reassembler::Event::Kind::kDuplicate);
+  EXPECT_FALSE(dup_partial.duplicate_of_completed);
+  EXPECT_EQ(reasm.stats().frames_duplicate, 1u);
+  EXPECT_EQ(reasm.stats().frames_accepted, 1u);
+
+  // Regime 3: the partial expires; the same fragment re-offered afterwards
+  // starts over as a brand-new partial.
+  EXPECT_EQ(reasm.ExpireStale(200.0), 1u);
+  EXPECT_FALSE(reasm.HasPartial(2, 1));
+  const auto after_eviction = reasm.Offer(frames[0], 201.0);
+  EXPECT_EQ(after_eviction.kind, Reassembler::Event::Kind::kFrameAccepted);
+  EXPECT_FALSE(after_eviction.duplicate_of_completed);
+  EXPECT_TRUE(reasm.HasPartial(2, 1));
+  EXPECT_EQ(reasm.stats().frames_accepted, 2u);
+  EXPECT_EQ(reasm.stats().frames_duplicate, 1u);  // unchanged
+  EXPECT_EQ(reasm.stats().packages_expired, 1u);
+
+  // Regime 2: finish the package, then re-offer — now the ring remembers it.
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    const auto event = reasm.Offer(frames[i], 202.0);
+    if (i + 1 == frames.size()) {
+      ASSERT_EQ(event.kind, Reassembler::Event::Kind::kPackageComplete);
+      EXPECT_EQ(event.package, package);
+    }
+  }
+  const auto dup_completed = reasm.Offer(frames[0], 203.0);
+  EXPECT_EQ(dup_completed.kind, Reassembler::Event::Kind::kDuplicate);
+  EXPECT_TRUE(dup_completed.duplicate_of_completed);
+  EXPECT_EQ(reasm.stats().frames_duplicate, 2u);
+  EXPECT_EQ(reasm.pending_packages(), 0u);
+}
+
 TEST(ReassemblerTest, InconsistentHeaderRejected) {
   Rng rng(15);
   const auto package = RandomPackage(rng, 3000);

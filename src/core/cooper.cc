@@ -1,5 +1,6 @@
 #include "core/cooper.h"
 
+#include "feat/fusion.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -37,6 +38,37 @@ ExchangePackage CooperPipeline::MakePackage(std::uint32_t sender_id,
   COOPER_COUNT("cooper.packages_built");
   COOPER_COUNT_N("cooper.roi_points", roi_cloud.size());
   return BuildPackage(sender_id, timestamp_s, roi, nav, roi_cloud, codec_);
+}
+
+ExchangePackage CooperPipeline::MakeLeveledPackage(
+    std::uint32_t sender_id, double timestamp_s, RoiCategory roi,
+    feat::ExchangeLevel level, const NavMetadata& nav,
+    const pc::PointCloud& local_cloud) const {
+  obs::Span span("cooper.make_leveled_package", "core");
+  switch (level) {
+    case feat::ExchangeLevel::kRawCloud: {
+      // Whole scan, no ROI filter — the paper's raw exchange baseline.  The
+      // roi field still records what the receiver asked for.
+      COOPER_COUNT("cooper.packages_built_raw");
+      ExchangePackage p =
+          BuildPackage(sender_id, timestamp_s, roi, nav, local_cloud, codec_);
+      p.level = feat::ExchangeLevel::kRawCloud;
+      return p;
+    }
+    case feat::ExchangeLevel::kRoiCloud:
+      return MakePackage(sender_id, timestamp_s, roi, nav, local_cloud);
+    case feat::ExchangeLevel::kVoxelFeatures: {
+      // Feature tap of the ROI-filtered scan: the receiver's demand bounds
+      // what is encoded, exactly as it bounds the cloud levels.
+      const pc::PointCloud roi_cloud = ExtractRoi(local_cloud, roi, config_.roi);
+      feat::FeatureMap map = detector_.ExtractFeatureMap(roi_cloud);
+      map = feat::MaxPool(map, config_.feature_pool);
+      COOPER_COUNT("cooper.packages_built_features");
+      return BuildFeaturePackage(sender_id, timestamp_s, roi, nav, map,
+                                 feat::FeatureCodec(config_.feature_codec));
+    }
+  }
+  return MakePackage(sender_id, timestamp_s, roi, nav, local_cloud);
 }
 
 spod::SpodResult CooperPipeline::DetectSingleShot(

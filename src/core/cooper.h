@@ -22,6 +22,16 @@ struct CooperConfig {
   spod::SpodConfig detector;
   spod::SensorResolution sensor;
   pc::CodecConfig codec;
+  // Quantization width for feature-level payloads (kVoxelFeatures): 8-bit
+  // default (smallest wire size), 16-bit for bit-exact round-trip studies.
+  feat::FeatureCodecConfig feature_codec;
+  // Sender-side spatial max-pool factor applied to the VFE map before
+  // encoding a kVoxelFeatures payload (F-Cooper's coarse feature maps).
+  // Factor 2 merges 2x2x2 fine voxels per coarse site, which is what gets
+  // the feature rung under the DSRC budget (>=5x smaller than the ROI-cloud
+  // codec on the golden scenes); <=1 ships the fine map.  The receiver's
+  // AlignToGrid re-quantizes site centers, so no decoder-side knob exists.
+  int feature_pool = 2;
   RoiConfig roi;
   // Fragmentation/retransmission transport knobs (MTU, retry budget,
   // backoff, reassembly timeout) — used by the sender-side `net::Transport`
@@ -66,10 +76,22 @@ class CooperPipeline {
  public:
   explicit CooperPipeline(const CooperConfig& config);
 
-  /// Sender side: build the package a vehicle would broadcast.
+  /// Sender side: build the package a vehicle would broadcast (ROI-cloud
+  /// level, the paper's exchange mode).
   ExchangePackage MakePackage(std::uint32_t sender_id, double timestamp_s,
                               RoiCategory roi, const NavMetadata& nav,
                               const pc::PointCloud& local_cloud) const;
+
+  /// Sender side with the bandwidth ladder explicit: kRawCloud ships the
+  /// whole scan, kRoiCloud the ROI-filtered scan (== MakePackage), and
+  /// kVoxelFeatures the quantized VFE feature map of the ROI-filtered scan
+  /// (the F-Cooper tap; see feat/).  The exchange planner picks `level` per
+  /// cooperator from the DSRC budget (feat::PlanExchange).
+  ExchangePackage MakeLeveledPackage(std::uint32_t sender_id,
+                                     double timestamp_s, RoiCategory roi,
+                                     feat::ExchangeLevel level,
+                                     const NavMetadata& nav,
+                                     const pc::PointCloud& local_cloud) const;
 
   /// Single-shot perception on the local cloud only.
   spod::SpodResult DetectSingleShot(const pc::PointCloud& local_cloud) const;

@@ -3,6 +3,30 @@
 #include <cstring>
 
 namespace cooper::core {
+
+feat::DemandClass DemandClassFor(RoiCategory roi) {
+  switch (roi) {
+    case RoiCategory::kFullFrame: return feat::DemandClass::kFullFrame;
+    case RoiCategory::kFrontSector: return feat::DemandClass::kFrontSector;
+    case RoiCategory::kForwardLead: return feat::DemandClass::kForwardLead;
+  }
+  return feat::DemandClass::kFrontSector;
+}
+
+feat::CooperatorDemand MakeCooperatorDemand(std::uint32_t sender_id,
+                                            RoiCategory roi,
+                                            std::size_t raw_bytes,
+                                            std::size_t roi_bytes,
+                                            std::size_t feature_bytes) {
+  feat::CooperatorDemand d;
+  d.sender_id = sender_id;
+  d.demand = DemandClassFor(roi);
+  d.raw_bytes = raw_bytes;
+  d.roi_bytes = roi_bytes;
+  d.feature_bytes = feature_bytes;
+  return d;
+}
+
 namespace {
 
 void PutI32(std::vector<std::uint8_t>& out, std::int32_t v) {

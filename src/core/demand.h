@@ -17,10 +17,27 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/exchange.h"
+#include "feat/planner.h"
 #include "geom/box.h"
 #include "sim/camera.h"
 
 namespace cooper::core {
+
+/// The exchange planner's demand class matching a package ROI category.
+/// Wire values coincide by construction (feat::DemandClass mirrors
+/// RoiCategory 1..3), but callers go through this helper so the coupling is
+/// one named place.
+feat::DemandClass DemandClassFor(RoiCategory roi);
+
+/// Convenience for planning one cooperator's exchange: fills a
+/// feat::CooperatorDemand from the three candidate payload sizes a sender
+/// offers for `roi`.
+feat::CooperatorDemand MakeCooperatorDemand(std::uint32_t sender_id,
+                                            RoiCategory roi,
+                                            std::size_t raw_bytes,
+                                            std::size_t roi_bytes,
+                                            std::size_t feature_bytes);
 
 struct FragmentRequest {
   std::uint32_t requester_id = 0;

@@ -24,8 +24,33 @@ ExchangePackage BuildPackage(std::uint32_t sender_id, double timestamp_s,
   return p;
 }
 
+ExchangePackage BuildFeaturePackage(std::uint32_t sender_id,
+                                    double timestamp_s, RoiCategory roi,
+                                    const NavMetadata& nav,
+                                    const feat::FeatureMap& map,
+                                    const feat::FeatureCodec& codec) {
+  ExchangePackage p;
+  p.sender_id = sender_id;
+  p.timestamp_s = timestamp_s;
+  p.roi = roi;
+  p.level = feat::ExchangeLevel::kVoxelFeatures;
+  p.nav = nav;
+  p.payload = codec.Encode(map);
+  return p;
+}
+
 Result<pc::PointCloud> DecodePackage(const ExchangePackage& package) {
+  if (package.level == feat::ExchangeLevel::kVoxelFeatures) {
+    return InvalidArgumentError("feature-level package has no cloud payload");
+  }
   return pc::CloudCodec::Decode(package.payload);
+}
+
+Result<feat::FeatureMap> DecodeFeatures(const ExchangePackage& package) {
+  if (package.level != feat::ExchangeLevel::kVoxelFeatures) {
+    return InvalidArgumentError("cloud-level package has no feature payload");
+  }
+  return feat::FeatureCodec::Decode(package.payload);
 }
 
 }  // namespace cooper::core

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "feat/codec.h"
+#include "feat/feature_map.h"
 #include "geom/pose.h"
 #include "pointcloud/codec.h"
 #include "pointcloud/point_cloud.h"
@@ -44,8 +46,12 @@ struct ExchangePackage {
   std::uint32_t sender_id = 0;
   double timestamp_s = 0.0;
   RoiCategory roi = RoiCategory::kFullFrame;
+  // What the payload carries: a compressed cloud (raw or ROI) or a quantized
+  // feature map.  Wire v1 predates the field; v1 packages decode as the
+  // paper's default, kRoiCloud.
+  feat::ExchangeLevel level = feat::ExchangeLevel::kRoiCloud;
   NavMetadata nav;
-  std::vector<std::uint8_t> payload;  // codec-compressed ROI cloud
+  std::vector<std::uint8_t> payload;  // cloud-codec or feature-codec bytes
 
   std::size_t PayloadBytes() const { return payload.size(); }
   double PayloadMbit() const { return payload.size() * 8.0 / 1e6; }
@@ -57,9 +63,22 @@ ExchangePackage BuildPackage(std::uint32_t sender_id, double timestamp_s,
                              const pc::PointCloud& roi_cloud,
                              const pc::CloudCodec& codec);
 
-/// Decodes a package's payload back to a point cloud (sensor frame).
-/// Corrupt or truncated payloads are a recoverable DATA_LOSS Status, never a
-/// crash — payloads arrive over a lossy radio channel.
+/// Builds a feature-level package: `map` (sender sensor frame) serialized
+/// with the quantizing feature codec.
+ExchangePackage BuildFeaturePackage(std::uint32_t sender_id,
+                                    double timestamp_s, RoiCategory roi,
+                                    const NavMetadata& nav,
+                                    const feat::FeatureMap& map,
+                                    const feat::FeatureCodec& codec);
+
+/// Decodes a cloud-level package's payload back to a point cloud (sensor
+/// frame).  Corrupt or truncated payloads are a recoverable DATA_LOSS
+/// Status, never a crash — payloads arrive over a lossy radio channel.
+/// INVALID_ARGUMENT for feature-level packages (use DecodeFeatures).
 Result<pc::PointCloud> DecodePackage(const ExchangePackage& package);
+
+/// Decodes a feature-level package's payload (sender sensor frame).  Same
+/// defensive contract; INVALID_ARGUMENT for cloud-level packages.
+Result<feat::FeatureMap> DecodeFeatures(const ExchangePackage& package);
 
 }  // namespace cooper::core

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "feat/fusion.h"
 #include "net/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -40,18 +41,23 @@ Status CooperativeSession::ReceivePackage(ExchangePackage package,
 }
 
 void CooperativeSession::SeedRecon(std::uint32_t sender_id, double timestamp_s,
-                                   pc::PointCloud* decoded) {
+                                   DecodedPayload* decoded) {
   if (decoded == nullptr || !session_config_.cache_reconstructions) return;
   ReconEntry entry;
   entry.timestamp_s = timestamp_s;
-  entry.sender_frame = std::move(*decoded);
-  entry.has_sender_frame = true;  // raw decode; densified lazily at fusion
+  if (decoded->level == feat::ExchangeLevel::kVoxelFeatures) {
+    entry.sender_map = std::move(decoded->map);
+    entry.has_sender_map = true;  // grid alignment deferred to first fusion
+  } else {
+    entry.sender_frame = std::move(decoded->cloud);
+    entry.has_sender_frame = true;  // raw decode; densified lazily at fusion
+  }
   recon_cache_[sender_id] = std::move(entry);
 }
 
 Status CooperativeSession::ReceivePackageInternal(ExchangePackage package,
                                                   double now_s,
-                                                  pc::PointCloud* decoded) {
+                                                  DecodedPayload* decoded) {
   ExpireOld(now_s);
   const double age_s = now_s - package.timestamp_s;
   if (age_s < -session_config_.max_future_skew_s) {
@@ -118,22 +124,42 @@ Status CooperativeSession::ReceiveWire(
   obs::Span span("session.receive_wire", "core");
   auto package_or = net::DeserializePackage(package_bytes);
   if (!package_or.ok()) {
-    ++stats_.packages_corrupt;
-    COOPER_COUNT("session.packages_corrupt");
+    // OUT_OF_RANGE is the deserializer's "intact bytes, unknown exchange
+    // level" verdict — a newer-protocol sender, not channel corruption.
+    if (package_or.status().code() == StatusCode::kOutOfRange) {
+      ++stats_.packages_rejected_level;
+      COOPER_COUNT("session.packages_rejected_level");
+    } else {
+      ++stats_.packages_corrupt;
+      COOPER_COUNT("session.packages_corrupt");
+    }
     return package_or.status();
   }
-  // Validate the payload up front: a package whose cloud cannot decode would
-  // contribute nothing at fusion time, so reject it here and keep whatever
-  // older healthy package this sender may already hold.  The decoded cloud
-  // is kept and seeds the reconstruction cache — fusion must never pay for
-  // this decode a second time.
-  auto cloud_or = DecodePackage(*package_or);
-  if (!cloud_or.ok()) {
-    ++stats_.packages_corrupt;
-    COOPER_COUNT("session.packages_corrupt");
-    return cloud_or.status();
+  // Validate the payload up front: a package whose payload cannot decode
+  // would contribute nothing at fusion time, so reject it here and keep
+  // whatever older healthy package this sender may already hold.  The
+  // decoded cloud/map is kept and seeds the reconstruction cache — fusion
+  // must never pay for this decode a second time.
+  DecodedPayload decoded;
+  decoded.level = package_or->level;
+  if (package_or->level == feat::ExchangeLevel::kVoxelFeatures) {
+    auto map_or = DecodeFeatures(*package_or);
+    if (!map_or.ok()) {
+      ++stats_.packages_corrupt;
+      COOPER_COUNT("session.packages_corrupt");
+      return map_or.status();
+    }
+    decoded.map = std::move(*map_or);
+  } else {
+    auto cloud_or = DecodePackage(*package_or);
+    if (!cloud_or.ok()) {
+      ++stats_.packages_corrupt;
+      COOPER_COUNT("session.packages_corrupt");
+      return cloud_or.status();
+    }
+    decoded.cloud = std::move(*cloud_or);
   }
-  return ReceivePackageInternal(std::move(*package_or), now_s, &*cloud_or);
+  return ReceivePackageInternal(std::move(*package_or), now_s, &decoded);
 }
 
 Status CooperativeSession::ReceiveFrame(
@@ -206,7 +232,8 @@ CooperOutput CooperativeSession::DetectCooperative(
     const ExchangePackage* package = nullptr;
     ReconEntry* entry = nullptr;  // null when the cache is off
     bool hit = false;
-    pc::PointCloud ego;  // miss result when the cache is off
+    pc::PointCloud ego;        // miss result when the cache is off
+    feat::FeatureMap ego_map;  // ditto, feature-level packages
     Status status = Status::Ok();
   };
   const bool use_cache = session_config_.cache_reconstructions;
@@ -244,6 +271,8 @@ CooperOutput CooperativeSession::DetectCooperative(
   // bit-identical at any thread count.
   if (!misses.empty()) {
     const pc::PointCloud icp_target = pipeline_.IcpTarget(local_cloud);
+    const feat::GridSpec ego_grid =
+        feat::GridSpec::FromVoxelConfig(pipeline_.config().detector.voxel);
     const bool pool_scratch = pipeline_.config().reuse_scratch;
     if (pool_scratch) icp_scratch_pool_.EnsureLanes(misses.size());
     common::ParallelFor(
@@ -254,6 +283,46 @@ CooperOutput CooperativeSession::DetectCooperative(
             Lane& lane = lanes[misses[j]];
             pc::IcpScratch* scratch =
                 pool_scratch ? &icp_scratch_pool_.Lane(j) : nullptr;
+            if (lane.package->level == feat::ExchangeLevel::kVoxelFeatures) {
+              // Feature lane: decode (unless the cache already holds the
+              // sender-frame map) and align into the ego grid.  Nav-only
+              // Eq. 3 — no ICP, no densify; the pseudo-points stand in for
+              // the returns the map summarizes.
+              const feat::FeatureMap* sender_map = nullptr;
+              feat::FeatureMap decoded;
+              if (lane.entry != nullptr && lane.entry->has_sender_map) {
+                sender_map = &lane.entry->sender_map;
+              } else {
+                auto map_or = DecodeFeatures(*lane.package);
+                if (!map_or.ok()) {
+                  lane.status = map_or.status();
+                  continue;
+                }
+                if (lane.entry != nullptr) {
+                  lane.entry->sender_map = std::move(*map_or);
+                  lane.entry->has_sender_map = true;
+                  sender_map = &lane.entry->sender_map;
+                } else {
+                  decoded = std::move(*map_or);
+                  sender_map = &decoded;
+                }
+              }
+              feat::AlignedFeatures aligned = feat::AlignToGrid(
+                  *sender_map,
+                  CooperPipeline::ReceiverFromSender(local_nav,
+                                                     lane.package->nav),
+                  ego_grid);
+              if (lane.entry != nullptr) {
+                lane.entry->ego_map = std::move(aligned.map);
+                lane.entry->ego = std::move(aligned.pseudo);
+                lane.entry->ego_nav = local_nav;
+                lane.entry->has_ego = true;
+              } else {
+                lane.ego_map = std::move(aligned.map);
+                lane.ego = std::move(aligned.pseudo);
+              }
+              continue;
+            }
             if (lane.entry == nullptr) {
               // Cache off: full reconstruct-every-frame path.
               auto remote =
@@ -297,6 +366,7 @@ CooperOutput CooperativeSession::DetectCooperative(
 
   CooperOutput out;
   out.fused_cloud = pipeline_.detector().Densify(local_cloud);
+  std::vector<const feat::FeatureMap*> fused_maps;
   for (const Lane& lane : lanes) {
     if (!lane.status.ok()) {
       // Corrupt payload: evict so this cooperator degrades to single-shot
@@ -311,9 +381,18 @@ CooperOutput CooperativeSession::DetectCooperative(
         lane.entry != nullptr ? lane.entry->ego : lane.ego;
     out.transmitter_points += remote.size();
     out.fused_cloud.Merge(remote);
+    if (lane.package->level == feat::ExchangeLevel::kVoxelFeatures) {
+      // Lanes walk in ascending sender order, so the map list — and the
+      // maxout below — inherit the determinism guarantee.
+      fused_maps.push_back(lane.entry != nullptr ? &lane.entry->ego_map
+                                                 : &lane.ego_map);
+    }
   }
   timer.Lap("merge");
-  out.fused = pipeline_.detector().DetectPreprocessed(out.fused_cloud);
+  out.fused = fused_maps.empty()
+                  ? pipeline_.detector().DetectPreprocessed(out.fused_cloud)
+                  : pipeline_.detector().DetectWithFeatures(out.fused_cloud,
+                                                            fused_maps);
   timer.Lap("detect");
   out.stages = timer;
   return out;

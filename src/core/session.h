@@ -23,6 +23,14 @@
 // ThreadPool and merge in ascending sender order, so the fused cloud — and
 // every detection — is bit-identical at any thread count, with or without
 // the cache.  See DESIGN.md "Session fusion".
+//
+// Packages carry one of three exchange levels (feat::ExchangeLevel).  Cloud
+// levels (raw/ROI) follow the path above.  Feature-level packages decode to
+// a feat::FeatureMap instead: the map is aligned into the ego detector grid
+// (nav-only Eq. 3 — ICP needs raw returns, which feature packages exist to
+// avoid shipping), its pseudo-points merge into the fused cloud, and the
+// aligned maps maxout into the detector's VFE tensor
+// (SpodDetector::DetectWithFeatures), again in ascending sender order.
 #pragma once
 
 #include <cstdint>
@@ -61,6 +69,8 @@ struct SessionStats {
   std::size_t packages_evicted = 0;        // stalest pushed out at the cap
   std::size_t packages_expired = 0;        // aged out before use
   std::size_t packages_corrupt = 0;        // CRC/parse/decode failure
+  std::size_t packages_rejected_level = 0; // intact package, unknown
+                                           // exchange level (newer protocol)
   std::size_t packages_incomplete = 0;     // reassembly timed out
   std::size_t frames_retransmitted = 0;    // late retransmits of a package
                                            // already delivered whole
@@ -130,22 +140,37 @@ class CooperativeSession {
   // decoded — and after first use densified — cloud in the sender's sensor
   // frame) depends only on the package payload; `ego` additionally depends
   // on the receiver nav it was aligned with, so a receiver pose change
-  // re-aligns from `sender_frame` without decoding again.
+  // re-aligns from `sender_frame` without decoding again.  Feature-level
+  // packages use the same two-level scheme: `sender_map` is the decoded map
+  // (payload-keyed), `ego_map` the grid-aligned map and `ego` its
+  // pseudo-point cloud (both nav-keyed).
   struct ReconEntry {
     double timestamp_s = 0.0;  // package timestamp this entry was built from
     bool has_sender_frame = false;
     bool densified = false;  // ReceiveWire seeds the raw decode; densify is
                              // deferred to the first fusion that needs it
     pc::PointCloud sender_frame;
+    bool has_sender_map = false;
+    feat::FeatureMap sender_map;  // decoded features, sender sensor frame
     bool has_ego = false;
-    NavMetadata ego_nav;  // receiver nav `ego` was reconstructed under
-    pc::PointCloud ego;   // receiver frame, ICP-refined when enabled
+    NavMetadata ego_nav;  // receiver nav `ego`/`ego_map` were aligned under
+    pc::PointCloud ego;   // receiver frame; for feature-level packages the
+                          // pseudo-points standing in for the unsent returns
+    feat::FeatureMap ego_map;  // ego-grid-aligned features (feature level)
+  };
+
+  // Pre-validated payload handed from ReceiveWire into the recon cache: a
+  // decoded cloud for cloud levels, a decoded map for feature level.
+  struct DecodedPayload {
+    feat::ExchangeLevel level = feat::ExchangeLevel::kRoiCloud;
+    pc::PointCloud cloud;
+    feat::FeatureMap map;
   };
 
   Status ReceivePackageInternal(ExchangePackage package, double now_s,
-                                pc::PointCloud* decoded);
+                                DecodedPayload* decoded);
   void SeedRecon(std::uint32_t sender_id, double timestamp_s,
-                 pc::PointCloud* decoded);
+                 DecodedPayload* decoded);
   void InvalidateRecon(std::uint32_t sender_id) {
     recon_cache_.erase(sender_id);
   }

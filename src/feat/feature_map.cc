@@ -1,0 +1,28 @@
+#include "feat/feature_map.h"
+
+#include <cmath>
+
+namespace cooper::feat {
+
+const char* ExchangeLevelName(ExchangeLevel level) {
+  switch (level) {
+    case ExchangeLevel::kRawCloud: return "raw cloud";
+    case ExchangeLevel::kRoiCloud: return "ROI cloud";
+    case ExchangeLevel::kVoxelFeatures: return "voxel features";
+  }
+  return "unknown";
+}
+
+bool GridSpec::CoordOf(const geom::Vec3& p, pc::VoxelCoord* c) const {
+  if (p.x < min_bound.x || p.x >= max_bound.x || p.y < min_bound.y ||
+      p.y >= max_bound.y || p.z < min_bound.z || p.z >= max_bound.z) {
+    return false;
+  }
+  *c = pc::VoxelCoord{
+      static_cast<std::int32_t>(std::floor((p.x - min_bound.x) / voxel_size.x)),
+      static_cast<std::int32_t>(std::floor((p.y - min_bound.y) / voxel_size.y)),
+      static_cast<std::int32_t>(std::floor((p.z - min_bound.z) / voxel_size.z))};
+  return true;
+}
+
+}  // namespace cooper::feat

@@ -1,0 +1,113 @@
+#include "feat/planner.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace cooper::feat {
+namespace {
+
+ExchangeLevel PreferredLevel(DemandClass demand) {
+  // Full-frame demand merits the raw cloud; the paper's default for sector
+  // and lead demand is the ROI cloud.
+  return demand == DemandClass::kFullFrame ? ExchangeLevel::kRawCloud
+                                           : ExchangeLevel::kRoiCloud;
+}
+
+bool CanDegrade(ExchangeLevel level) {
+  return level != ExchangeLevel::kVoxelFeatures;
+}
+
+ExchangeLevel Degraded(ExchangeLevel level) {
+  return level == ExchangeLevel::kRawCloud ? ExchangeLevel::kRoiCloud
+                                           : ExchangeLevel::kVoxelFeatures;
+}
+
+}  // namespace
+
+const char* DemandClassName(DemandClass demand) {
+  switch (demand) {
+    case DemandClass::kFullFrame: return "full frame";
+    case DemandClass::kFrontSector: return "front sector";
+    case DemandClass::kForwardLead: return "forward lead";
+  }
+  return "unknown";
+}
+
+const PlanEntry* ExchangePlan::Find(std::uint32_t sender_id) const {
+  for (const PlanEntry& e : entries) {
+    if (e.sender_id == sender_id) return &e;
+  }
+  return nullptr;
+}
+
+double AirtimeMs(const net::DsrcConfig& channel, std::size_t bytes) {
+  const double mbps =
+      net::DsrcChannel(channel).EffectiveMbps();
+  const double serialize_ms =
+      mbps > 0.0 ? static_cast<double>(bytes) * 8.0 / (mbps * 1e3) : 0.0;
+  return serialize_ms + channel.access_latency_ms;
+}
+
+ExchangePlan PlanExchange(const PlannerConfig& config,
+                          std::vector<CooperatorDemand> demands) {
+  // Canonical order: ascending sender id, first occurrence wins.
+  std::stable_sort(demands.begin(), demands.end(),
+                   [](const CooperatorDemand& a, const CooperatorDemand& b) {
+                     return a.sender_id < b.sender_id;
+                   });
+  demands.erase(std::unique(demands.begin(), demands.end(),
+                            [](const CooperatorDemand& a,
+                               const CooperatorDemand& b) {
+                              return a.sender_id == b.sender_id;
+                            }),
+                demands.end());
+
+  ExchangePlan plan;
+  plan.budget_ms =
+      config.frame_period_s * 1e3 * std::max(0.0, config.budget_fraction);
+  plan.entries.reserve(demands.size());
+  for (const CooperatorDemand& d : demands) {
+    PlanEntry e;
+    e.sender_id = d.sender_id;
+    e.level = PreferredLevel(d.demand);
+    e.bytes = d.BytesAt(e.level);
+    e.airtime_ms = AirtimeMs(config.channel, e.bytes);
+    plan.airtime_ms += e.airtime_ms;
+    plan.entries.push_back(e);
+  }
+
+  // Degrade greedily: each step takes the cooperator whose next rung sheds
+  // the most bytes; ties go to the higher sender id (entries are sorted, so
+  // ">=" on the scan keeps the later index).
+  while (plan.airtime_ms > plan.budget_ms) {
+    std::size_t best = demands.size();
+    std::size_t best_savings = 0;
+    for (std::size_t i = 0; i < plan.entries.size(); ++i) {
+      const PlanEntry& e = plan.entries[i];
+      if (!CanDegrade(e.level)) continue;
+      const std::size_t down = demands[i].BytesAt(Degraded(e.level));
+      const std::size_t savings = e.bytes > down ? e.bytes - down : 0;
+      if (best == demands.size() || savings >= best_savings) {
+        best = i;
+        best_savings = savings;
+      }
+    }
+    if (best == demands.size()) {
+      plan.over_budget = true;
+      break;
+    }
+    PlanEntry& e = plan.entries[best];
+    plan.airtime_ms -= e.airtime_ms;
+    e.level = Degraded(e.level);
+    e.bytes = demands[best].BytesAt(e.level);
+    e.airtime_ms = AirtimeMs(config.channel, e.bytes);
+    plan.airtime_ms += e.airtime_ms;
+    ++plan.degrade_steps;
+  }
+  COOPER_COUNT_N("feat.plan_degrade_steps", plan.degrade_steps);
+  if (plan.over_budget) COOPER_COUNT("feat.plan_over_budget");
+  return plan;
+}
+
+}  // namespace cooper::feat

@@ -1,0 +1,97 @@
+// Bandwidth-tiered exchange planner: picks each cooperator's ExchangeLevel
+// from the DSRC airtime budget and its demand class.
+//
+// Cooper's feasibility analysis (§IV-G) budgets the shared DSRC service
+// channel per frame: at 10 Hz and 6 Mbps there is roughly 0.6 Mbit of
+// airtime per frame for *all* cooperators together.  The planner allocates
+// that budget:
+//
+//   * each cooperator starts at the highest-fidelity level its demand class
+//     warrants (kFullFrame demand -> raw cloud; sector/lead demand -> ROI
+//     cloud, the paper's default);
+//   * while the summed airtime exceeds the frame budget, the planner
+//     degrades one cooperator one rung (raw -> ROI -> features), choosing
+//     the step that sheds the most bytes (ties: higher sender id degrades
+//     first);
+//   * when every cooperator is already at kVoxelFeatures the plan may still
+//     be over budget — `ExchangePlan::over_budget` reports it, and the
+//     caller decides whether to thin the cooperator set.
+//
+// The plan is a pure function of (config, demands): demands are canonicalised
+// to ascending sender id and every tie-break is total, so planning is
+// deterministic at any thread count and replay-stable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "feat/feature_map.h"
+#include "net/dsrc.h"
+
+namespace cooper::feat {
+
+/// Receiver-side demand for one cooperator's data, mirroring the ROI
+/// categories of the package wire format (§II-D): how much of the
+/// cooperator's view the receiver actually needs.
+enum class DemandClass : std::uint8_t {
+  kFullFrame = 1,    // whole frame wanted (e.g. blind intersection)
+  kFrontSector = 2,  // 120-degree front sector
+  kForwardLead = 3,  // narrow forward corridor (platooning)
+};
+
+const char* DemandClassName(DemandClass demand);
+
+/// One cooperator's offered payload sizes at each exchange level, plus the
+/// receiver's demand.  Sizes are the *serialized* bytes each level would put
+/// on the air (codec output; wire/fragment overhead is charged uniformly by
+/// the channel model, so it does not change the ordering).
+struct CooperatorDemand {
+  std::uint32_t sender_id = 0;
+  DemandClass demand = DemandClass::kFrontSector;
+  std::size_t raw_bytes = 0;
+  std::size_t roi_bytes = 0;
+  std::size_t feature_bytes = 0;
+
+  std::size_t BytesAt(ExchangeLevel level) const {
+    switch (level) {
+      case ExchangeLevel::kRawCloud: return raw_bytes;
+      case ExchangeLevel::kRoiCloud: return roi_bytes;
+      case ExchangeLevel::kVoxelFeatures: return feature_bytes;
+    }
+    return roi_bytes;
+  }
+};
+
+struct PlannerConfig {
+  net::DsrcConfig channel;
+  double frame_period_s = 0.1;   // exchange cadence (10 Hz default)
+  double budget_fraction = 0.8;  // share of the period spendable on airtime
+};
+
+struct PlanEntry {
+  std::uint32_t sender_id = 0;
+  ExchangeLevel level = ExchangeLevel::kRoiCloud;
+  std::size_t bytes = 0;
+  double airtime_ms = 0.0;
+};
+
+struct ExchangePlan {
+  std::vector<PlanEntry> entries;  // ascending sender id
+  double budget_ms = 0.0;
+  double airtime_ms = 0.0;         // total under the plan
+  std::size_t degrade_steps = 0;   // rungs stepped down to fit
+  bool over_budget = false;        // true when even all-features overflows
+
+  const PlanEntry* Find(std::uint32_t sender_id) const;
+};
+
+/// Airtime one message of `bytes` occupies on the channel, milliseconds
+/// (serialization at the effective rate plus channel access).
+double AirtimeMs(const net::DsrcConfig& channel, std::size_t bytes);
+
+/// Plans one frame's exchange.  `demands` need not be sorted; duplicate
+/// sender ids keep the first occurrence.
+ExchangePlan PlanExchange(const PlannerConfig& config,
+                          std::vector<CooperatorDemand> demands);
+
+}  // namespace cooper::feat

@@ -66,8 +66,9 @@ class Reader {
 }  // namespace
 
 std::size_t WireOverheadBytes() {
-  // magic + version + sender + timestamp + roi + 9 f64 nav + size + crc
-  return 4 + 2 + 4 + 8 + 1 + 9 * 8 + 4 + 4;
+  // magic + version + sender + timestamp + roi + level + 9 f64 nav + size +
+  // crc
+  return 4 + 2 + 4 + 8 + 1 + 1 + 9 * 8 + 4 + 4;
 }
 
 std::vector<std::uint8_t> SerializePackage(const core::ExchangePackage& p) {
@@ -78,6 +79,7 @@ std::vector<std::uint8_t> SerializePackage(const core::ExchangePackage& p) {
   PutU32(out, p.sender_id);
   PutF64(out, p.timestamp_s);
   out.push_back(static_cast<std::uint8_t>(p.roi));
+  out.push_back(static_cast<std::uint8_t>(p.level));
   PutF64(out, p.nav.gps_position.x);
   PutF64(out, p.nav.gps_position.y);
   PutF64(out, p.nav.gps_position.z);
@@ -102,14 +104,18 @@ Result<core::ExchangePackage> DeserializePackage(
     return DataLossError("bad package magic");
   }
   if (!r.GetU16(&version)) return DataLossError("truncated header");
-  if (version != kWireVersion) {
+  if (version < kMinWireVersion || version > kWireVersion) {
     return InvalidArgumentError("unsupported wire version " +
                                 std::to_string(version));
   }
   core::ExchangePackage p;
   std::uint8_t roi = 0;
+  // v1 predates the level byte: those packages carried the paper's ROI-cloud
+  // payloads, which is what the field's default says.
+  std::uint8_t level = static_cast<std::uint8_t>(feat::ExchangeLevel::kRoiCloud);
   std::uint32_t payload_size = 0;
   if (!r.GetU32(&p.sender_id) || !r.GetF64(&p.timestamp_s) || !r.GetU8(&roi) ||
+      (version >= 2 && !r.GetU8(&level)) ||
       !r.GetF64(&p.nav.gps_position.x) || !r.GetF64(&p.nav.gps_position.y) ||
       !r.GetF64(&p.nav.gps_position.z) || !r.GetF64(&p.nav.imu_attitude.yaw) ||
       !r.GetF64(&p.nav.imu_attitude.pitch) ||
@@ -134,6 +140,14 @@ Result<core::ExchangePackage> DeserializePackage(
   if (r.pos() != bytes.size()) {
     return DataLossError("trailing bytes after package");
   }
+  // Validated after the CRC so the error is unambiguous: OUT_OF_RANGE means
+  // the bytes are intact and the sender speaks a level this build does not
+  // know — a protocol mismatch, not channel corruption.  Sessions count it
+  // separately (`packages_rejected_level`).
+  if (level < 1 || level > 3) {
+    return OutOfRangeError("unknown exchange level " + std::to_string(level));
+  }
+  p.level = static_cast<feat::ExchangeLevel>(level);
   return p;
 }
 

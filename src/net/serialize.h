@@ -2,9 +2,13 @@
 //
 // Layout (little-endian):
 //   u32 magic 'CPKG'   u16 version   u32 sender_id   f64 timestamp
-//   u8  roi_category
+//   u8  roi_category   u8 exchange_level (v2+)
 //   f64 gps[3]  f64 imu[3] (yaw, pitch, roll)  f64 mount[3]
 //   u32 payload_size   payload bytes   u32 crc32 (over everything above)
+// Version history: v1 had no level byte — v1 packages still parse, with the
+// level defaulting to kRoiCloud (the paper's exchange mode).  A v2 package
+// with an unrecognized level value is rejected with OUT_OF_RANGE, distinct
+// from DATA_LOSS corruption, so sessions can count it separately.
 // Decoding is defensive: truncation, bad magic, bad version and CRC mismatch
 // all return DATA_LOSS / INVALID_ARGUMENT rather than crashing — packages
 // arrive over a lossy radio channel.
@@ -19,7 +23,9 @@
 
 namespace cooper::net {
 
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
+/// Oldest wire version DeserializePackage still accepts.
+inline constexpr std::uint16_t kMinWireVersion = 1;
 
 /// Serializes a package to wire bytes.
 std::vector<std::uint8_t> SerializePackage(const core::ExchangePackage& package);

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/session.h"
+#include "feat/feature_map.h"
 #include "net/serialize.h"
 #include "net/transport.h"
 #include "replay/recorder.h"
@@ -163,12 +164,77 @@ Result<std::vector<std::uint8_t>> RecordLossy4() {
   return rec.Finish().bytes();
 }
 
+/// T&J parking lot, ego + two cooperators exchanging at the feature level
+/// (kVoxelFeatures).  Whole packages are delivered out-of-band at the
+/// `ReceiveWire` boundary and recorded under the kFeaturePackage tag, so the
+/// golden pins the full feature path — codec decode, ego-grid alignment,
+/// pseudo-point merge and maxout fusion — under the step digests.  Two steps
+/// refresh both packages, exercising feature-level replacement and
+/// recon-cache invalidation.
+Result<std::vector<std::uint8_t>> RecordFeat2() {
+  sim::Scenario scenario = sim::MakeTjScenario(2);
+  COOPER_CHECK(scenario.viewpoints.size() >= 3);
+  // Same thinned azimuth as lossy4: the raw ego scan dominates the trace
+  // size; the two feature payloads are tiny by construction.
+  scenario.lidar.azimuth_steps = 600;
+
+  TraceConfig config;
+  config.name = "tj-feat-2v";
+  config.lidar = scenario.lidar;
+  config.scan_seed = 2203;
+
+  const core::CooperConfig cfg = MakeReplayCooperConfig(config, {});
+  const core::SessionConfig session_cfg = MakeReplaySessionConfig(config, {});
+  core::CooperativeSession session(cfg, session_cfg);
+  TraceRecorder rec(config);
+
+  const sim::LidarSimulator lidar(scenario.lidar);
+  Rng scan_rng(config.scan_seed);
+  const sim::VehicleState& ego = scenario.viewpoints[0];
+  const pc::PointCloud ego_cloud =
+      lidar.Scan(scenario.scene, ego.ToPose(), scan_rng);
+  const core::NavMetadata ego_nav = NavOf(ego, scenario.lidar.sensor_height);
+
+  constexpr std::size_t kPeers = 2;
+  std::vector<pc::PointCloud> peer_clouds;
+  std::vector<core::NavMetadata> peer_navs;
+  for (std::size_t i = 1; i <= kPeers; ++i) {
+    peer_clouds.push_back(
+        lidar.Scan(scenario.scene, scenario.viewpoints[i].ToPose(), scan_rng));
+    peer_navs.push_back(
+        NavOf(scenario.viewpoints[i], scenario.lidar.sensor_height));
+  }
+
+  const std::uint32_t scan_id = rec.AddScan(ego_cloud);
+
+  for (int step = 0; step < 2; ++step) {
+    const double now_s = 10.0 + step;  // 1 Hz exchange cadence
+    for (std::size_t i = 0; i < kPeers; ++i) {
+      const std::uint32_t sender = static_cast<std::uint32_t>(i + 2);
+      const core::ExchangePackage package =
+          session.pipeline().MakeLeveledPackage(
+              sender, now_s - 0.05, core::RoiCategory::kFrontSector,
+              feat::ExchangeLevel::kVoxelFeatures, peer_navs[i],
+              peer_clouds[i]);
+      const std::vector<std::uint8_t> wire = net::SerializePackage(package);
+      const double wire_s = now_s - 0.04 + 1e-4 * static_cast<double>(i);
+      rec.RecordFeaturePackage(wire_s, wire);
+      (void)session.ReceiveWire(wire, wire_s);
+    }
+    const core::CooperOutput out =
+        session.DetectCooperative(ego_cloud, ego_nav, now_s);
+    rec.RecordStep(now_s, scan_id, ego_nav, out);
+  }
+  return rec.Finish().bytes();
+}
+
 }  // namespace
 
 const std::vector<GoldenCase>& GoldenCases() {
   static const std::vector<GoldenCase> kCases = {
       {"tj2", "golden_tj2.trace"},
       {"lossy4", "golden_lossy4.trace"},
+      {"feat2", "golden_feat2.trace"},
   };
   return kCases;
 }
@@ -176,8 +242,9 @@ const std::vector<GoldenCase>& GoldenCases() {
 Result<std::vector<std::uint8_t>> RecordGolden(const std::string& name) {
   if (name == "tj2") return RecordTJunction2();
   if (name == "lossy4") return RecordLossy4();
+  if (name == "feat2") return RecordFeat2();
   return NotFoundError("unknown golden case '" + name +
-                       "' (expected tj2 or lossy4)");
+                       "' (expected tj2, lossy4 or feat2)");
 }
 
 }  // namespace cooper::replay

@@ -1,8 +1,8 @@
 // The committed golden traces: small, fully seeded scenario recordings that
 // the `replay` ctest label replays bit-for-bit on every machine.
 //
-// Two cases cover the two halves of the paper's evaluation and both wire
-// paths:
+// Three cases cover the two halves of the paper's evaluation, both wire
+// paths, and the feature-level exchange:
 //   - "tj2"    — KITTI-style T-junction, one cooperator, clean channel,
 //                fragmented frames fed straight to the session (no
 //                transport retransmission in play);
@@ -10,7 +10,11 @@
 //                channel (drops/dups/reorders/corruption) driven through
 //                `net::Transport` with retransmission, frames captured by
 //                the transport's frame tap and the fault injector's event
-//                sink.
+//                sink;
+//   - "feat2"  — T&J-style parking lot, two cooperators exchanging
+//                kVoxelFeatures packages delivered whole at the ReceiveWire
+//                boundary (kFeaturePackage records): codec decode, ego-grid
+//                alignment, pseudo-points and maxout fusion under digest.
 //
 // Regenerate with `cooper_replay record <name> <out.trace>`; the bytes are
 // deterministic functions of the seeds below, so a regenerated file must be
@@ -26,7 +30,7 @@
 namespace cooper::replay {
 
 struct GoldenCase {
-  std::string name;      // CLI name ("tj2", "lossy4")
+  std::string name;      // CLI name ("tj2", "lossy4", "feat2")
   std::string filename;  // committed file name under tests/data/
 };
 

@@ -50,6 +50,12 @@ void TraceRecorder::RecordWirePackage(double now_s,
   writer_.AppendWirePackage(now_s, bytes);
 }
 
+void TraceRecorder::RecordFeaturePackage(double now_s,
+                                         const std::vector<std::uint8_t>& bytes) {
+  COOPER_CHECK(!finished_);
+  writer_.AppendFeaturePackage(now_s, bytes);
+}
+
 void TraceRecorder::RecordFaultEvent(const net::FaultEvent& event) {
   COOPER_CHECK(!finished_);
   FaultEventRecord rec;

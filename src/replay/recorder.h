@@ -46,6 +46,12 @@ class TraceRecorder {
   /// One whole package delivered out-of-band (the ReceiveWire boundary).
   void RecordWirePackage(double now_s, const std::vector<std::uint8_t>& bytes);
 
+  /// One feature-level package (kVoxelFeatures wire bytes).  Same payload
+  /// shape and replay boundary as RecordWirePackage; the distinct tag lets
+  /// tools attribute bandwidth to the exchange level.
+  void RecordFeaturePackage(double now_s,
+                            const std::vector<std::uint8_t>& bytes);
+
   /// Fault-injector decision stream (attribution metadata only).
   void RecordFaultEvent(const net::FaultEvent& event);
 

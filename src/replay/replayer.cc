@@ -68,12 +68,15 @@ Result<Trace> ParseTrace(const std::vector<std::uint8_t>& bytes) {
         break;
       }
       case RecordTag::kWireFrame:
-      case RecordTag::kWirePackage: {
+      case RecordTag::kWirePackage:
+      case RecordTag::kFeaturePackage: {
         COOPER_ASSIGN_OR_RETURN(auto wire, DecodeWireBytes(record.payload));
         TraceEvent event;
         event.kind = record.tag == RecordTag::kWireFrame
                          ? TraceEvent::Kind::kWireFrame
-                         : TraceEvent::Kind::kWirePackage;
+                         : (record.tag == RecordTag::kWirePackage
+                                ? TraceEvent::Kind::kWirePackage
+                                : TraceEvent::Kind::kFeaturePackage);
         event.time_s = wire.first;
         event.bytes = std::move(wire.second);
         trace.events.push_back(std::move(event));
@@ -144,6 +147,10 @@ ReplayResult Replay(const Trace& trace, const ReplayOverrides& overrides) {
         (void)session.ReceiveFrame(event.bytes, event.time_s);
         break;
       case TraceEvent::Kind::kWirePackage:
+      case TraceEvent::Kind::kFeaturePackage:
+        // Feature-level packages enter at the same ReceiveWire boundary —
+        // the session dispatches on the package's own level byte; the
+        // distinct record tag exists for tooling attribution.
         (void)session.ReceiveWire(event.bytes, event.time_s);
         break;
       case TraceEvent::Kind::kDetect: {

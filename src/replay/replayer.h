@@ -22,7 +22,7 @@ namespace cooper::replay {
 
 /// One entry of the trace's time-ordered event stream.
 struct TraceEvent {
-  enum class Kind { kWireFrame, kWirePackage, kDetect };
+  enum class Kind { kWireFrame, kWirePackage, kFeaturePackage, kDetect };
   Kind kind = Kind::kWireFrame;
   double time_s = 0.0;                // receive time / detect timestamp
   std::vector<std::uint8_t> bytes;    // wire events

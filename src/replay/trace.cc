@@ -135,7 +135,7 @@ struct ByteReader {
 
 bool KnownTag(std::uint8_t tag) {
   return tag >= static_cast<std::uint8_t>(RecordTag::kConfig) &&
-         tag <= static_cast<std::uint8_t>(RecordTag::kEnd);
+         tag <= static_cast<std::uint8_t>(RecordTag::kFeaturePackage);
 }
 
 }  // namespace
@@ -150,6 +150,7 @@ const char* RecordTagName(RecordTag tag) {
     case RecordTag::kFaultEvent: return "fault_event";
     case RecordTag::kStepDigest: return "step_digest";
     case RecordTag::kEnd: return "end";
+    case RecordTag::kFeaturePackage: return "feature_package";
   }
   return "unknown";
 }
@@ -307,6 +308,16 @@ void TraceWriter::AppendWirePackage(double now_s,
   PutU32(p, static_cast<std::uint32_t>(bytes.size()));
   p.insert(p.end(), bytes.begin(), bytes.end());
   Append(RecordTag::kWirePackage, p);
+}
+
+void TraceWriter::AppendFeaturePackage(double now_s,
+                                       const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::uint8_t> p;
+  p.reserve(12 + bytes.size());
+  PutF64(p, now_s);
+  PutU32(p, static_cast<std::uint32_t>(bytes.size()));
+  p.insert(p.end(), bytes.begin(), bytes.end());
+  Append(RecordTag::kFeaturePackage, p);
 }
 
 void TraceWriter::AppendFaultEvent(const FaultEventRecord& e) {

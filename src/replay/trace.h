@@ -60,6 +60,8 @@ enum class RecordTag : std::uint8_t {
   kFaultEvent = 6,  // fault-injector decision for one sent frame
   kStepDigest = 7,  // golden digest of the preceding kDetect's output
   kEnd = 8,         // combined digest over all steps; terminates the trace
+  kFeaturePackage = 9,  // one feature-level package as delivered (same
+                        // payload shape as kWirePackage; ReceiveWire input)
 };
 
 const char* RecordTagName(RecordTag tag);
@@ -168,6 +170,8 @@ class TraceWriter {
   void AppendDetect(const DetectRecord& detect);
   void AppendWireFrame(double now_s, const std::vector<std::uint8_t>& bytes);
   void AppendWirePackage(double now_s, const std::vector<std::uint8_t>& bytes);
+  void AppendFeaturePackage(double now_s,
+                            const std::vector<std::uint8_t>& bytes);
   void AppendFaultEvent(const FaultEventRecord& event);
   void AppendStepDigest(const StepDigest& digest);
   void AppendEnd(const EndRecord& end);
@@ -213,7 +217,7 @@ Result<TraceConfig> DecodeConfig(const std::vector<std::uint8_t>& payload);
 Result<std::pair<std::uint32_t, pc::PointCloud>> DecodeScan(
     const std::vector<std::uint8_t>& payload);
 Result<DetectRecord> DecodeDetect(const std::vector<std::uint8_t>& payload);
-/// Shared shape of kWireFrame and kWirePackage payloads.
+/// Shared shape of kWireFrame, kWirePackage and kFeaturePackage payloads.
 Result<std::pair<double, std::vector<std::uint8_t>>> DecodeWireBytes(
     const std::vector<std::uint8_t>& payload);
 Result<FaultEventRecord> DecodeFaultEvent(

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/timer.h"
+#include "feat/fusion.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "spod/clustering.h"
@@ -133,6 +134,35 @@ SpodResult SpodDetector::Detect(const pc::PointCloud& input) const {
 }
 
 SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
+  return DetectWithFeatures(input, {});
+}
+
+feat::FeatureMap SpodDetector::ExtractFeatureMap(
+    const pc::PointCloud& input) const {
+  obs::Span span("spod.extract_features", "spod");
+  PipelineScratch frame_scratch;
+  PipelineScratch& sc = config_.reuse_scratch ? scratch_ : frame_scratch;
+
+  pc::PointCloud cloud = Densify(input);
+  cloud.RemoveInvalid();
+  const double ground_z = pc::EstimateGroundZ(cloud);
+  pc::PointCloud above = cloud.FilterMinZ(ground_z + config_.ground_margin);
+
+  pc::VoxelGridConfig voxel_cfg = config_.voxel;
+  voxel_cfg.num_threads = config_.num_threads;
+  pc::VoxelGrid grid(above, voxel_cfg, &sc.voxel_grid);
+
+  feat::FeatureMap map;
+  map.tensor = net_.vfe.Encode(above, grid);
+  map.origin = voxel_cfg.min_bound;
+  map.voxel_size = voxel_cfg.voxel_size;
+  COOPER_COUNT_N("spod.feature_sites_extracted", map.num_active());
+  return map;
+}
+
+SpodResult SpodDetector::DetectWithFeatures(
+    const pc::PointCloud& input,
+    const std::vector<const feat::FeatureMap*>& maps) const {
   obs::Span span("spod.detect", "spod");
   SpodResult result;
   result.num_input_points = input.size();
@@ -159,6 +189,10 @@ SpodResult SpodDetector::DetectPreprocessed(const pc::PointCloud& input) const {
   result.timings.voxelize_us = timer.Lap("voxelize");
 
   nn::SparseTensor features = net_.vfe.Encode(above, grid);
+  // Cooperator feature maps (already ego-grid-aligned) maxout into the local
+  // tensor here — the F-Cooper fusion point: after VFE, before the middle
+  // layers, so the rest of the network sees one fused feature field.
+  if (!maps.empty()) feat::MaxoutFuse(&features, maps);
   result.timings.vfe_us = timer.Lap("vfe");
 
   // --- Stage 3: sparse convolutional middle layers. ---

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "feat/feature_map.h"
 #include "nn/layers.h"
 #include "nn/sparse_conv.h"
 #include "nn/vfe.h"
@@ -68,6 +69,24 @@ class SpodDetector {
   /// before merging; a single receiver-centred range image would discard
   /// remote points hidden behind local occluders.
   SpodResult DetectPreprocessed(const pc::PointCloud& cloud) const;
+
+  /// DetectPreprocessed with cooperator feature maps maxout-fused into the
+  /// VFE tensor before the middle layers run (F-Cooper voxel fusion).  The
+  /// maps must already be in this detector's grid coordinates (see
+  /// feat::AlignToGrid); with no maps this is exactly DetectPreprocessed.
+  /// Maps fuse in caller order — pass them sorted by ascending sender id for
+  /// the repo-wide determinism guarantee.
+  SpodResult DetectWithFeatures(
+      const pc::PointCloud& cloud,
+      const std::vector<const feat::FeatureMap*>& maps) const;
+
+  /// Sender-side feature tap: the VFE voxel-feature tensor of `cloud` (own
+  /// sensor frame), with the grid geometry needed to re-express it elsewhere.
+  /// Runs preprocessing (densify-if-configured, invalid-point removal,
+  /// ground cut) and voxelization exactly as Detect would, then stops after
+  /// VFE encoding — the tap point is after stage 2, before the detection
+  /// head.
+  feat::FeatureMap ExtractFeatureMap(const pc::PointCloud& cloud) const;
 
   /// The densification preprocessing step alone (no-op unless the config
   /// enables it).  The cloud must be in its own sensor frame.

@@ -6,10 +6,12 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/rng.h"
 #include "core/demand.h"
 #include "core/exchange.h"
+#include "feat/codec.h"
 #include "net/auth.h"
 #include "net/serialize.h"
 #include "net/transport.h"
@@ -371,8 +373,8 @@ TEST(FuzzTest, TraceVersionSkewRejected) {
 TEST(FuzzTest, TraceUnknownTagsAndLyingLengthsRejected) {
   const auto image = MakeTraceImage();
   const std::size_t record0 = replay::kTraceHeaderBytes;
-  {  // unknown tag (9 = one past kEnd, 0, 0xff)
-    for (const std::uint8_t tag : {0, 9, 255}) {
+  {  // unknown tag (10 = one past kFeaturePackage, 0, 0xff)
+    for (const std::uint8_t tag : {0, 10, 255}) {
       auto bad = image;
       bad[record0] = tag;
       const auto trace = replay::ParseTrace(bad);
@@ -398,6 +400,112 @@ TEST(FuzzTest, TraceUnknownTagsAndLyingLengthsRejected) {
     auto bad = image;
     bad[crc_at] ^= 0x10;
     EXPECT_EQ(replay::ParseTrace(bad).status().code(), StatusCode::kDataLoss);
+  }
+}
+
+// A mid-sized feature map with exact zeros (mask path), repeated values and
+// multiple channels — enough structure that every decoder branch is live.
+feat::FeatureMap MakeFeatureMap() {
+  feat::FeatureMap map;
+  map.tensor.spatial_shape = {64, 64, 16};
+  map.origin = {0.0, -16.0, -2.0};
+  map.voxel_size = {0.5, 0.5, 0.5};
+  Rng rng(5);
+  constexpr std::size_t kSites = 60;
+  constexpr std::size_t kChannels = 4;
+  map.tensor.features = nn::Tensor({kSites, kChannels});
+  for (std::size_t i = 0; i < kSites; ++i) {
+    map.tensor.coords.push_back(
+        pc::VoxelCoord{static_cast<std::int32_t>(rng.UniformInt(64)),
+                       static_cast<std::int32_t>(rng.UniformInt(64)),
+                       static_cast<std::int32_t>(rng.UniformInt(16))});
+    for (std::size_t c = 0; c < kChannels; ++c) {
+      map.tensor.features.At(i, c) =
+          rng.Uniform() < 0.3 ? 0.0f : static_cast<float>(rng.Uniform(0.01, 4.0));
+    }
+  }
+  return map;
+}
+
+// CFM1 byte offsets (little endian): magic 0-3, flags 4, num_active 5-8,
+// channels 9-10, shape 11-22, origin/voxel f64s 23-70, then per-channel
+// (zero_point f32, scale f32) pairs from 71.
+constexpr std::size_t kFeatNumActiveAt = 5;
+constexpr std::size_t kFeatZeroPoint0At = 71;
+constexpr std::size_t kFeatScale0At = 75;
+
+void OverwriteF32(std::vector<std::uint8_t>& bytes, std::size_t at, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  for (int i = 0; i < 4; ++i) {
+    bytes[at + i] = static_cast<std::uint8_t>(bits >> (8 * i));
+  }
+}
+
+TEST(FuzzTest, FeatureDecoderNeverCrashes) {
+  for (const int bits : {8, 16}) {
+    const auto bytes =
+        feat::FeatureCodec(feat::FeatureCodecConfig{bits}).Encode(MakeFeatureMap());
+    Rng rng(44 + bits);
+    for (int trial = 0; trial < 2000; ++trial) {
+      const auto mutated = Mutate(bytes, rng);
+      const auto result = feat::FeatureCodec::Decode(mutated);
+      if (result.ok()) {
+        // Whatever survives the structural checks must still be bounded by
+        // the stream that carried it: no allocation amplification.
+        EXPECT_LE(result->num_active(), mutated.size());
+        EXPECT_GE(result->channels(), 1u);
+      } else {
+        EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+      }
+    }
+  }
+}
+
+TEST(FuzzTest, FeatureTruncationPrefixesAllRejected) {
+  const auto bytes = feat::FeatureCodec().Encode(MakeFeatureMap());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    const auto result = feat::FeatureCodec::Decode(prefix);
+    ASSERT_FALSE(result.ok()) << "prefix of " << cut << " bytes accepted";
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(FuzzTest, FeatureLyingSiteCountRejected) {
+  const auto bytes = feat::FeatureCodec().Encode(MakeFeatureMap());
+  // Claim far more sites than the payload can hold: the decoder must reject
+  // before reserving storage for them.
+  for (const std::uint32_t lie :
+       {std::uint32_t{100000}, std::uint32_t{0xffffffff}}) {
+    auto bad = bytes;
+    for (int i = 0; i < 4; ++i) {
+      bad[kFeatNumActiveAt + i] = static_cast<std::uint8_t>(lie >> (8 * i));
+    }
+    const auto result = feat::FeatureCodec::Decode(bad);
+    ASSERT_FALSE(result.ok()) << "count " << lie;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(FuzzTest, FeatureQuantHeaderCorruptionRejected) {
+  const auto bytes = feat::FeatureCodec().Encode(MakeFeatureMap());
+  const float bad_values[] = {std::nanf(""), -1.0f,
+                              std::numeric_limits<float>::infinity()};
+  for (const float v : bad_values) {
+    {  // channel-0 scale
+      auto bad = bytes;
+      OverwriteF32(bad, kFeatScale0At, v);
+      EXPECT_EQ(feat::FeatureCodec::Decode(bad).status().code(),
+                StatusCode::kDataLoss);
+    }
+    if (v >= 0.0f || std::isnan(v)) {  // zero_point may be negative
+      auto bad = bytes;
+      OverwriteF32(bad, kFeatZeroPoint0At, v);
+      EXPECT_EQ(feat::FeatureCodec::Decode(bad).status().code(),
+                StatusCode::kDataLoss);
+    }
   }
 }
 

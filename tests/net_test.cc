@@ -116,6 +116,60 @@ TEST(SerializeTest, PayloadSizeLieRejected) {
   EXPECT_FALSE(DeserializePackage(bytes).ok());
 }
 
+// Rewrites a v2 image as its v1 equivalent: drop the level byte (offset 19,
+// after magic+version+sender+timestamp+roi), stamp version 1, re-seal.
+std::vector<std::uint8_t> AsV1Wire(std::vector<std::uint8_t> bytes) {
+  bytes.erase(bytes.begin() + 19);
+  bytes[4] = 1;
+  bytes[5] = 0;
+  bytes.resize(bytes.size() - 4);  // old CRC
+  const std::uint32_t crc = Crc32(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return bytes;
+}
+
+TEST(SerializeTest, V1PackagesStillParseAsRoiCloud) {
+  auto p = MakeTestPackage(96);
+  p.level = feat::ExchangeLevel::kRawCloud;  // must NOT survive the downgrade
+  const auto v1 = AsV1Wire(SerializePackage(p));
+  EXPECT_EQ(v1.size(), SerializePackage(p).size() - 1);
+  const auto back = DeserializePackage(v1);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  // v1 predates the level byte: everything it carried was an ROI cloud.
+  EXPECT_EQ(back->level, feat::ExchangeLevel::kRoiCloud);
+  EXPECT_EQ(back->sender_id, 7u);
+  EXPECT_EQ(back->payload, p.payload);
+}
+
+TEST(SerializeTest, UnknownLevelRejectedAfterCrc) {
+  auto bytes = SerializePackage(MakeTestPackage(32));
+  bytes[19] = 7;  // no such rung on the ladder
+  bytes.resize(bytes.size() - 4);
+  const std::uint32_t crc = Crc32(bytes.data(), bytes.size());
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  const auto r = DeserializePackage(bytes);
+  ASSERT_FALSE(r.ok());
+  // OUT_OF_RANGE, not DATA_LOSS: the CRC proved the bytes intact, so this is
+  // a version-skew signal (a newer sender), not corruption.
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SerializeTest, LevelRoundTripsAllRungs) {
+  for (const auto level :
+       {feat::ExchangeLevel::kRawCloud, feat::ExchangeLevel::kRoiCloud,
+        feat::ExchangeLevel::kVoxelFeatures}) {
+    auto p = MakeTestPackage(16);
+    p.level = level;
+    const auto back = DeserializePackage(SerializePackage(p));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->level, level);
+  }
+}
+
 // --- DSRC ---
 
 TEST(DsrcTest, LatencyScalesWithSize) {

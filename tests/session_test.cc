@@ -478,6 +478,73 @@ TEST(SessionParallelTest, FusionBitIdenticalAcrossThreadsAndCache) {
   ExpectBitIdentical(baseline, run(true, 4), "cached 4 threads");
 }
 
+TEST(SessionParallelTest, FeatureFusionBitIdenticalAcrossThreadsAndCache) {
+  // Same invariant for the kVoxelFeatures path: codec decode, ego-grid
+  // alignment, pseudo-point merge and maxout fusion must be bit-identical at
+  // 1 and N threads, cache on and off.  Packages go through the real wire
+  // (serialize + ReceiveWire) so the level byte is exercised end to end.
+  const sim::Scenario scenario = [] {
+    sim::Scenario sc = sim::MakeTjScenario(2);
+    sc.lidar.azimuth_steps = 900;
+    return sc;
+  }();
+  const sim::LidarSimulator lidar(scenario.lidar);
+  Rng rng(scenario.seed);
+  const geom::Vec3 mount{0, 0, scenario.lidar.sensor_height};
+  std::vector<pc::PointCloud> clouds;
+  std::vector<NavMetadata> navs;
+  for (const auto& vp : scenario.viewpoints) {
+    clouds.push_back(lidar.Scan(scenario.scene, vp.ToPose(), rng));
+    navs.push_back(NavMetadata{vp.position, vp.attitude, mount});
+  }
+
+  auto run = [&](bool cache, int threads) {
+    CooperConfig cfg = TestConfig();
+    cfg.num_threads = threads;
+    SessionConfig sc;
+    sc.cache_reconstructions = cache;
+    CooperativeSession session(cfg, sc);
+    const CooperPipeline packer(TestConfig());
+    for (std::size_t k = 1; k < clouds.size(); ++k) {
+      const ExchangePackage package = packer.MakeLeveledPackage(
+          static_cast<std::uint32_t>(k), 10.0, RoiCategory::kFrontSector,
+          feat::ExchangeLevel::kVoxelFeatures, navs[k], clouds[k]);
+      EXPECT_TRUE(
+          session.ReceiveWire(net::SerializePackage(package), 10.0).ok());
+    }
+    session.DetectCooperative(clouds[0], navs[0], 10.0);
+    return session.DetectCooperative(clouds[0], navs[0], 10.1);
+  };
+
+  const CooperOutput baseline = run(/*cache=*/false, /*threads=*/1);
+  // Feature lanes contribute pseudo-points, so the fused cloud must have
+  // grown beyond the local scan.
+  EXPECT_GT(baseline.transmitter_points, 0u);
+  EXPECT_GT(baseline.fused_cloud.size(), clouds[0].size());
+  ExpectBitIdentical(baseline, run(false, 4), "feat uncached 4 threads");
+  ExpectBitIdentical(baseline, run(true, 1), "feat cached 1 thread");
+  ExpectBitIdentical(baseline, run(true, 4), "feat cached 4 threads");
+}
+
+TEST(SessionTest, UnknownLevelPackageCountedAndRejected) {
+  // An intact package with an unknown level byte is version skew, not
+  // corruption: rejected cleanly, counted in its own stat, and the sender
+  // gains no slot.
+  CooperativeSession session(TestConfig());
+  auto wire = net::SerializePackage(TinyPackage(1, 10.0));
+  wire[19] = 7;  // level byte: no such rung
+  wire.resize(wire.size() - 4);
+  const std::uint32_t crc = net::Crc32(wire.data(), wire.size());
+  for (int i = 0; i < 4; ++i) {
+    wire.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  const Status s = session.ReceiveWire(wire, 10.0);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(session.stats().packages_rejected_level, 1u);
+  EXPECT_EQ(session.stats().packages_corrupt, 0u);
+  EXPECT_EQ(session.num_cooperators(), 0u);
+}
+
 TEST(SessionWireFaultTest, ChannelDuplicatesSplitFromRetransmits) {
   // Regression for the conflated duplicate accounting: a channel that
   // duplicates every fragment used to inflate `frames_retransmitted` even
@@ -505,7 +572,7 @@ TEST(SessionWireFaultTest, ChannelDuplicatesSplitFromRetransmits) {
   net::FaultInjector injector(profile, /*seed=*/7);
   for (const auto& frame : *frames) {
     for (const auto& delivery : injector.Apply(frame)) {
-      session.ReceiveFrame(delivery.bytes, 10.0);
+      (void)session.ReceiveFrame(delivery.bytes, 10.0);
     }
   }
   ASSERT_EQ(injector.stats().frames_duplicated, frames->size());

@@ -29,7 +29,7 @@ using namespace cooper::replay;  // NOLINT(google-build-using-namespace)
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: cooper_replay record <tj2|lossy4> <out.trace>\n"
+               "usage: cooper_replay record <tj2|lossy4|feat2> <out.trace>\n"
                "       cooper_replay info <trace>\n"
                "       cooper_replay verify <trace> [--matrix=full|smoke|none]"
                " [--threads=N]\n"
@@ -104,15 +104,17 @@ int CmdInfo(const std::vector<std::string>& args) {
               c.faults.truncate_prob, c.faults.delay_prob);
   std::size_t scan_points = 0;
   for (const auto& [id, cloud] : trace->scans) scan_points += cloud.size();
-  std::size_t wire_frames = 0, wire_packages = 0;
+  std::size_t wire_frames = 0, wire_packages = 0, feature_packages = 0;
   for (const auto& event : trace->events) {
     wire_frames += event.kind == TraceEvent::Kind::kWireFrame ? 1 : 0;
     wire_packages += event.kind == TraceEvent::Kind::kWirePackage ? 1 : 0;
+    feature_packages +=
+        event.kind == TraceEvent::Kind::kFeaturePackage ? 1 : 0;
   }
   std::printf("records:          %zu scans (%zu points), %zu wire frames, "
-              "%zu wire packages, %zu fault events\n",
+              "%zu wire packages, %zu feature packages, %zu fault events\n",
               trace->scans.size(), scan_points, wire_frames, wire_packages,
-              trace->fault_events.size());
+              feature_packages, trace->fault_events.size());
   std::printf("steps:            %u, combined digest 0x%016llx\n",
               trace->end.step_count,
               static_cast<unsigned long long>(trace->end.combined_digest));

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "core/demand.h"
 #include "core/session.h"
 #include "eval/experiment.h"
@@ -303,6 +304,12 @@ int main(int argc, char** argv) {
   COOPER_CHECK(jf != nullptr);
   const Fleet& fleet = MakeFleet();
   std::fprintf(jf, "{\n  \"mode\": \"%s\",\n", smoke ? "smoke" : "timed");
+  std::fprintf(jf,
+               "  \"cpu\": {\"features\": \"%s\", \"detected_tier\": \"%s\", "
+               "\"active_tier\": \"%s\"},\n",
+               common::simd::CpuFeatureString().c_str(),
+               common::simd::TierName(common::simd::DetectedTier()),
+               common::simd::TierName(common::simd::ActiveTier()));
   std::fprintf(jf, "  \"seeds\": {\"scan\": %llu, \"scenario\": %llu},\n",
                static_cast<unsigned long long>(kScanSeed),
                static_cast<unsigned long long>(fleet.scenario.seed));

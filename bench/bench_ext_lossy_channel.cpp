@@ -26,6 +26,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/table.h"
 #include "core/cooper.h"
 #include "eval/experiment.h"
@@ -182,6 +183,12 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(kSeed),
                  static_cast<unsigned long long>(kSeed + 17),
                  static_cast<unsigned long long>(kScanSeed));
+    std::fprintf(jf,
+                 "  \"cpu\": {\"features\": \"%s\", \"detected_tier\": \"%s\", "
+                 "\"active_tier\": \"%s\"},\n",
+                 common::simd::CpuFeatureString().c_str(),
+                 common::simd::TierName(common::simd::DetectedTier()),
+                 common::simd::TierName(common::simd::ActiveTier()));
     std::fprintf(jf,
                  "  \"config\": {\"scenario\": \"%s\", \"azimuth_steps\": %d, "
                  "\"packages_per_level\": %d, \"package_bytes\": %zu},\n",

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/table.h"
 #include "core/session.h"
 #include "eval/experiment.h"
@@ -269,6 +270,12 @@ int main(int argc, char** argv) {
   // feeding the deterministic scans.
   const Fleet& fleet = MakeFleet();
   std::fprintf(jf, "{\n  \"mode\": \"%s\",\n", smoke ? "smoke" : "timed");
+  std::fprintf(jf,
+               "  \"cpu\": {\"features\": \"%s\", \"detected_tier\": \"%s\", "
+               "\"active_tier\": \"%s\"},\n",
+               common::simd::CpuFeatureString().c_str(),
+               common::simd::TierName(common::simd::DetectedTier()),
+               common::simd::TierName(common::simd::ActiveTier()));
   std::fprintf(jf,
                "  \"seeds\": {\"scan\": %llu, \"scenario\": %llu},\n",
                static_cast<unsigned long long>(kScanSeed),

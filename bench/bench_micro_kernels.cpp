@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/status.h"
+#include "net/crc32.h"
 #include "nn/layers.h"
 #include "nn/sparse_conv.h"
 #include "nn/tensor.h"
@@ -124,6 +126,14 @@ void CheckGridsEqual(const pc::VoxelGrid& a, const pc::VoxelGrid& b,
   std::printf("  %-32s bit-identical: yes\n", what);
 }
 
+// Forces the scalar dispatch tier for the lifetime of the scope — used for
+// the paired "<kernel>_scalar" comparison rows and the scalar-vs-simd smoke
+// equality checks.  Restores auto (best detected tier) on exit.
+struct ScopedScalarMode {
+  ScopedScalarMode() { common::simd::SetMode(common::simd::Mode::kScalar); }
+  ~ScopedScalarMode() { common::simd::SetMode(common::simd::Mode::kAuto); }
+};
+
 // RNG seeds for each deterministic workload, stamped into the JSON baseline
 // so a reader can reproduce the exact inputs (see EXPERIMENTS.md "Seeds").
 constexpr std::uint64_t kVoxelizeSeed = 101;
@@ -131,6 +141,7 @@ constexpr std::uint64_t kSparseConvSeed = 202;
 constexpr std::uint64_t kConv2dSeed = 303;
 constexpr std::uint64_t kBevSeed = 404;
 constexpr std::uint64_t kIcpSeed = 505;
+constexpr std::uint64_t kCrcSeed = 606;
 
 }  // namespace
 
@@ -199,6 +210,13 @@ int main(int argc, char** argv) {
       const auto y = down.Forward(x, 1, &scratch);
       COOPER_CHECK(y.num_active() > 0);
     }));
+    {
+      ScopedScalarMode scalar;
+      results.push_back(TimeKernel("sparse_sub_rulebook_scalar", reps, [&] {
+        const auto y = sub.Forward(x, 1, &scratch);
+        COOPER_CHECK(y.num_active() == x.num_active());
+      }));
+    }
     if (smoke) {
       CheckSparseEqual(sub.ForwardMapReference(x, 1), sub.Forward(x, 1, &scratch),
                        "sub rulebook vs map probe");
@@ -207,6 +225,10 @@ int main(int argc, char** argv) {
                        "down rulebook vs map probe");
       CheckSparseEqual(sub.Forward(x, 5, &scratch), sub.Forward(x, 1, nullptr),
                        "sub 5T scratch vs 1T fresh");
+      const auto simd_y = sub.Forward(x, 1, &scratch);
+      ScopedScalarMode scalar;
+      CheckSparseEqual(sub.Forward(x, 1, &scratch), simd_y,
+                       "sub scalar vs simd dispatch");
     }
   }
 
@@ -225,6 +247,16 @@ int main(int argc, char** argv) {
       conv.ForwardInto(bev, 1, &out);
       COOPER_CHECK(out.size() > 0);
     }));
+    {
+      ScopedScalarMode scalar;
+      nn::Tensor sout;
+      conv.ForwardInto(bev, 1, &sout);
+      results.push_back(TimeKernel("conv2d_rpn_forward_scalar", reps, [&] {
+        conv.ForwardInto(bev, 1, &sout);
+        COOPER_CHECK(sout.size() > 0);
+      }));
+      if (smoke) CheckTensorEqual(sout, out, "conv2d scalar vs simd dispatch");
+    }
     if (smoke) {
       CheckTensorEqual(conv.Forward(bev, 1), out, "conv2d into vs by-value");
       nn::Tensor mt;
@@ -242,6 +274,9 @@ int main(int argc, char** argv) {
     if (smoke) {
       CheckTensorEqual(nn::SparseToBev(field), flat,
                        "sparse_to_bev out-param vs by-value");
+      ScopedScalarMode scalar;
+      CheckTensorEqual(nn::SparseToBev(field), flat,
+                       "sparse_to_bev scalar vs simd");
     }
   }
 
@@ -266,6 +301,14 @@ int main(int argc, char** argv) {
           pc::IcpAlign(source, target, geom::Pose::Identity(), cfg, &scratch);
       COOPER_CHECK(r.correspondences > 0);
     }));
+    {
+      ScopedScalarMode scalar_mode;
+      results.push_back(TimeKernel("icp_align_warm_scalar", reps, [&] {
+        const auto r =
+            pc::IcpAlign(source, target, geom::Pose::Identity(), cfg, &scratch);
+        COOPER_CHECK(r.correspondences > 0);
+      }));
+    }
     if (smoke) {
       const auto plain = pc::IcpAlign(source, target, geom::Pose::Identity(), cfg);
       const auto reused =
@@ -279,6 +322,45 @@ int main(int argc, char** argv) {
       COOPER_CHECK(plain.rms_error == reused.rms_error);
       COOPER_CHECK(plain.iterations == reused.iterations);
       std::printf("  %-32s bit-identical: yes\n", "icp scratch vs fresh");
+      ScopedScalarMode scalar_mode;
+      const auto sreused =
+          pc::IcpAlign(source, target, geom::Pose::Identity(), cfg, &scratch);
+      COOPER_CHECK(sreused.transform.translation().x ==
+                   reused.transform.translation().x);
+      COOPER_CHECK(sreused.transform.translation().y ==
+                   reused.transform.translation().y);
+      COOPER_CHECK(sreused.transform.translation().z ==
+                   reused.transform.translation().z);
+      COOPER_CHECK(sreused.rms_error == reused.rms_error);
+      COOPER_CHECK(sreused.iterations == reused.iterations);
+      std::printf("  %-32s bit-identical: yes\n", "icp scalar vs simd");
+    }
+  }
+
+  // --- Frame CRC-32 (slice-by-8 vs byte-at-a-time) ---
+  {
+    Rng rng(kCrcSeed);
+    std::vector<std::uint8_t> payload(1 << 20);
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.Uniform(0.0, 256.0));
+    }
+    std::printf("crc32: %zu byte payload\n", payload.size());
+    std::uint32_t crc_simd = 0;
+    results.push_back(TimeKernel("crc32_1mib", reps, [&] {
+      crc_simd = net::Crc32(payload.data(), payload.size());
+      COOPER_CHECK(crc_simd != 0);
+    }));
+    std::uint32_t crc_scalar = 0;
+    {
+      ScopedScalarMode scalar;
+      results.push_back(TimeKernel("crc32_1mib_scalar", reps, [&] {
+        crc_scalar = net::Crc32(payload.data(), payload.size());
+        COOPER_CHECK(crc_scalar != 0);
+      }));
+    }
+    if (smoke) {
+      COOPER_CHECK(crc_simd == crc_scalar);
+      std::printf("  %-32s bit-identical: yes\n", "crc32 scalar vs slice8");
     }
   }
 
@@ -289,18 +371,29 @@ int main(int argc, char** argv) {
   // seed of every workload and the workload dimensions themselves.
   std::fprintf(f, "{\n  \"mode\": \"%s\",\n  \"reps\": %d,\n",
                smoke ? "smoke" : "timed", reps);
+  // CPU stamp: what the machine supports and which tier auto dispatch picked
+  // — paired "<kernel>_scalar" rows below are comparable only within the
+  // same stamp.
+  std::fprintf(f,
+               "  \"cpu\": {\"features\": \"%s\", \"detected_tier\": \"%s\", "
+               "\"active_tier\": \"%s\"},\n",
+               common::simd::CpuFeatureString().c_str(),
+               common::simd::TierName(common::simd::DetectedTier()),
+               common::simd::TierName(common::simd::ActiveTier()));
   std::fprintf(f,
                "  \"seeds\": {\"voxelize\": %llu, \"sparse_conv\": %llu, "
-               "\"conv2d\": %llu, \"bev\": %llu, \"icp\": %llu},\n",
+               "\"conv2d\": %llu, \"bev\": %llu, \"icp\": %llu, \"crc\": %llu},\n",
                static_cast<unsigned long long>(kVoxelizeSeed),
                static_cast<unsigned long long>(kSparseConvSeed),
                static_cast<unsigned long long>(kConv2dSeed),
                static_cast<unsigned long long>(kBevSeed),
-               static_cast<unsigned long long>(kIcpSeed));
+               static_cast<unsigned long long>(kIcpSeed),
+               static_cast<unsigned long long>(kCrcSeed));
   std::fprintf(f,
                "  \"config\": {\"voxelize_points\": 120000, "
                "\"sparse_field\": [64, 64, 10], \"sparse_density\": 0.12, "
-               "\"bev_shape\": [16, 200, 176], \"icp_points\": 20000},\n");
+               "\"bev_shape\": [16, 200, 176], \"icp_points\": 20000, "
+               "\"crc_bytes\": 1048576},\n");
   std::fprintf(f, "  \"benchmarks\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];

@@ -1,0 +1,154 @@
+// Runtime dispatch for the common::simd kernel layer: CPU feature
+// detection (once), tier table selection, and the forced-mode knob.
+#include "common/simd.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+#include "common/simd_internal.h"
+
+namespace cooper::common::simd {
+namespace {
+
+Tier DetectTier() {
+#if defined(COOPER_SIMD_HAVE_NEON)
+  return Tier::kNeon;  // baseline on aarch64, no runtime probe needed
+#else
+#if defined(COOPER_SIMD_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return Tier::kAvx2;
+#endif
+#if defined(COOPER_SIMD_HAVE_SSE42)
+  if (__builtin_cpu_supports("sse4.2")) return Tier::kSse42;
+#endif
+  return Tier::kScalar;
+#endif
+}
+
+const Kernels* TableFor(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return &kScalarTable;
+    case Tier::kSse42:
+#if defined(COOPER_SIMD_HAVE_SSE42)
+      return &kSse42Table;
+#else
+      return nullptr;
+#endif
+    case Tier::kAvx2:
+#if defined(COOPER_SIMD_HAVE_AVX2)
+      return &kAvx2Table;
+#else
+      return nullptr;
+#endif
+    case Tier::kNeon:
+#if defined(COOPER_SIMD_HAVE_NEON)
+      return &kNeonTable;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+// The active table pointer.  Relaxed ordering is enough: tables are const
+// globals with static initialization, and a racing reader seeing the old
+// tier still gets a valid, bit-identical kernel set.
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels* DetectedTable() {
+  static const Kernels* table = TableFor(DetectTier());
+  return table;
+}
+
+}  // namespace
+
+Tier DetectedTier() { return DetectedTable()->tier; }
+
+bool TierAvailable(Tier tier) {
+  const Kernels* table = TableFor(tier);
+  if (table == nullptr) return false;
+  // Compiled in; still need the CPU to support it.  Tiers are ordered, and
+  // any CPU supporting a tier supports the lower ones on its architecture
+  // (cross-architecture tables are never compiled in together).
+  return static_cast<int>(tier) <= static_cast<int>(DetectedTier());
+}
+
+const Kernels* TierKernels(Tier tier) {
+  return TierAvailable(tier) ? TableFor(tier) : nullptr;
+}
+
+const Kernels& Active() {
+  const Kernels* table = g_active.load(std::memory_order_relaxed);
+  if (table == nullptr) {
+    table = DetectedTable();
+    g_active.store(table, std::memory_order_relaxed);
+  }
+  return *table;
+}
+
+Tier ActiveTier() { return Active().tier; }
+
+void SetMode(Mode mode) {
+  const Kernels* table = nullptr;
+  if (mode == Mode::kAuto) {
+    table = DetectedTable();
+  } else {
+    table = TierKernels(static_cast<Tier>(static_cast<int>(mode)));
+    if (table == nullptr) {
+      table = DetectedTable();
+      COOPER_LOG(Warning) << "simd mode '" << ModeName(mode)
+                          << "' unavailable on this CPU; using detected tier '"
+                          << TierName(table->tier) << "'";
+    }
+  }
+  g_active.store(table, std::memory_order_relaxed);
+}
+
+std::optional<Mode> ParseMode(const std::string& text) {
+  if (text == "auto") return Mode::kAuto;
+  if (text == "scalar") return Mode::kScalar;
+  if (text == "sse4.2") return Mode::kSse42;
+  if (text == "avx2") return Mode::kAvx2;
+  if (text == "neon") return Mode::kNeon;
+  return std::nullopt;
+}
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse42:
+      return "sse4.2";
+    case Tier::kAvx2:
+      return "avx2";
+    case Tier::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const char* ModeName(Mode mode) {
+  if (mode == Mode::kAuto) return "auto";
+  return TierName(static_cast<Tier>(static_cast<int>(mode)));
+}
+
+std::string CpuFeatureString() {
+  std::string features;
+  const auto append = [&features](const char* name) {
+    if (!features.empty()) features += ',';
+    features += name;
+  };
+#if defined(COOPER_SIMD_HAVE_NEON)
+  append("neon");
+#else
+#if defined(COOPER_SIMD_HAVE_SSE42)
+  if (__builtin_cpu_supports("sse4.2")) append("sse4.2");
+#endif
+#if defined(COOPER_SIMD_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) append("avx2");
+#endif
+#endif
+  return features.empty() ? "none" : features;
+}
+
+}  // namespace cooper::common::simd

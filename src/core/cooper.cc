@@ -1,5 +1,7 @@
 #include "core/cooper.h"
 
+#include "common/simd.h"
+#include "common/status.h"
 #include "feat/fusion.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -26,6 +28,13 @@ CooperPipeline::CooperPipeline(const CooperConfig& config)
   // Sticky: enabling is one-way so overlapping pipelines cannot strobe the
   // process-wide flag off under a pipeline that asked for it.
   if (config_.observability) obs::SetEnabled(true);
+  // Apply the SIMD dispatch knob.  Like the obs flag this is process-wide;
+  // unlike it, "auto" restores detection, so the last-constructed pipeline
+  // wins.  Results are bit-identical across tiers, so overlapping pipelines
+  // with different knobs differ only in speed.
+  const auto mode = common::simd::ParseMode(config_.simd);
+  COOPER_CHECK(mode.has_value());
+  common::simd::SetMode(*mode);
 }
 
 ExchangePackage CooperPipeline::MakePackage(std::uint32_t sender_id,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "common/timer.h"
 #include "core/exchange.h"
@@ -60,6 +61,13 @@ struct CooperConfig {
   // default: disabled cost is one relaxed atomic load per instrumentation
   // site.  See DESIGN.md "Observability".
   bool observability = false;
+  // SIMD dispatch for the kernel layer (common::simd): "auto" picks the best
+  // tier the CPU supports; "scalar" | "sse4.2" | "avx2" | "neon" force one.
+  // Process-wide (the kernel tables are global), applied at pipeline
+  // construction.  Forcing an unavailable tier clamps to the best available
+  // with a warning; an unparseable value is rejected by the constructor.
+  // Every tier produces bit-identical detections — see DESIGN.md §11.
+  std::string simd = "auto";
 };
 
 /// Output of one cooperative-perception step.

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "common/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -142,21 +143,26 @@ std::vector<std::uint8_t> FeatureCodec::Encode(const FeatureMap& map) const {
 
   // Per-channel quantization range over the *nonzero* values: zero_point is
   // the channel minimum, so q = 0 decodes back to it exactly and zeros never
-  // collide with small nonzero values.
+  // collide with small nonzero values.  The scan is site-outer so each step
+  // sweeps one contiguous feature row through the vectorized range kernel;
+  // min/max per channel still accumulate in ascending site order, matching
+  // the historical channel-outer scan bit-for-bit.
   std::vector<float> zero(channels, 0.0f);
   std::vector<float> scale(channels, 0.0f);
-  for (std::size_t c = 0; c < channels; ++c) {
-    float lo = 0.0f, hi = 0.0f;
-    bool any = false;
+  const common::simd::Kernels& kr = common::simd::Active();
+  if (channels > 0) {
+    std::vector<float> lo(channels, 0.0f);
+    std::vector<float> hi(channels, 0.0f);
+    std::vector<std::uint8_t> any(channels, 0);
     for (std::size_t i = 0; i < n; ++i) {
-      const float v = t.features.At(i, c);
-      if (v == 0.0f || !std::isfinite(v)) continue;
-      if (!any || v < lo) lo = v;
-      if (!any || v > hi) hi = v;
-      any = true;
+      kr.range_nonzero_finite(t.features.data() + i * channels, channels, lo.data(),
+                              hi.data(), any.data());
     }
-    zero[c] = lo;
-    scale[c] = static_cast<float>((static_cast<double>(hi) - lo) / qmax);
+    for (std::size_t c = 0; c < channels; ++c) {
+      zero[c] = lo[c];  // stays 0 for all-zero channels, as before
+      scale[c] =
+          static_cast<float>((static_cast<double>(hi[c]) - lo[c]) / qmax);
+    }
   }
 
   std::vector<std::uint8_t> out;
@@ -181,6 +187,8 @@ std::vector<std::uint8_t> FeatureCodec::Encode(const FeatureMap& map) const {
   }
 
   const std::vector<std::uint32_t> order = SortedSiteOrder(t);
+  std::vector<std::uint16_t> qrow(channels);
+  std::vector<std::uint8_t> arow(channels);
   std::int64_t prev[3] = {0, 0, 0};
   for (const std::uint32_t row : order) {
     const pc::VoxelCoord& c = t.coords[row];
@@ -191,18 +199,18 @@ std::vector<std::uint8_t> FeatureCodec::Encode(const FeatureMap& map) const {
     }
     const std::size_t mask_at = out.size();
     out.insert(out.end(), mask_bytes, 0);
+    if (channels == 0) continue;
+    // Vectorized per-channel quantization of the contiguous feature row;
+    // on the zero/scale values computed above it matches the historical
+    // per-element llround-then-clamp bit-for-bit (see simd.h), so the wire
+    // bytes — and the committed golden traces — are unchanged.
+    kr.quantize_row(t.features.data() + row * channels, channels, zero.data(),
+                    scale.data(), qmax, qrow.data(), arow.data());
     for (std::size_t ch = 0; ch < channels; ++ch) {
-      const float v = t.features.At(row, ch);
-      if (v == 0.0f || !std::isfinite(v)) continue;
+      if (!arow[ch]) continue;
       out[mask_at + ch / 8] |= static_cast<std::uint8_t>(1u << (ch % 8));
-      std::int64_t quant = 0;
-      if (scale[ch] > 0.0f) {
-        quant = std::llround((static_cast<double>(v) - zero[ch]) /
-                             static_cast<double>(scale[ch]));
-        quant = std::clamp<std::int64_t>(quant, 0, static_cast<std::int64_t>(qmax));
-      }
-      out.push_back(static_cast<std::uint8_t>(quant));
-      if (wide) out.push_back(static_cast<std::uint8_t>(quant >> 8));
+      out.push_back(static_cast<std::uint8_t>(qrow[ch]));
+      if (wide) out.push_back(static_cast<std::uint8_t>(qrow[ch] >> 8));
     }
   }
   COOPER_COUNT_N("feat.sites_encoded", n);
@@ -282,6 +290,9 @@ Result<FeatureMap> FeatureCodec::Decode(const std::vector<std::uint8_t>& bytes) 
                                  map.tensor.spatial_shape.y,
                                  map.tensor.spatial_shape.z};
   std::vector<std::uint8_t> mask(mask_bytes);
+  std::vector<std::uint16_t> qrow(channels);
+  std::vector<std::uint8_t> arow(channels);
+  const common::simd::Kernels& kr = common::simd::Active();
   for (std::uint32_t i = 0; i < count; ++i) {
     std::int64_t q[3];
     for (int a = 0; a < 3; ++a) {
@@ -299,20 +310,25 @@ Result<FeatureMap> FeatureCodec::Decode(const std::vector<std::uint8_t>& bytes) 
     for (std::size_t b = 0; b < mask_bytes; ++b) {
       if (!r.GetU8(&mask[b])) return DataLossError("truncated channel mask");
     }
+    // Gather the masked quant values into a dense row, then run the
+    // vectorized dequant sweep over the contiguous feature row.
     for (std::size_t ch = 0; ch < channels; ++ch) {
-      if (!(mask[ch / 8] & (1u << (ch % 8)))) continue;  // exact zero
+      const bool on = (mask[ch / 8] & (1u << (ch % 8))) != 0;
+      arow[ch] = on ? 1 : 0;  // off => exact zero
       std::uint16_t quant = 0;
-      if (wide) {
-        if (!r.GetU16(&quant)) return DataLossError("truncated feature values");
-      } else {
-        std::uint8_t narrow = 0;
-        if (!r.GetU8(&narrow)) return DataLossError("truncated feature values");
-        quant = narrow;
+      if (on) {
+        if (wide) {
+          if (!r.GetU16(&quant)) return DataLossError("truncated feature values");
+        } else {
+          std::uint8_t narrow = 0;
+          if (!r.GetU8(&narrow)) return DataLossError("truncated feature values");
+          quant = narrow;
+        }
       }
-      map.tensor.features.At(i, ch) = static_cast<float>(
-          static_cast<double>(zero[ch]) +
-          static_cast<double>(quant) * static_cast<double>(scale[ch]));
+      qrow[ch] = quant;
     }
+    kr.dequantize_row(qrow.data(), arow.data(), channels, zero.data(),
+                      scale.data(), map.tensor.features.data() + i * channels);
   }
   if (r.pos() != bytes.size()) {
     return DataLossError("trailing bytes after feature map");

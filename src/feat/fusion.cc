@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "common/flat_map.h"
+#include "common/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -53,11 +54,11 @@ AlignedFeatures AlignToGrid(const FeatureMap& map,
       }
     } else {
       // Several sender voxels quantized into one ego voxel: maxout on the
-      // spot, same semantics as the cross-map merge.
-      float* dst = features.data() + static_cast<std::size_t>(*row) * channels;
-      for (std::size_t c = 0; c < channels; ++c) {
-        dst[c] = std::max(dst[c], map.tensor.features.At(i, c));
-      }
+      // spot, same semantics as the cross-map merge.  max_into replicates
+      // std::max element-wise (keeps dst on ties/NaN), vectorized.
+      common::simd::Active().max_into(
+          features.data() + static_cast<std::size_t>(*row) * channels,
+          map.tensor.features.data() + i * channels, channels);
     }
   }
   const std::size_t kept = out.map.tensor.coords.size();
@@ -106,10 +107,9 @@ FeatureMap MaxPool(const FeatureMap& map, int factor) {
         features.push_back(map.tensor.features.At(i, ch));
       }
     } else {
-      float* dst = features.data() + static_cast<std::size_t>(*row) * channels;
-      for (std::size_t ch = 0; ch < channels; ++ch) {
-        dst[ch] = std::max(dst[ch], map.tensor.features.At(i, ch));
-      }
+      common::simd::Active().max_into(
+          features.data() + static_cast<std::size_t>(*row) * channels,
+          map.tensor.features.data() + i * channels, channels);
     }
   }
   const std::size_t kept = out.tensor.coords.size();
@@ -158,16 +158,13 @@ std::size_t MaxoutFuse(nn::SparseTensor* tensor,
           new_features.push_back(m->tensor.features.At(i, ch));
         }
       } else if (*row < base) {
-        for (std::size_t ch = 0; ch < channels; ++ch) {
-          float& dst = tensor->features.At(*row, ch);
-          dst = std::max(dst, m->tensor.features.At(i, ch));
-        }
+        common::simd::Active().max_into(&tensor->features.At(*row, 0),
+                                        m->tensor.features.data() + i * channels, channels);
       } else {
-        float* dst =
-            new_features.data() + static_cast<std::size_t>(*row - base) * channels;
-        for (std::size_t ch = 0; ch < channels; ++ch) {
-          dst[ch] = std::max(dst[ch], m->tensor.features.At(i, ch));
-        }
+        common::simd::Active().max_into(
+            new_features.data() +
+                static_cast<std::size_t>(*row - base) * channels,
+            m->tensor.features.data() + i * channels, channels);
       }
     }
   }

@@ -49,6 +49,19 @@ class Pose {
   /// Rotates a direction only (no translation).
   Vec3 RotateOnly(const Vec3& v) const { return r_ * v; }
 
+  /// Flattens to {r00,r01,r02, r10..r22, tx,ty,tz} — the layout the
+  /// common::simd rigid_transform kernel consumes.  That kernel evaluates
+  /// each component exactly as `operator*(Vec3)` does, so batched and
+  /// per-point transforms are bit-identical.
+  void PackRowMajor(double rt[12]) const {
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) rt[r * 3 + c] = r_(r, c);
+    }
+    rt[9] = t_.x;
+    rt[10] = t_.y;
+    rt[11] = t_.z;
+  }
+
  private:
   Mat3 r_;
   Vec3 t_;

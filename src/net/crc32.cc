@@ -1,34 +1,14 @@
 #include "net/crc32.h"
 
-#include <array>
+#include "common/simd.h"
 
 namespace cooper::net {
-namespace {
-
-const std::array<std::uint32_t, 256>& CrcTable() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-}  // namespace
 
 std::uint32_t Crc32(const std::uint8_t* data, std::size_t size) {
-  const auto& table = CrcTable();
-  std::uint32_t c = 0xffffffffu;
-  for (std::size_t i = 0; i < size; ++i) {
-    c = table[(c ^ data[i]) & 0xff] ^ (c >> 8);
-  }
-  return c ^ 0xffffffffu;
+  // Dispatched through common::simd: byte-at-a-time on the scalar tier,
+  // slice-by-8 on the vector tiers — same polynomial (IEEE 802.3,
+  // reflected 0xedb88320), identical result for every input.
+  return common::simd::Active().crc32(data, size);
 }
 
 }  // namespace cooper::net

@@ -1,5 +1,7 @@
 // CRC-32 (IEEE 802.3 polynomial), shared by the package wire format and the
-// transport frame layer.  Table-driven; the table is built once on first use.
+// transport frame layer.  Delegates to the common::simd dispatch layer:
+// byte-at-a-time on the scalar tier, slice-by-8 on the vector tiers — the
+// checksum is identical either way.
 #pragma once
 
 #include <cstddef>

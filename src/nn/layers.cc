@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace cooper::nn {
@@ -73,14 +74,14 @@ void Conv2d::ForwardInto(const Tensor& x, int num_threads, Tensor* out) const {
   // element still accumulates bias, then (ic, ky, kx) ascending, exactly the
   // scalar per-pixel order, so results are bit-identical at any thread count
   // (and to the pre-restructure implementation).
+  const common::simd::Kernels& k = common::simd::Active();
   common::ParallelFor(num_threads, 0, cout * oh, 8, [&](std::size_t lo,
                                                         std::size_t hi) {
     for (std::size_t row = lo; row < hi; ++row) {
       const std::size_t oc = row / oh;
       const std::size_t oy = row % oh;
       float* yrow = yd + row * ow;  // == (oc * oh + oy) * ow
-      const float b = bias_[oc];
-      for (std::size_t ox = 0; ox < ow; ++ox) yrow[ox] = b;
+      k.fill(yrow, bias_[oc], ow);
       for (std::size_t ic = 0; ic < cin; ++ic) {
         const float* wch = wd + (oc * cin + ic) * kernel_ * kernel_;
         for (std::size_t ky = 0; ky < kernel_; ++ky) {
@@ -107,11 +108,12 @@ void Conv2d::ForwardInto(const Tensor& x, int num_threads, Tensor* out) const {
                 std::min(ow, static_cast<std::size_t>(last) / stride_ + 1);
             if (lo0 >= hi0) continue;
             if (stride_ == 1) {
-              const float* xk =
-                  xrow + (static_cast<std::ptrdiff_t>(lo0) + off);
-              float* yk = yrow + lo0;
-              const std::size_t n = hi0 - lo0;
-              for (std::size_t i = 0; i < n; ++i) yk[i] += xk[i] * wv;
+              // Vectorized saxpy across independent output pixels; each
+              // element still sees mul-then-add with the same operands, so
+              // the result is bit-identical to the scalar sweep.
+              k.saxpy(yrow + lo0,
+                      xrow + (static_cast<std::ptrdiff_t>(lo0) + off), wv,
+                      hi0 - lo0);
             } else {
               for (std::size_t ox = lo0; ox < hi0; ++ox) {
                 yrow[ox] += xrow[static_cast<std::size_t>(
@@ -143,10 +145,9 @@ Tensor ConvTranspose2d::Forward(const Tensor& x) const {
   const std::size_t oh = (h - 1) * stride_ + kernel_;
   const std::size_t ow = (w - 1) * stride_ + kernel_;
   Tensor y({cout, oh, ow});
+  const common::simd::Kernels& k = common::simd::Active();
   for (std::size_t oc = 0; oc < cout; ++oc) {
-    for (std::size_t i = 0; i < oh * ow; ++i) {
-      y[oc * oh * ow + i] = bias_[oc];
-    }
+    k.fill(y.data() + oc * oh * ow, bias_[oc], oh * ow);
   }
   for (std::size_t ic = 0; ic < cin; ++ic) {
     for (std::size_t iy = 0; iy < h; ++iy) {
@@ -155,10 +156,12 @@ Tensor ConvTranspose2d::Forward(const Tensor& x) const {
         if (v == 0.0f) continue;
         for (std::size_t oc = 0; oc < cout; ++oc) {
           for (std::size_t ky = 0; ky < kernel_; ++ky) {
-            for (std::size_t kx = 0; kx < kernel_; ++kx) {
-              y.At(oc, iy * stride_ + ky, ix * stride_ + kx) +=
-                  v * weight_.At(ic, oc, ky, kx);
-            }
+            // The kx sweep is contiguous in both the output row and the
+            // weight row: a saxpy with v * w[kx], same operand order.
+            k.saxpy(&y.At(oc, iy * stride_ + ky, ix * stride_),
+                    weight_.data() +
+                        ((ic * cout + oc) * kernel_ + ky) * kernel_,
+                    v, kernel_);
           }
         }
       }

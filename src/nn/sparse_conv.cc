@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace cooper::nn {
@@ -197,13 +198,12 @@ SparseTensor SparseConv3d::Forward(const SparseTensor& x, int num_threads,
   float* yd = y.features.data();
   const float* xd = x.features.data();
 
+  const common::simd::Kernels& k = common::simd::Active();
+  const float* bd = bias_.data();
   common::ParallelFor(num_threads, 0, n_out, 256,
                       [&](std::size_t lo, std::size_t hi) {
                         for (std::size_t row = lo; row < hi; ++row) {
-                          float* yr = yd + row * out_ch_;
-                          for (std::size_t co = 0; co < out_ch_; ++co) {
-                            yr[co] = bias_[co];
-                          }
+                          std::copy(bd, bd + out_ch_, yd + row * out_ch_);
                         }
                       });
 
@@ -226,10 +226,9 @@ SparseTensor SparseConv3d::Forward(const SparseTensor& x, int num_threads,
             for (std::size_t ci = 0; ci < in_ch_; ++ci) {
               const float v = xr[ci];
               if (v == 0.0f) continue;
-              const float* wrow = wk + ci * out_ch_;
-              for (std::size_t co = 0; co < out_ch_; ++co) {
-                yr[co] += v * wrow[co];
-              }
+              // Gather-multiply-accumulate over the contiguous weight block:
+              // vectorized across output channels, mul-then-add per element.
+              k.saxpy(yr, wk + ci * out_ch_, v, out_ch_);
             }
           }
         });
@@ -393,7 +392,7 @@ void SparseToBev(const SparseTensor& x, Tensor* bev) {
       bev->dim(2) != w) {
     *bev = Tensor({c, h, w});
   } else {
-    std::fill(bev->data(), bev->data() + bev->size(), 0.0f);
+    common::simd::Active().fill(bev->data(), 0.0f, bev->size());
   }
   for (std::size_t i = 0; i < x.coords.size(); ++i) {
     const auto& vc = x.coords[i];

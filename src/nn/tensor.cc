@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/simd.h"
+
 namespace cooper::nn {
 
 Tensor::Tensor(std::vector<std::size_t> shape, float fill) : shape_(std::move(shape)) {
@@ -12,7 +14,8 @@ Tensor::Tensor(std::vector<std::size_t> shape, float fill) : shape_(std::move(sh
 }
 
 void Tensor::Relu() {
-  for (auto& v : data_) v = std::max(v, 0.0f);
+  // simd relu replicates std::max(v, 0.0f) bit-for-bit (keeps NaN and -0.0).
+  common::simd::Active().relu(data_.data(), data_.size());
 }
 
 float Tensor::MaxValue() const {
@@ -28,13 +31,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   COOPER_CHECK(a.dim(1) == b.dim(0));
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor out({m, n});
+  const common::simd::Kernels& kr = common::simd::Active();
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t p = 0; p < k; ++p) {
       const float av = a.At(i, p);
       if (av == 0.0f) continue;
-      for (std::size_t j = 0; j < n; ++j) {
-        out.At(i, j) += av * b.At(p, j);
-      }
+      kr.saxpy(out.data() + i * n, b.data() + p * n, av, n);
     }
   }
   return out;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "geom/rotation.h"
 #include "obs/metrics.h"
@@ -37,10 +38,13 @@ geom::Pose SolvePlanarRigid(const std::vector<IcpCorrespondence>& corrs) {
 }
 
 // RMS over the pair distances, summed in correspondence order so the result
-// is independent of how the gather was chunked across threads.
+// is independent of how the gather was chunked across threads.  The sum is
+// an order-pinned reduction: sum_strided runs the scalar loop in every
+// dispatch tier (d2 sits at stride sizeof(IcpCorrespondence)/sizeof(double)).
 double RmsError(const std::vector<IcpCorrespondence>& corrs) {
-  double err2 = 0.0;
-  for (const auto& c : corrs) err2 += c.d2;
+  static_assert(sizeof(IcpCorrespondence) % sizeof(double) == 0);
+  const double err2 = common::simd::Active().sum_strided(
+      &corrs[0].d2, sizeof(IcpCorrespondence) / sizeof(double), corrs.size());
   return std::sqrt(err2 / static_cast<double>(corrs.size()));
 }
 
@@ -80,13 +84,26 @@ IcpResult IcpAlign(const PointCloud& source, const PointCloud& target,
     const std::size_t num_parts = (n + kGrain - 1) / kGrain;
     if (sc.parts.size() < num_parts) sc.parts.resize(num_parts);
     for (std::size_t s = 0; s < num_parts; ++s) sc.parts[s].clear();
+    if (sc.moved.size() < n * 3) sc.moved.resize(n * 3);
+    double rt[12];
+    transform.PackRowMajor(rt);
+    const common::simd::Kernels& kr = common::simd::Active();
+    // sample[k] == k * stride by construction, so the sampled positions sit
+    // at a constant stride in the Point array: one batched rigid-transform
+    // sweep per chunk replaces the per-point Pose multiply, bit-identically.
+    constexpr std::size_t kPointStride = sizeof(Point) / sizeof(double);
+    const double* src_base = &source[0].position.x;
+    const std::size_t in_stride = stride * kPointStride;
     common::ParallelFor(
         config.num_threads, 0, n, kGrain,
         [&](std::size_t lo, std::size_t hi) {
+          kr.rigid_transform(rt, src_base + lo * in_stride, in_stride,
+                             hi - lo, sc.moved.data() + lo * 3, 3);
           auto& out = sc.parts[lo / kGrain];
           out.reserve(hi - lo);
           for (std::size_t k = lo; k < hi; ++k) {
-            const geom::Vec3 moved = transform * source[sc.sample[k]].position;
+            const geom::Vec3 moved{sc.moved[k * 3], sc.moved[k * 3 + 1],
+                                   sc.moved[k * 3 + 2]};
             const auto nn = tree.NearestWithin(moved, gate2);
             if (!nn) continue;
             out.push_back(

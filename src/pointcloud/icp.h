@@ -53,6 +53,7 @@ struct IcpCorrespondence {
 /// may be shared by successive alignments but not by concurrent ones.
 struct IcpScratch {
   std::vector<std::uint32_t> sample;
+  std::vector<double> moved;  // batched transform output, xyz per sample
   std::vector<std::vector<IcpCorrespondence>> parts;  // one per gather chunk
   std::vector<IcpCorrespondence> corrs;               // chunk-ordered merge
 };

@@ -4,10 +4,24 @@
 #include <cmath>
 #include <limits>
 
+#include "common/simd.h"
+
 namespace cooper::pc {
 
+// The batched rigid-transform kernel walks Point records as strided xyz
+// doubles; the reflectance float pads the struct to exactly 4 doubles.
+static_assert(sizeof(Point) == 4 * sizeof(double) &&
+                  offsetof(Point, position) == 0,
+              "Point must be xyz doubles + one padded float");
+
 void PointCloud::Transform(const geom::Pose& pose) {
-  for (auto& p : points_) p.position = pose * p.position;
+  if (points_.empty()) return;
+  double rt[12];
+  pose.PackRowMajor(rt);
+  constexpr std::size_t kStride = sizeof(Point) / sizeof(double);
+  double* base = &points_[0].position.x;
+  common::simd::Active().rigid_transform(rt, base, kStride, points_.size(),
+                                         base, kStride);
 }
 
 PointCloud PointCloud::Transformed(const geom::Pose& pose) const {

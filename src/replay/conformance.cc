@@ -51,6 +51,7 @@ std::string CellName(const MatrixCell& cell) {
   name += cell.reuse_scratch ? ",reuse" : ",noreuse";
   name += cell.observability ? ",obs" : ",noobs";
   name += cell.rulebook_cache ? ",rulebook" : ",norulebook";
+  name += "," + cell.simd;
   return name;
 }
 
@@ -64,6 +65,21 @@ std::vector<MatrixCell> FullMatrix(int many_threads) {
             cells.push_back(MatrixCell{threads, cache, reuse, obs, rulebook});
           }
         }
+      }
+    }
+    if (obs) continue;
+    // Forced-scalar vs auto-dispatch: scalar cells at both thread counts,
+    // with the rulebook cache on and off (the knobs the vectorized sweeps
+    // interact with).  The baseline replays under auto dispatch, so any bit
+    // produced differently by a vector kernel diverges here.  Emitted before
+    // the obs=on block so every obs-off cell still precedes the sticky flip.
+    for (const int threads : {1, many_threads}) {
+      for (const bool rulebook : {true, false}) {
+        MatrixCell scalar;
+        scalar.num_threads = threads;
+        scalar.rulebook_cache = rulebook;
+        scalar.simd = "scalar";
+        cells.push_back(scalar);
       }
     }
   }
@@ -88,6 +104,9 @@ std::vector<MatrixCell> SmokeMatrix(int many_threads) {
   MatrixCell obs;
   obs.observability = true;
   cells.push_back(obs);
+  MatrixCell scalar;
+  scalar.simd = "scalar";
+  cells.push_back(scalar);
   return cells;
 }
 
@@ -191,6 +210,7 @@ ConformanceReport RunConformance(const Trace& trace,
     overrides.reuse_scratch = cell.reuse_scratch;
     overrides.observability = cell.observability;
     overrides.rulebook_cache = cell.rulebook_cache;
+    overrides.simd = cell.simd;
     const ReplayResult replay = Replay(trace, overrides);
 
     CellResult result;

@@ -26,20 +26,28 @@ struct MatrixCell {
   bool reuse_scratch = true;
   bool observability = false;
   bool rulebook_cache = true;
+  // SIMD dispatch mode for the cell ("auto" forces nothing; "scalar" pins
+  // the reference tier).  Forced-scalar cells diff against the auto-dispatch
+  // baseline, so one diverging bit between vector and scalar kernels fails
+  // the matrix with the exact field named.
+  std::string simd = "auto";
 };
 
-/// Compact cell label: "t4,cache,noreuse,obs,rulebook".
+/// Compact cell label: "t4,cache,noreuse,obs,rulebook,scalar".
 std::string CellName(const MatrixCell& cell);
 
 /// Full cross product: {1, N} threads x cache x reuse x obs x rulebook
-/// (32 cells).  Observability-off cells come first: the obs flag is sticky
-/// process-wide, so once an obs cell has run, later cells execute with
-/// instrumentation live — harmless for outputs (that is the contract under
-/// test) but kept ordered for faithful off-cells while they last.
+/// (32 cells), plus forced-scalar cells at both thread counts with the
+/// rulebook cache on and off (36 total).  Observability-off cells come
+/// first: the obs flag is sticky process-wide, so once an obs cell has run,
+/// later cells execute with instrumentation live — harmless for outputs
+/// (that is the contract under test) but kept ordered for faithful
+/// off-cells while they last.
 std::vector<MatrixCell> FullMatrix(int many_threads = 4);
 
-/// One-factor-at-a-time matrix (6 cells): the recorded defaults plus one
-/// cell per flipped knob.  Cheap enough for sanitizer runs.
+/// One-factor-at-a-time matrix (7 cells): the recorded defaults plus one
+/// cell per flipped knob, including a forced-scalar dispatch cell.  Cheap
+/// enough for sanitizer runs.
 std::vector<MatrixCell> SmokeMatrix(int many_threads = 4);
 
 /// First diverging value between the baseline replay and one cell.

@@ -114,6 +114,7 @@ core::CooperConfig MakeReplayCooperConfig(const TraceConfig& config,
   cfg.observability = overrides.observability.value_or(config.observability);
   cfg.detector.rulebook_cache =
       overrides.rulebook_cache.value_or(config.rulebook_cache);
+  cfg.simd = overrides.simd.value_or("auto");
   return cfg;
 }
 

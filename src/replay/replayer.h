@@ -53,6 +53,11 @@ struct ReplayOverrides {
   std::optional<bool> reuse_scratch;
   std::optional<bool> observability;
   std::optional<bool> rulebook_cache;
+  // SIMD dispatch ("auto" | "scalar" | "sse4.2" | "avx2" | "neon").  The
+  // dispatch tier is deliberately NOT part of the recorded trace config —
+  // tiers are bit-identical by contract, so a trace recorded on an AVX2
+  // machine must replay exactly on a scalar-only one.  Unset replays "auto".
+  std::optional<std::string> simd;
 };
 
 /// The pipeline/session configs a trace (plus overrides) replays under.

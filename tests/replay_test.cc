@@ -472,12 +472,12 @@ TEST(DiffReplays, EarlierStageWins) {
 }
 
 TEST(Matrix, ShapesAndNames) {
-  EXPECT_EQ(FullMatrix(4).size(), 32u);
-  EXPECT_EQ(SmokeMatrix(4).size(), 6u);
+  EXPECT_EQ(FullMatrix(4).size(), 36u);
+  EXPECT_EQ(SmokeMatrix(4).size(), 7u);
   MatrixCell cell;
   cell.num_threads = 4;
   cell.cache_reconstructions = false;
-  EXPECT_EQ(CellName(cell), "t4,nocache,reuse,noobs,rulebook");
+  EXPECT_EQ(CellName(cell), "t4,nocache,reuse,noobs,rulebook,auto");
   // Sticky observability: every obs=off cell must precede every obs=on one.
   bool seen_obs = false;
   for (const MatrixCell& c : FullMatrix(4)) {

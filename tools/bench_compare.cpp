@@ -1,0 +1,136 @@
+// bench_compare — diffs a fresh bench JSON against a committed baseline and
+// flags regressions on best_ms.
+//
+//   bench_compare BASELINE.json FRESH.json [--threshold=10]
+//
+// Reads the flat benchmark-row format every BENCH_*.json writer in this repo
+// emits: objects carrying a "name" and a "best_ms" field.  Rows present in
+// both files are compared; a fresh best_ms more than --threshold percent
+// above the baseline is a regression and the tool exits 1 (so a CI step can
+// gate on it).  Rows only in the fresh file (new kernels) or only in the
+// baseline (removed kernels) are listed but never fail the run — adding a
+// benchmark must not look like breaking one.
+//
+// best_ms, not mean_ms, on purpose: best-of-reps is the low-noise statistic
+// on a shared machine (see EXPERIMENTS.md), while means absorb scheduler
+// hiccups that have nothing to do with the code under test.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+  std::string name;
+  double best_ms = 0.0;
+};
+
+/// Pulls every {"name": ..., "best_ms": ...} pair out of the bench JSON.
+/// Not a general JSON parser — it relies on the repo's writers emitting one
+/// row object per line with the name before the best_ms — but it rejects
+/// anything it cannot account for instead of guessing.
+std::vector<Row> ParseRows(const std::string& text) {
+  std::vector<Row> rows;
+  std::size_t pos = 0;
+  while ((pos = text.find("\"name\":", pos)) != std::string::npos) {
+    pos += 7;
+    const std::size_t open = text.find('"', pos);
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string::npos) break;
+    Row row;
+    row.name = text.substr(open + 1, close - open - 1);
+    const std::size_t best = text.find("\"best_ms\":", close);
+    // The next "name" must come after this row's best_ms, or the row has no
+    // timing (e.g. a config stanza) and is skipped.
+    const std::size_t next = text.find("\"name\":", close);
+    if (best != std::string::npos &&
+        (next == std::string::npos || best < next)) {
+      row.best_ms = std::strtod(text.c_str() + best + 10, nullptr);
+      rows.push_back(std::move(row));
+    }
+    pos = close;
+  }
+  return rows;
+}
+
+std::string ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+const Row* Find(const std::vector<Row>& rows, const std::string& name) {
+  for (const Row& r : rows) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold_pct = 10.0;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold_pct = std::strtod(argv[i] + 12, nullptr);
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE.json FRESH.json "
+                 "[--threshold=PCT]\n");
+    return 2;
+  }
+  const std::vector<Row> baseline = ParseRows(ReadFile(paths[0]));
+  const std::vector<Row> fresh = ParseRows(ReadFile(paths[1]));
+  if (baseline.empty() || fresh.empty()) {
+    std::fprintf(stderr, "bench_compare: no benchmark rows with best_ms in %s\n",
+                 baseline.empty() ? paths[0] : paths[1]);
+    return 2;
+  }
+
+  std::printf("%-34s %12s %12s %9s\n", "benchmark", "baseline ms", "fresh ms",
+              "delta");
+  int regressions = 0;
+  for (const Row& b : baseline) {
+    const Row* f = Find(fresh, b.name);
+    if (f == nullptr) {
+      std::printf("%-34s %12.3f %12s %9s\n", b.name.c_str(), b.best_ms,
+                  "-", "removed");
+      continue;
+    }
+    const double delta_pct =
+        b.best_ms > 0 ? (f->best_ms - b.best_ms) / b.best_ms * 100.0 : 0.0;
+    const bool regressed = delta_pct > threshold_pct;
+    std::printf("%-34s %12.3f %12.3f %+8.1f%%%s\n", b.name.c_str(), b.best_ms,
+                f->best_ms, delta_pct, regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  for (const Row& f : fresh) {
+    if (Find(baseline, f.name) == nullptr) {
+      std::printf("%-34s %12s %12.3f %9s\n", f.name.c_str(), "-", f.best_ms,
+                  "new");
+    }
+  }
+  if (regressions > 0) {
+    std::printf("\n%d benchmark(s) regressed more than %.1f%% on best_ms\n",
+                regressions, threshold_pct);
+    return 1;
+  }
+  std::printf("\nno best_ms regression above %.1f%%\n", threshold_pct);
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Extension: edge fusion service under load.
+//
+// Drives the serve:: load harness — one EdgeService fusing an entire fleet
+// over a shared DSRC channel — across a vehicles x arrival-rate sweep.  The
+// reported best_ms per cell is the *virtual* p99 fusion latency (modeled
+// finish minus request time): a pure function of the seed and the config,
+// bit-stable across machines and thread counts, which is exactly what a
+// regression gate wants.  Real wall time per cell is recorded alongside for
+// information but never gated — it measures this machine, not the code.
+//
+// Two modes:
+//   default  — timed sweep over vehicles {16, 64} x arrival {10, 20, 30} Hz.
+//              Baseline cells run under capacity (zero deadline misses); the
+//              30 Hz cells oversubscribe the modeled cores so admission
+//              shedding and deadline drops show up in the row counters.
+//              Writes BENCH_serve.json (override with --out=PATH); the
+//              committed baseline in the repo root is produced this way.
+//   --smoke  — the determinism contract, no timing: records one run
+//              (threads=1, shards=1) and verifies the trace bit-identically
+//              under {4 threads, 4 shards, both}, asserts zero deadline
+//              misses at the baseline rate and that every vehicle fused at
+//              least once.  This is what the `perf`/`serve` ctest labels
+//              run, including under the sanitizer presets (which shrink the
+//              fleet via --vehicles).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/simd.h"
+#include "common/status.h"
+#include "serve/load.h"
+
+using namespace cooper;
+
+namespace {
+
+constexpr std::uint64_t kLoadSeed = 4242;
+
+// One edge node's serve config for this workload: eight modeled cores at
+// ~5 ms per fused frame put the 64-vehicle 10 Hz baseline at ~0.4
+// utilisation (zero misses by design), while 30 Hz oversubscribes it.
+serve::LoadConfig BenchConfig(std::uint32_t vehicles, double arrival_hz) {
+  serve::LoadConfig cfg = serve::MakeLoadConfig();
+  cfg.name = "edge-bench";
+  cfg.seed = kLoadSeed;
+  cfg.vehicles = vehicles;
+  cfg.cooperators = 2;
+  cfg.arrival_hz = arrival_hz;
+  cfg.horizon_s = 0.15;
+  cfg.serve.modeled_cores = 8;
+  cfg.serve.per_point_us = 1.0;
+  // A 32-deep queue puts the ladder's depth fractions in reach of the
+  // oversubscribed sweep cells (the baseline cells stay well under the 50%
+  // step), so downgrades show up in the row counters, not just in tests.
+  cfg.serve.max_queue = 32;
+  return cfg;
+}
+
+struct SweepRow {
+  std::uint32_t vehicles = 0;
+  double arrival_hz = 0.0;
+  serve::LoadReport report;
+};
+
+void RunSmoke(std::uint32_t vehicles) {
+  serve::LoadConfig cfg = BenchConfig(vehicles, 10.0);
+  replay::TraceWriter trace;
+  const serve::LoadReport recorded = serve::RunLoad(cfg, &trace);
+
+  std::printf("recorded: %zu events, digest %016llx, %zu fusions, "
+              "%zu misses\n",
+              recorded.events,
+              static_cast<unsigned long long>(recorded.event_digest),
+              recorded.fusions, recorded.deadline_missed);
+  COOPER_CHECK(recorded.deadline_missed == 0);  // baseline is under capacity
+  COOPER_CHECK(recorded.vehicles.size() == vehicles);
+  for (const auto& [id, state] : recorded.vehicles) {
+    COOPER_CHECK(state.fusions >= 1);
+    COOPER_CHECK(state.last_digest != 0);
+  }
+
+  // The contract: the recorded stream re-verifies bit-identically under any
+  // real thread count and any shard count.
+  for (const auto& [threads, shards] :
+       std::vector<std::pair<int, int>>{{4, 1}, {1, 4}, {4, 4}}) {
+    serve::VerifyOverrides ov;
+    ov.threads = threads;
+    ov.shards = shards;
+    const auto verdict = serve::VerifyLoadTrace(trace.bytes(), ov);
+    COOPER_CHECK(verdict.ok());
+    COOPER_CHECK(verdict->mismatches == 0);
+    COOPER_CHECK(verdict->digest_match);
+    COOPER_CHECK(verdict->events_compared == recorded.events);
+    for (const auto& [id, state] : recorded.vehicles) {
+      COOPER_CHECK(verdict->rerun.vehicles.at(id).chained_digest ==
+                   state.chained_digest);
+    }
+    std::printf("  threads=%d shards=%zu%-24s bit-identical: yes\n", threads,
+                static_cast<std::size_t>(shards), "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::uint32_t vehicles = 64;
+  std::string out_path = "BENCH_serve.json";
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+      trace_path = argv[i] + 8;
+    else if (std::strncmp(argv[i], "--vehicles=", 11) == 0)
+      vehicles = static_cast<std::uint32_t>(std::atoi(argv[i] + 11));
+  }
+  std::printf("Cooper extension — edge fusion service (%s mode, %u-vehicle "
+              "fleet)\n\n",
+              smoke ? "smoke" : "timed", vehicles);
+
+  std::vector<SweepRow> rows;
+  if (smoke) {
+    RunSmoke(vehicles);
+  } else {
+    for (const std::uint32_t v : {16u, 64u}) {
+      for (const double hz : {10.0, 20.0, 30.0}) {
+        SweepRow row;
+        row.vehicles = v;
+        row.arrival_hz = hz;
+        row.report = serve::RunLoad(BenchConfig(v, hz));
+        std::printf(
+            "  v%-3u r%-3.0f  p99 %7.2f ms  p50 %6.2f ms  fusions %4zu  "
+            "missed %4zu  adm %4zu dwn %3zu rej %4zu  wall %7.1f ms\n",
+            v, hz, row.report.virtual_p99_ms, row.report.virtual_p50_ms,
+            row.report.fusions, row.report.deadline_missed,
+            row.report.exchanges_admitted, row.report.exchanges_downgraded,
+            row.report.exchanges_rejected, row.report.wall_ms);
+        rows.push_back(row);
+      }
+    }
+  }
+
+  // Optionally record the smoke-config trace for downstream tools
+  // (cooper_serve_report reads it).
+  if (!trace_path.empty()) {
+    replay::TraceWriter trace;
+    (void)serve::RunLoad(BenchConfig(vehicles, 10.0), &trace);
+    COOPER_CHECK(trace.WriteFile(trace_path).ok());
+    std::printf("\nwrote %s\n", trace_path.c_str());
+  }
+
+  std::FILE* jf = std::fopen(out_path.c_str(), "w");
+  COOPER_CHECK(jf != nullptr);
+  std::fprintf(jf, "{\n  \"mode\": \"%s\",\n", smoke ? "smoke" : "timed");
+  std::fprintf(jf,
+               "  \"cpu\": {\"features\": \"%s\", \"detected_tier\": \"%s\", "
+               "\"active_tier\": \"%s\"},\n",
+               common::simd::CpuFeatureString().c_str(),
+               common::simd::TierName(common::simd::DetectedTier()),
+               common::simd::TierName(common::simd::ActiveTier()));
+  std::fprintf(jf, "  \"seeds\": {\"load\": %llu},\n",
+               static_cast<unsigned long long>(kLoadSeed));
+  std::fprintf(jf,
+               "  \"config\": {\"cooperators\": 2, \"horizon_s\": 0.15, "
+               "\"modeled_cores\": 8, \"deadline_ms\": 100.0, "
+               "\"sweep_vehicles\": [16, 64], \"sweep_arrival_hz\": "
+               "[10, 20, 30]},\n");
+  // best_ms is the modeled p99 — deterministic, so the bench_compare gate
+  // flags behaviour changes, never machine noise.  wall_ms is informational.
+  std::fprintf(jf, "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(
+        jf,
+        "    {\"name\": \"serve/v%u_r%.0f\", \"best_ms\": %.4f, "
+        "\"virtual_p50_ms\": %.4f, \"fusions\": %zu, \"deadline_missed\": "
+        "%zu, \"admitted\": %zu, \"downgraded\": %zu, \"rejected\": %zu, "
+        "\"frames_delivered\": %zu, \"event_digest\": \"%016llx\", "
+        "\"wall_ms\": %.1f}%s\n",
+        r.vehicles, r.arrival_hz, r.report.virtual_p99_ms,
+        r.report.virtual_p50_ms, r.report.fusions, r.report.deadline_missed,
+        r.report.exchanges_admitted, r.report.exchanges_downgraded,
+        r.report.exchanges_rejected, r.report.frames_delivered,
+        static_cast<unsigned long long>(r.report.event_digest),
+        r.report.wall_ms, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(jf, "  ]\n}\n");
+  std::fclose(jf);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (smoke) {
+    std::printf("smoke checks passed: serve events bit-identical across "
+                "thread and shard counts, zero deadline misses at baseline\n");
+  }
+  return 0;
+}

@@ -127,6 +127,16 @@ class CooperativeSession {
     return pipeline_.DetectSingleShot(local_cloud);
   }
 
+  /// Housekeeping sweep for a session that is idle at `now_s`: expires aged
+  /// packages and stale partial reassemblies without running a fusion.  The
+  /// receive/detect paths already sweep inline; this entry point exists for
+  /// a service hosting many sessions, where a vehicle that stops sending
+  /// would otherwise pin its buffers until the next fusion touches them.
+  void Sweep(double now_s) {
+    ExpireOld(now_s);
+    ExpireStaleReassembly(now_s);
+  }
+
   /// Senders currently holding a fresh slot.
   std::vector<std::uint32_t> Cooperators() const;
 

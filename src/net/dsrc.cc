@@ -15,19 +15,19 @@ double DsrcChannel::LatencyMs(std::size_t bytes) const {
 TransmitReport DsrcChannel::Transmit(std::size_t bytes, Rng& rng) {
   TransmitReport report;
   report.bytes = bytes;
-  ++total_messages_;
+  total_messages_.fetch_add(1, std::memory_order_relaxed);
   // A lost message still burned its airtime on the shared channel.
-  total_bytes_on_air_ += bytes;
+  total_bytes_on_air_.fetch_add(bytes, std::memory_order_relaxed);
   COOPER_COUNT("dsrc.messages");
   COOPER_COUNT_N("dsrc.bytes_on_air", bytes);
   if (config_.loss_prob > 0.0 && rng.Bernoulli(config_.loss_prob)) {
-    ++total_dropped_;
+    total_dropped_.fetch_add(1, std::memory_order_relaxed);
     COOPER_COUNT("dsrc.messages_dropped");
     return report;  // delivered = false
   }
   report.delivered = true;
   report.latency_ms = LatencyMs(bytes);
-  total_bytes_delivered_ += bytes;
+  total_bytes_delivered_.fetch_add(bytes, std::memory_order_relaxed);
   COOPER_COUNT_N("dsrc.bytes_delivered", bytes);
   return report;
 }

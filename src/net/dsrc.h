@@ -8,6 +8,7 @@
 // to evaluate feasibility and failure handling without a radio PHY.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +34,26 @@ class DsrcChannel {
  public:
   explicit DsrcChannel(const DsrcConfig& config = {}) : config_(config) {}
 
+  // Counters are atomic (see below), which deletes the default copy
+  // operations; copying a channel mid-simulation is still meaningful (fork a
+  // what-if from current accounting), so restore them with a counter snapshot.
+  DsrcChannel(const DsrcChannel& other)
+      : config_(other.config_),
+        total_bytes_on_air_(other.total_bytes_on_air()),
+        total_bytes_delivered_(other.total_bytes_delivered()),
+        total_messages_(other.total_messages()),
+        total_dropped_(other.total_dropped()) {}
+  DsrcChannel& operator=(const DsrcChannel& other) {
+    config_ = other.config_;
+    total_bytes_on_air_.store(other.total_bytes_on_air(),
+                              std::memory_order_relaxed);
+    total_bytes_delivered_.store(other.total_bytes_delivered(),
+                                 std::memory_order_relaxed);
+    total_messages_.store(other.total_messages(), std::memory_order_relaxed);
+    total_dropped_.store(other.total_dropped(), std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Simulates one message transmission.
   TransmitReport Transmit(std::size_t bytes, Rng& rng);
 
@@ -48,19 +69,34 @@ class DsrcChannel {
   /// tracked separately: a dropped message still occupies the channel for its
   /// serialization time (`total_bytes_on_air`), but only delivered messages
   /// count toward application goodput (`total_bytes_delivered`).
-  std::size_t total_bytes_on_air() const { return total_bytes_on_air_; }
-  std::size_t total_bytes_delivered() const { return total_bytes_delivered_; }
-  std::size_t total_messages() const { return total_messages_; }
-  std::size_t total_dropped() const { return total_dropped_; }
+  ///
+  /// The counters are relaxed atomics so one channel can serve as the shared
+  /// airtime budget of an edge node: every per-vehicle `Transport` debits the
+  /// same accounting even when senders run on different worker threads.  Each
+  /// counter is individually exact; a cross-counter read while senders are
+  /// active may mix transmissions in flight, so totals should be compared
+  /// after the senders quiesce.
+  std::size_t total_bytes_on_air() const {
+    return total_bytes_on_air_.load(std::memory_order_relaxed);
+  }
+  std::size_t total_bytes_delivered() const {
+    return total_bytes_delivered_.load(std::memory_order_relaxed);
+  }
+  std::size_t total_messages() const {
+    return total_messages_.load(std::memory_order_relaxed);
+  }
+  std::size_t total_dropped() const {
+    return total_dropped_.load(std::memory_order_relaxed);
+  }
 
   const DsrcConfig& config() const { return config_; }
 
  private:
   DsrcConfig config_;
-  std::size_t total_bytes_on_air_ = 0;
-  std::size_t total_bytes_delivered_ = 0;
-  std::size_t total_messages_ = 0;
-  std::size_t total_dropped_ = 0;
+  std::atomic<std::size_t> total_bytes_on_air_{0};
+  std::atomic<std::size_t> total_bytes_delivered_{0};
+  std::atomic<std::size_t> total_messages_{0};
+  std::atomic<std::size_t> total_dropped_{0};
 };
 
 /// Per-second traffic accounting for an exchange schedule (Fig. 12): given

@@ -123,15 +123,42 @@ void Reassembler::RememberCompleted(std::uint64_t key) {
   }
 }
 
+void Reassembler::DropPartial(std::map<std::uint64_t, Partial>::iterator it) {
+  buffered_bytes_ -= it->second.stored_bytes;
+  partials_.erase(it);
+}
+
 void Reassembler::EvictIfOverCapacity() {
   if (partials_.size() < kMaxPending) return;
   auto victim = partials_.begin();
   for (auto it = partials_.begin(); it != partials_.end(); ++it) {
     if (it->second.last_activity_ms < victim->second.last_activity_ms) victim = it;
   }
-  partials_.erase(victim);
+  DropPartial(victim);
   ++stats_.packages_expired;
   COOPER_COUNT("reassembly.packages_expired");
+}
+
+void Reassembler::EnforceGlobalBudget() {
+  if (config_.max_reassembly_bytes == 0) return;
+  // Whole partial packages go, stalest first (ascending map order breaks
+  // activity ties toward the lowest key), until the budget holds again.  A
+  // half-received package is worthless without its remainder, so evicting the
+  // one least likely to finish frees the most memory at the least cost.
+  while (buffered_bytes_ > config_.max_reassembly_bytes && !partials_.empty()) {
+    auto victim = partials_.begin();
+    for (auto it = partials_.begin(); it != partials_.end(); ++it) {
+      if (it->second.last_activity_ms < victim->second.last_activity_ms) {
+        victim = it;
+      }
+    }
+    const std::size_t frames = victim->second.fragments.size();
+    stats_.frames_evicted_global += frames;
+    COOPER_COUNT_N("reassembly.frames_evicted_global", frames);
+    DropPartial(victim);
+    ++stats_.packages_expired;
+    COOPER_COUNT("reassembly.packages_expired");
+  }
 }
 
 Reassembler::Event Reassembler::Offer(const std::vector<std::uint8_t>& frame_bytes,
@@ -185,11 +212,15 @@ Reassembler::Event Reassembler::Offer(const std::vector<std::uint8_t>& frame_byt
     event.kind = Event::Kind::kDuplicate;
     return event;
   }
+  const std::size_t payload_bytes = frame.payload.size();
   partial.fragments.emplace(frame.frag_index, std::move(frame.payload));
+  partial.stored_bytes += payload_bytes;
+  buffered_bytes_ += payload_bytes;
   ++stats_.frames_accepted;
   COOPER_COUNT("reassembly.frames_accepted");
 
   if (partial.fragments.size() < partial.frag_count) {
+    EnforceGlobalBudget();
     event.kind = Event::Kind::kFrameAccepted;
     return event;
   }
@@ -201,7 +232,7 @@ Reassembler::Event Reassembler::Offer(const std::vector<std::uint8_t>& frame_byt
   for (const auto& [index, payload] : partial.fragments) {
     package.insert(package.end(), payload.begin(), payload.end());
   }
-  partials_.erase(it);
+  DropPartial(it);
   RememberCompleted(key);
   if (package.size() == expected_bytes) {
     ++stats_.packages_completed;
@@ -236,6 +267,7 @@ std::size_t Reassembler::ExpireStale(double now_ms) {
   std::size_t expired = 0;
   for (auto it = partials_.begin(); it != partials_.end();) {
     if (now_ms - it->second.last_activity_ms > config_.reassembly_timeout_ms) {
+      buffered_bytes_ -= it->second.stored_bytes;
       it = partials_.erase(it);
       ++stats_.packages_expired;
       COOPER_COUNT("reassembly.packages_expired");
@@ -248,7 +280,9 @@ std::size_t Reassembler::ExpireStale(double now_ms) {
 }
 
 void Reassembler::Abandon(std::uint32_t sender_id, std::uint32_t package_seq) {
-  if (partials_.erase(Key(sender_id, package_seq)) > 0) {
+  const auto it = partials_.find(Key(sender_id, package_seq));
+  if (it != partials_.end()) {
+    DropPartial(it);
     ++stats_.packages_expired;
     COOPER_COUNT("reassembly.packages_expired");
   }
@@ -301,11 +335,12 @@ Result<TransportDelivery> Transport::SendPackage(
     // Frames go out back-to-back; each occupies the channel for its
     // serialization time whether or not the channel drops it.
     std::vector<Arrival> arrivals;
+    DsrcChannel& chan = channel();
     for (const std::uint16_t idx : pending) {
       const auto& frame = frames[idx];
-      const TransmitReport report = channel_.Transmit(frame.size(), rng);
+      const TransmitReport report = chan.Transmit(frame.size(), rng);
       const double tx_ms =
-          channel_.LatencyMs(frame.size()) - channel_.config().access_latency_ms;
+          chan.LatencyMs(frame.size()) - chan.config().access_latency_ms;
       if (report.delivered) {
         if (faults != nullptr) {
           for (auto& delivery : faults->Apply(frame)) {

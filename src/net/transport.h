@@ -50,6 +50,16 @@ struct TransportConfig {
   double backoff_factor = 2.0;      // exponential growth per round
   double max_backoff_ms = 80.0;     // backoff cap
   double reassembly_timeout_ms = 1000.0;  // partial packages expire after this
+  // Global cross-sender cap on the bytes a Reassembler may buffer across
+  // *all* partial packages.  The kMaxPending partial-count bound alone does
+  // not bound memory: 64 concurrent senders can each legitimately stream a
+  // megabyte-class package, so an edge node fanning many vehicles into per
+  // session reassemblers needs a byte budget too.  When a stored fragment
+  // pushes the total over the cap, whole partial packages are evicted
+  // stalest-first (ties evict the lowest key) until it fits; every fragment
+  // discarded that way counts in `frames_evicted_global`.  0 disables the
+  // cap.
+  std::size_t max_reassembly_bytes = 32u << 20;
 };
 
 /// One transport frame, decoded.
@@ -80,6 +90,9 @@ struct ReassemblyStats {
                                         // overlap or channel duplication)
   std::size_t frames_corrupt = 0;       // CRC/parse failure
   std::size_t frames_inconsistent = 0;  // header disagrees with first-seen
+  std::size_t frames_evicted_global = 0;  // stored fragments discarded when
+                                          // the cross-sender byte cap evicted
+                                          // their partial package
   std::size_t packages_completed = 0;
   std::size_t packages_corrupt = 0;     // completed but size mismatch
   std::size_t packages_expired = 0;     // timed out / abandoned incomplete
@@ -133,12 +146,16 @@ class Reassembler {
   void Abandon(std::uint32_t sender_id, std::uint32_t package_seq);
 
   std::size_t pending_packages() const { return partials_.size(); }
+  /// Fragment payload bytes currently buffered across every partial package
+  /// (bounded by `TransportConfig::max_reassembly_bytes`).
+  std::size_t buffered_bytes() const { return buffered_bytes_; }
   const ReassemblyStats& stats() const { return stats_; }
 
  private:
   struct Partial {
     std::uint16_t frag_count = 0;
     std::uint32_t package_bytes = 0;
+    std::size_t stored_bytes = 0;  // sum of buffered fragment payloads
     std::map<std::uint16_t, std::vector<std::uint8_t>> fragments;
     double last_activity_ms = 0.0;
   };
@@ -148,10 +165,13 @@ class Reassembler {
   }
   void RememberCompleted(std::uint64_t key);
   void EvictIfOverCapacity();
+  void EnforceGlobalBudget();
+  void DropPartial(std::map<std::uint64_t, Partial>::iterator it);
 
   TransportConfig config_;
   std::map<std::uint64_t, Partial> partials_;
   std::vector<std::uint64_t> completed_ring_;  // recently completed keys
+  std::size_t buffered_bytes_ = 0;
   ReassemblyStats stats_;
 };
 
@@ -182,6 +202,16 @@ class Transport {
                      const DsrcConfig& channel = {})
       : config_(config), channel_(channel), reassembler_(config) {}
 
+  /// Shares one `DsrcChannel` between many transports: every link of an edge
+  /// node draws airtime from (and accounts into) the same channel budget,
+  /// which is how a real shared DSRC service channel behaves.  The channel
+  /// must outlive the transport; its counters are atomic, so concurrent
+  /// senders may share it (each with its own Rng).
+  Transport(const TransportConfig& config, DsrcChannel* shared_channel)
+      : config_(config),
+        shared_channel_(shared_channel),
+        reassembler_(config) {}
+
   /// Delivers `package_bytes` or fails with UNAVAILABLE after the retry
   /// budget, INVALID_ARGUMENT if it cannot be fragmented.
   Result<TransportDelivery> SendPackage(
@@ -198,7 +228,10 @@ class Transport {
     frame_tap_ = std::move(tap);
   }
 
-  DsrcChannel& channel() { return channel_; }
+  /// The active channel: the shared one when attached, else the owned one.
+  DsrcChannel& channel() {
+    return shared_channel_ != nullptr ? *shared_channel_ : channel_;
+  }
   Reassembler& reassembler() { return reassembler_; }
   const TransportConfig& config() const { return config_; }
   const TransportStats& stats() const { return stats_; }
@@ -207,6 +240,7 @@ class Transport {
  private:
   TransportConfig config_;
   DsrcChannel channel_;
+  DsrcChannel* shared_channel_ = nullptr;  // not owned; wins over channel_
   Reassembler reassembler_;
   TransportStats stats_;
   std::function<void(double, const std::vector<std::uint8_t>&)> frame_tap_;

@@ -93,6 +93,15 @@ Result<Trace> ParseTrace(const std::vector<std::uint8_t>& bytes) {
         have_end = true;
         break;
       }
+      case RecordTag::kServeEvent: {
+        // Serve traces carry their own verifier (serve::VerifyLoadTrace);
+        // the pipeline replayer only validates the record and moves on so a
+        // mixed trace still parses.
+        COOPER_ASSIGN_OR_RETURN(ServeEventRecord serve_event,
+                                DecodeServeEvent(record.payload));
+        (void)serve_event;
+        break;
+      }
     }
   }
   if (!have_config) return DataLossError("trace holds no config record");

@@ -135,7 +135,7 @@ struct ByteReader {
 
 bool KnownTag(std::uint8_t tag) {
   return tag >= static_cast<std::uint8_t>(RecordTag::kConfig) &&
-         tag <= static_cast<std::uint8_t>(RecordTag::kFeaturePackage);
+         tag <= static_cast<std::uint8_t>(RecordTag::kServeEvent);
 }
 
 }  // namespace
@@ -151,6 +151,7 @@ const char* RecordTagName(RecordTag tag) {
     case RecordTag::kStepDigest: return "step_digest";
     case RecordTag::kEnd: return "end";
     case RecordTag::kFeaturePackage: return "feature_package";
+    case RecordTag::kServeEvent: return "serve_event";
   }
   return "unknown";
 }
@@ -328,6 +329,21 @@ void TraceWriter::AppendFaultEvent(const FaultEventRecord& e) {
   PutF64(p, e.extra_delay_ms[0]);
   PutF64(p, e.extra_delay_ms[1]);
   Append(RecordTag::kFaultEvent, p);
+}
+
+void TraceWriter::AppendServeEvent(const ServeEventRecord& e) {
+  std::vector<std::uint8_t> p;
+  p.reserve(kServeEventBytes);
+  PutU8(p, static_cast<std::uint8_t>(e.kind));
+  PutU64(p, e.time_us);
+  PutU32(p, e.vehicle);
+  PutU32(p, e.shard);
+  PutU8(p, e.level);
+  PutU32(p, e.queue_depth);
+  PutU64(p, e.arg0);
+  PutU64(p, e.arg1);
+  COOPER_CHECK(p.size() == kServeEventBytes);
+  Append(RecordTag::kServeEvent, p);
 }
 
 void TraceWriter::AppendStepDigest(const StepDigest& d) {
@@ -519,6 +535,47 @@ Result<FaultEventRecord> DecodeFaultEvent(
     return DataLossError("fault_event payload has trailing bytes");
   }
   return e;
+}
+
+Result<ServeEventRecord> DecodeServeEvent(
+    const std::vector<std::uint8_t>& payload) {
+  // Fixed-size payload: reject any other length up front so a lying record
+  // cannot smuggle trailing bytes past the field decode.
+  if (payload.size() != kServeEventBytes) {
+    return DataLossError("serve_event payload size mismatch");
+  }
+  ByteReader r{payload.data(), payload.size()};
+  ServeEventRecord e;
+  std::uint8_t kind = 0;
+  if (!r.GetU8(&kind) || !r.GetU64(&e.time_us) || !r.GetU32(&e.vehicle) ||
+      !r.GetU32(&e.shard) || !r.GetU8(&e.level) || !r.GetU32(&e.queue_depth) ||
+      !r.GetU64(&e.arg0) || !r.GetU64(&e.arg1)) {
+    return Truncated("serve_event");
+  }
+  if (kind < static_cast<std::uint8_t>(ServeEventKind::kSetup) ||
+      kind > static_cast<std::uint8_t>(ServeEventKind::kSummary)) {
+    return DataLossError("serve_event kind out of range");
+  }
+  // Levels 0..2 are the exchange ladder; 3 marks "not applicable".
+  if (e.level > 3) return DataLossError("serve_event level out of range");
+  e.kind = static_cast<ServeEventKind>(kind);
+  return e;
+}
+
+std::uint64_t DigestServeEvent(const ServeEventRecord& event,
+                               std::uint64_t seed) {
+  // Shard-invariant fields only — see the header comment on
+  // ServeEventRecord.  Field order is part of the digest definition.
+  std::uint64_t h = seed;
+  const std::uint8_t kind = static_cast<std::uint8_t>(event.kind);
+  h = DigestBytes(&kind, 1, h);
+  h = DigestU64(h, event.time_us);
+  h = DigestU64(h, event.vehicle);
+  h = DigestBytes(&event.level, 1, h);
+  h = DigestU64(h, event.queue_depth);
+  h = DigestU64(h, event.arg0);
+  h = DigestU64(h, event.arg1);
+  return h;
 }
 
 Result<StepDigest> DecodeStepDigest(const std::vector<std::uint8_t>& payload) {

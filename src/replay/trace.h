@@ -62,6 +62,9 @@ enum class RecordTag : std::uint8_t {
   kEnd = 8,         // combined digest over all steps; terminates the trace
   kFeaturePackage = 9,  // one feature-level package as delivered (same
                         // payload shape as kWirePackage; ReceiveWire input)
+  kServeEvent = 10,     // one edge-service scheduler event (see
+                        // ServeEventRecord); covers the serve path in the
+                        // conformance matrix
 };
 
 const char* RecordTagName(RecordTag tag);
@@ -133,6 +136,48 @@ struct FaultEventRecord {
   double extra_delay_ms[2] = {0.0, 0.0};
 };
 
+/// What one edge-service event was (see `serve::EdgeService`).  The numeric
+/// values are wire format — append only.
+enum class ServeEventKind : std::uint8_t {
+  kSetup = 1,         // one serve-config scalar (index in `vehicle`, bit
+                      // pattern in `arg0`) — written before the event stream
+  kAdmit = 2,         // cooperator exchange admitted at `level`
+  kDowngrade = 3,     // admission ladder stepped the exchange down to `level`
+  kReject = 4,        // exchange (or fusion job) shed entirely
+  kJobStart = 5,      // fusion job left the queue for a modeled core
+  kJobComplete = 6,   // fusion finished; `arg0` = detections digest
+  kDeadlineMiss = 7,  // job dropped: it could not finish inside its deadline
+  kSummary = 8,       // final tallies: `arg0` = event digest so far,
+                      // `arg1` = packed counters
+};
+
+/// One edge-service scheduler event.  Fixed 38-byte payload:
+/// u8 kind | u64 time_us | u32 vehicle | u32 shard | u8 level |
+/// u32 queue_depth | u64 arg0 | u64 arg1.
+///
+/// `shard` is *excluded* from event digests on purpose: the determinism
+/// contract says shard count must not change outcomes, so digests cover only
+/// shard-invariant fields and a replay under a different shard count still
+/// verifies.  `time_us` is virtual (scheduler) time, never wall clock.
+struct ServeEventRecord {
+  ServeEventKind kind = ServeEventKind::kSetup;
+  std::uint64_t time_us = 0;      // virtual time, microseconds
+  std::uint32_t vehicle = 0;      // vehicle id (or setup-scalar index)
+  std::uint32_t shard = 0;        // shard the vehicle hashed to (informational)
+  std::uint8_t level = 0;         // feat::ExchangeLevel ordinal (0..2), 3 = n/a
+  std::uint32_t queue_depth = 0;  // global fusion queue depth at event time
+  std::uint64_t arg0 = 0;         // kind-specific (digest, scalar bits, ...)
+  std::uint64_t arg1 = 0;         // kind-specific
+};
+
+/// Exact encoded size of a ServeEventRecord payload.
+inline constexpr std::size_t kServeEventBytes = 38;
+
+/// Digest over the shard-invariant fields of one serve event, chained on
+/// `seed`.  This is the unit the determinism contract is checked with.
+std::uint64_t DigestServeEvent(const ServeEventRecord& event,
+                               std::uint64_t seed);
+
 inline constexpr std::uint8_t kFaultDropped = 1u << 0;
 inline constexpr std::uint8_t kFaultDuplicated = 1u << 1;
 inline constexpr std::uint8_t kFaultCorrupted = 1u << 2;
@@ -173,6 +218,7 @@ class TraceWriter {
   void AppendFeaturePackage(double now_s,
                             const std::vector<std::uint8_t>& bytes);
   void AppendFaultEvent(const FaultEventRecord& event);
+  void AppendServeEvent(const ServeEventRecord& event);
   void AppendStepDigest(const StepDigest& digest);
   void AppendEnd(const EndRecord& end);
 
@@ -221,6 +267,8 @@ Result<DetectRecord> DecodeDetect(const std::vector<std::uint8_t>& payload);
 Result<std::pair<double, std::vector<std::uint8_t>>> DecodeWireBytes(
     const std::vector<std::uint8_t>& payload);
 Result<FaultEventRecord> DecodeFaultEvent(
+    const std::vector<std::uint8_t>& payload);
+Result<ServeEventRecord> DecodeServeEvent(
     const std::vector<std::uint8_t>& payload);
 Result<StepDigest> DecodeStepDigest(const std::vector<std::uint8_t>& payload);
 Result<EndRecord> DecodeEnd(const std::vector<std::uint8_t>& payload);

@@ -1,0 +1,146 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace cooper::serve {
+
+namespace {
+
+/// Ladder rank for "at most this fidelity" comparisons: raw > roi > features.
+int Rank(feat::ExchangeLevel level) {
+  switch (level) {
+    case feat::ExchangeLevel::kRawCloud: return 2;
+    case feat::ExchangeLevel::kRoiCloud: return 1;
+    case feat::ExchangeLevel::kVoxelFeatures: return 0;
+  }
+  return 1;
+}
+
+feat::ExchangeLevel Clamp(feat::ExchangeLevel level, feat::ExchangeLevel cap) {
+  return Rank(level) > Rank(cap) ? cap : level;
+}
+
+}  // namespace
+
+WindowPlan AdmissionController::PlanWindow(
+    const std::vector<feat::CooperatorDemand>& demands,
+    std::size_t queue_depth, double now_s) {
+  WindowPlan plan;
+  ++stats_.windows_planned;
+
+  // Roll the airtime ledger when the period lapses.  Periods are anchored to
+  // multiples of the configured length, not to the last window, so the roll
+  // schedule is independent of traffic.
+  if (config_.airtime_period_s > 0.0 &&
+      now_s - period_start_s_ >= config_.airtime_period_s) {
+    const double periods =
+        std::floor(now_s / config_.airtime_period_s);
+    period_start_s_ = periods * config_.airtime_period_s;
+    period_spent_ms_ = 0.0;
+  }
+
+  if (demands.empty()) {
+    plan.ledger_spent_ms = period_spent_ms_;
+    return plan;
+  }
+
+  // Signal 1: fusion backlog.  A full queue sheds the whole window — the
+  // node cannot absorb new decode/fusion work, so spending airtime on it
+  // would be pure waste.
+  if (queue_depth >= config_.max_queue) {
+    ++stats_.windows_rejected_queue;
+    COOPER_COUNT("serve.admission.windows_rejected_queue");
+    for (const auto& d : demands) {
+      AdmissionDecision dec;
+      dec.sender_id = d.sender_id;
+      dec.admitted = false;
+      plan.decisions.push_back(dec);
+    }
+    std::sort(plan.decisions.begin(), plan.decisions.end(),
+              [](const AdmissionDecision& a, const AdmissionDecision& b) {
+                return a.sender_id < b.sender_id;
+              });
+    plan.rejected = plan.decisions.size();
+    stats_.exchanges_rejected += plan.rejected;
+    COOPER_COUNT_N("serve.admission.exchanges_rejected", plan.rejected);
+    plan.ledger_spent_ms = period_spent_ms_;
+    return plan;
+  }
+
+  // Signal 2: the per-frame airtime budget, via the bandwidth planner.
+  feat::ExchangePlan exchange =
+      feat::PlanExchange(config_.planner, demands);
+
+  // Depth-dependent ladder cap on top of the planner's allocation.
+  feat::ExchangeLevel cap = feat::ExchangeLevel::kRawCloud;
+  const double depth = static_cast<double>(queue_depth);
+  const double max_queue = static_cast<double>(config_.max_queue);
+  if (depth >= config_.downgrade_feat_fraction * max_queue) {
+    cap = feat::ExchangeLevel::kVoxelFeatures;
+  } else if (depth >= config_.downgrade_raw_fraction * max_queue) {
+    cap = feat::ExchangeLevel::kRoiCloud;
+  }
+
+  // Signal 3: the period ledger.  Entries spend in ascending sender id (the
+  // planner's canonical order), so which cooperators a tight budget starves
+  // is deterministic.
+  const double period_budget_ms = config_.airtime_period_s * 1000.0 *
+                                  config_.airtime_budget_fraction;
+  for (const feat::PlanEntry& entry : exchange.entries) {
+    AdmissionDecision dec;
+    dec.sender_id = entry.sender_id;
+    const feat::ExchangeLevel level = Clamp(entry.level, cap);
+    // Re-cost after the cap: the demand row knows the bytes at every level.
+    double airtime_ms = entry.airtime_ms;
+    if (level != entry.level) {
+      for (const auto& d : demands) {
+        if (d.sender_id == entry.sender_id) {
+          airtime_ms = feat::AirtimeMs(config_.planner.channel,
+                                       d.BytesAt(level));
+          break;
+        }
+      }
+    }
+    if (config_.airtime_period_s > 0.0 &&
+        period_spent_ms_ + airtime_ms > period_budget_ms) {
+      dec.admitted = false;
+      ++plan.rejected;
+      ++stats_.exchanges_rejected;
+      ++stats_.windows_rejected_airtime;
+      COOPER_COUNT("serve.admission.exchanges_rejected");
+    } else {
+      dec.admitted = true;
+      dec.level = level;
+      // "Downgraded" means below what this cooperator's demand class would
+      // have earned on an idle node (kFullFrame -> raw, otherwise ROI):
+      // either the frame-budget planner or the depth cap stepped it down.
+      feat::ExchangeLevel preferred = feat::ExchangeLevel::kRoiCloud;
+      for (const auto& d : demands) {
+        if (d.sender_id == entry.sender_id) {
+          preferred = d.demand == feat::DemandClass::kFullFrame
+                          ? feat::ExchangeLevel::kRawCloud
+                          : feat::ExchangeLevel::kRoiCloud;
+          break;
+        }
+      }
+      dec.downgraded = Rank(level) < Rank(preferred);
+      period_spent_ms_ += airtime_ms;
+      plan.airtime_ms += airtime_ms;
+      ++plan.admitted;
+      ++stats_.exchanges_admitted;
+      if (dec.downgraded) {
+        ++plan.downgraded;
+        ++stats_.exchanges_downgraded;
+        COOPER_COUNT("serve.admission.exchanges_downgraded");
+      }
+      COOPER_COUNT("serve.admission.exchanges_admitted");
+    }
+    plan.decisions.push_back(dec);
+  }
+  plan.ledger_spent_ms = period_spent_ms_;
+  return plan;
+}
+
+}  // namespace cooper::serve

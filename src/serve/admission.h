@@ -1,0 +1,91 @@
+// Deadline-aware admission control for the edge fusion service.
+//
+// Under overload an edge node must shed load *gracefully*: Cooper's
+// bandwidth ladder (raw cloud -> ROI cloud -> voxel features,
+// feat::PlanExchange) already orders the fidelity/bytes trade, so admission
+// composes three pressure signals into one deterministic decision per
+// cooperator exchange:
+//
+//   1. fusion queue depth — the modeled compute backlog.  Above
+//      `downgrade_raw_fraction` of `max_queue` nobody gets raw clouds; above
+//      `downgrade_feat_fraction` everybody is capped to features; at
+//      `max_queue` the window is rejected outright (the vehicle still fuses
+//      whatever fresh packages it holds — rejection sheds *new* airtime and
+//      decode work, not perception itself);
+//   2. the per-frame DSRC airtime budget — delegated to feat::PlanExchange,
+//      which degrades largest-savings-first with total tie-breaks;
+//   3. a per-period airtime ledger — cumulative spend across windows inside
+//      `airtime_period_s`; once the period's budget is spent, later windows
+//      are rejected until the period rolls.  This is what makes *sustained*
+//      overload shed load instead of averaging it away.
+//
+// Every decision is a pure function of (config, demands, queue depth,
+// ledger state), so admission replays bit-identically at any thread or
+// shard count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "feat/planner.h"
+
+namespace cooper::serve {
+
+struct AdmissionConfig {
+  feat::PlannerConfig planner;
+  std::size_t max_queue = 256;  // reject exchanges at this fusion backlog
+  // Queue-depth fractions (of max_queue) where the ladder caps tighten.
+  double downgrade_raw_fraction = 0.5;   // >= this: no raw clouds
+  double downgrade_feat_fraction = 0.75; // >= this: features only
+  // Sustained-airtime ledger: share of each period spendable on exchanges.
+  double airtime_period_s = 1.0;
+  double airtime_budget_fraction = 0.8;
+};
+
+struct AdmissionDecision {
+  std::uint32_t sender_id = 0;
+  bool admitted = false;
+  feat::ExchangeLevel level = feat::ExchangeLevel::kRoiCloud;
+  bool downgraded = false;  // admitted below the planner's preferred level
+};
+
+/// One window's admission outcome, cooperators in ascending sender id.
+struct WindowPlan {
+  std::vector<AdmissionDecision> decisions;
+  double airtime_ms = 0.0;       // airtime of the admitted set
+  double ledger_spent_ms = 0.0;  // period spend after this window
+  std::size_t admitted = 0;
+  std::size_t downgraded = 0;
+  std::size_t rejected = 0;
+};
+
+struct AdmissionStats {
+  std::size_t windows_planned = 0;
+  std::size_t exchanges_admitted = 0;
+  std::size_t exchanges_downgraded = 0;
+  std::size_t exchanges_rejected = 0;
+  std::size_t windows_rejected_queue = 0;   // whole window shed on depth
+  std::size_t windows_rejected_airtime = 0; // ledger exhausted mid-window
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config)
+      : config_(config) {}
+
+  /// Plans one exchange window at virtual time `now_s` with the fusion
+  /// queue at `queue_depth`.  Decisions come back in ascending sender id.
+  WindowPlan PlanWindow(const std::vector<feat::CooperatorDemand>& demands,
+                        std::size_t queue_depth, double now_s);
+
+  const AdmissionStats& stats() const { return stats_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  AdmissionStats stats_;
+  double period_start_s_ = 0.0;
+  double period_spent_ms_ = 0.0;
+};
+
+}  // namespace cooper::serve

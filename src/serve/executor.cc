@@ -1,0 +1,68 @@
+#include "serve/executor.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace cooper::serve {
+
+FusionExecutor::FusionExecutor(const ExecutorConfig& config)
+    : config_(config) {
+  COOPER_CHECK(config_.modeled_cores > 0);
+  core_free_s_.assign(static_cast<std::size_t>(config_.modeled_cores), 0.0);
+}
+
+void FusionExecutor::Submit(std::uint32_t vehicle, double due_s,
+                            double deadline_s) {
+  FusionJob job;
+  job.vehicle = vehicle;
+  job.due_s = due_s;
+  job.deadline_s = deadline_s;
+  job.seq = next_seq_++;
+  queue_.push_back(job);
+  ++stats_.jobs_submitted;
+  COOPER_COUNT("serve.executor.jobs_submitted");
+}
+
+void FusionExecutor::Flush(
+    double now_s, const std::function<double(const FusionJob&)>& cost_s,
+    std::vector<ScheduledJob>* scheduled, std::vector<FusionJob>* missed) {
+  // EDF with total tie-breaks: (deadline, due, seq) is a strict weak order
+  // with no equal elements (seq is unique), so the schedule is one exact
+  // permutation at any thread count.
+  std::sort(queue_.begin(), queue_.end(),
+            [](const FusionJob& a, const FusionJob& b) {
+              if (a.deadline_s != b.deadline_s) {
+                return a.deadline_s < b.deadline_s;
+              }
+              if (a.due_s != b.due_s) return a.due_s < b.due_s;
+              return a.seq < b.seq;
+            });
+
+  for (const FusionJob& job : queue_) {
+    // Earliest-free modeled core; ties pick the lowest index.
+    std::size_t core = 0;
+    for (std::size_t i = 1; i < core_free_s_.size(); ++i) {
+      if (core_free_s_[i] < core_free_s_[core]) core = i;
+    }
+    const double start_s =
+        std::max({now_s, core_free_s_[core], job.due_s});
+    const double finish_s = start_s + cost_s(job);
+    if (start_s > job.deadline_s || finish_s > job.deadline_s) {
+      // Too late before it even runs (or cannot finish in time): shedding it
+      // now is what keeps the rest of the queue meeting *their* deadlines.
+      missed->push_back(job);
+      ++stats_.jobs_missed;
+      COOPER_COUNT("serve.executor.jobs_missed");
+      continue;
+    }
+    core_free_s_[core] = finish_s;
+    scheduled->push_back(ScheduledJob{job, start_s, finish_s});
+    ++stats_.jobs_scheduled;
+    COOPER_COUNT("serve.executor.jobs_scheduled");
+  }
+  queue_.clear();
+}
+
+}  // namespace cooper::serve

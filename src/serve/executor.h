@@ -1,0 +1,79 @@
+// Deadline-aware fusion executor: EDF ordering over modeled compute.
+//
+// The executor decides *which* queued fusion jobs run and *when* — on a
+// modeled machine, not the real one.  `modeled_cores` virtual servers with a
+// deterministic service-time cost model (supplied per job by the caller)
+// stand in for the node's compute; earliest-deadline-first ordering picks
+// winners, and any job whose modeled start or completion would overshoot its
+// DSRC deadline is dropped as a deadline miss instead of burning compute on
+// a result nobody can use.
+//
+// Decoupling modeled time from real threads is the determinism trick: the
+// EDF schedule, every drop decision and every modeled latency depend only on
+// (queue contents, cost model, modeled cores) — never on how many real
+// threads later execute the surviving jobs in parallel.  Real wall clock is
+// observability, not control flow.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cooper::serve {
+
+/// One queued per-vehicle fusion request.
+struct FusionJob {
+  std::uint32_t vehicle = 0;
+  double due_s = 0.0;       // when the request became runnable
+  double deadline_s = 0.0;  // absolute: miss if it cannot finish by this
+  std::uint64_t seq = 0;    // submission order, final tie-break
+};
+
+/// A job the executor scheduled onto a modeled core.
+struct ScheduledJob {
+  FusionJob job;
+  double start_s = 0.0;   // modeled start (core became free, job was due)
+  double finish_s = 0.0;  // modeled completion = start + cost
+};
+
+struct ExecutorConfig {
+  int modeled_cores = 4;  // virtual servers in the compute model
+};
+
+struct ExecutorStats {
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_scheduled = 0;
+  std::size_t jobs_missed = 0;  // dropped: deadline unreachable
+};
+
+class FusionExecutor {
+ public:
+  explicit FusionExecutor(const ExecutorConfig& config);
+
+  /// Queues one job.  `seq` is assigned here from submission order.
+  void Submit(std::uint32_t vehicle, double due_s, double deadline_s);
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  const std::vector<FusionJob>& queue() const { return queue_; }
+
+  /// Drains the queue in EDF order — (deadline, due, seq) ascending — onto
+  /// the modeled cores.  `cost_s(job)` is the modeled service time.  Jobs
+  /// that can finish by their deadline come back in `scheduled` (EDF
+  /// order); jobs that cannot come back in `missed`.  Core availability
+  /// persists across flushes, so a backlog carries into the next window
+  /// exactly like a busy machine would.
+  void Flush(double now_s, const std::function<double(const FusionJob&)>& cost_s,
+             std::vector<ScheduledJob>* scheduled,
+             std::vector<FusionJob>* missed);
+
+  const ExecutorStats& stats() const { return stats_; }
+
+ private:
+  ExecutorConfig config_;
+  std::vector<FusionJob> queue_;
+  std::vector<double> core_free_s_;  // modeled per-core next-free time
+  std::uint64_t next_seq_ = 0;
+  ExecutorStats stats_;
+};
+
+}  // namespace cooper::serve

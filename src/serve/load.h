@@ -1,0 +1,111 @@
+// Deterministic load harness for the edge fusion service.
+//
+// `RunLoad` stands up a synthetic edge deployment — a T&J-style fleet of
+// vehicles, one shared DSRC channel, per-link fragmenting transports, and an
+// `EdgeService` — and drives it open-loop on the virtual clock: each vehicle
+// requests a cooperator exchange window at `arrival_hz` (with a seeded jitter
+// so windows interleave rather than phase-lock), admitted exchanges are
+// fragmented over the shared channel and reassembled by the receiver's
+// session, and fusion jobs drain through the deadline-aware executor at a
+// fixed flush cadence.
+//
+// The run's observable behaviour is its *event stream* (replay::
+// ServeEventRecord): admissions, downgrades, rejections, job schedule,
+// deadline misses, and the per-fusion detection digests.  `RunLoad` chains a
+// digest over that stream; `VerifyLoadTrace` re-runs a recorded trace —
+// optionally overriding the real thread count and the shard count — and
+// checks the stream is bit-identical event by event (shard field excluded,
+// per the determinism contract).  This is the serve row of the conformance
+// matrix: seed fixed ⇒ same events at any {threads} × {shards}.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "replay/trace.h"
+#include "serve/service.h"
+#include "sim/lidar.h"
+
+namespace cooper::serve {
+
+/// One load-harness run.  Every field participates in determinism; the whole
+/// struct is recoverable from a recorded trace (kConfig + kSetup records).
+struct LoadConfig {
+  std::string name = "edge-load";
+  std::uint64_t seed = 1;        // scan noise, window jitter, channel draws
+  std::uint32_t vehicles = 64;   // fleet size (ids 1..vehicles)
+  std::uint32_t cooperators = 2; // exchange demands per window
+  double arrival_hz = 10.0;      // per-vehicle window rate
+  double horizon_s = 0.3;        // ingress stops here; flushes drain after
+  double jitter_s = 0.002;       // per-window seeded arrival jitter
+  double flush_period_s = 0.01;  // executor flush + timer pump cadence
+  double loss_prob = 0.0;        // shared-channel frame loss
+  sim::LidarConfig lidar;        // fleet sensor (default: small, see
+                                 // MakeLoadConfig)
+  ServeConfig serve;
+};
+
+/// Default config sized for CI: an 8-beam, 256-step sensor keeps one fusion
+/// in the low milliseconds so a 64-vehicle smoke run finishes quickly.
+LoadConfig MakeLoadConfig();
+
+/// Aggregate outcome of one run.  Everything except `wall_ms` is
+/// deterministic under the contract.
+struct LoadReport {
+  std::size_t windows = 0;
+  std::size_t exchanges_admitted = 0;
+  std::size_t exchanges_downgraded = 0;
+  std::size_t exchanges_rejected = 0;
+  std::size_t frames_delivered = 0;
+  std::size_t fusions = 0;
+  std::size_t deadline_missed = 0;
+  std::size_t events = 0;           // digested events (kSetup excluded)
+  std::uint64_t event_digest = 0;   // chained DigestServeEvent over them
+  double virtual_p50_ms = 0.0;      // modeled fusion latency quantiles
+  double virtual_p99_ms = 0.0;
+  double wall_ms = 0.0;             // real time for the whole run (not
+                                    // digested; informational only)
+  std::map<std::uint32_t, VehicleState> vehicles;  // final per-vehicle state
+};
+
+/// Observer for every event the run emits, in deterministic order (includes
+/// the kSetup config scalars; those are excluded from digests).
+using EventObserver = std::function<void(const replay::ServeEventRecord&)>;
+
+/// Runs the load.  When `trace` is non-null the run is recorded: kConfig,
+/// kSetup scalars, the event stream, and a kEnd trailer whose
+/// `combined_digest` is the event digest (step_count 0 — serve traces carry
+/// no kDetect records).  `observer`, when set, sees every event too.
+LoadReport RunLoad(const LoadConfig& config,
+                   replay::TraceWriter* trace = nullptr,
+                   const EventObserver& observer = {});
+
+/// Optional re-run overrides: the two knobs the determinism contract says
+/// must not matter.  Values < 0 keep the recorded setting.
+struct VerifyOverrides {
+  int threads = -1;
+  int shards = -1;
+};
+
+struct VerifyReport {
+  LoadConfig config;                // decoded, overrides applied
+  std::size_t events_expected = 0;  // recorded behaviour events
+  std::size_t events_compared = 0;
+  std::size_t mismatches = 0;       // field-wise diffs (shard ignored)
+  bool digest_match = false;        // re-run digest == recorded kEnd digest
+  LoadReport rerun;
+
+  bool ok() const { return mismatches == 0 && digest_match; }
+};
+
+/// Decodes a recorded serve trace, re-runs it under `overrides`, and compares
+/// the event streams.  DATA_LOSS on a malformed trace; a *divergent* re-run
+/// is not an error — it is reported in the returned struct.
+Result<VerifyReport> VerifyLoadTrace(const std::vector<std::uint8_t>& bytes,
+                                     const VerifyOverrides& overrides = {});
+
+}  // namespace cooper::serve

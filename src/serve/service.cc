@@ -1,0 +1,278 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace cooper::serve {
+
+namespace {
+
+/// Exchange-level ordinal for the event `level` byte: 0 = raw, 1 = ROI,
+/// 2 = features, 3 = not applicable.
+std::uint8_t LevelByte(feat::ExchangeLevel level) {
+  return static_cast<std::uint8_t>(static_cast<std::uint8_t>(level) - 1);
+}
+constexpr std::uint8_t kLevelNone = 3;
+
+std::uint64_t TimeUs(double t_s) {
+  return static_cast<std::uint64_t>(t_s * 1e6 + 0.5);
+}
+
+}  // namespace
+
+EdgeService::EdgeService(const core::CooperConfig& pipeline_config,
+                         const ServeConfig& config)
+    : pipeline_config_(pipeline_config),
+      config_(config),
+      shard_population_(std::max<std::size_t>(config.shards, 1), 0),
+      admission_([&] {
+        AdmissionConfig a = config.admission;
+        a.max_queue = config.max_queue;
+        return a;
+      }()),
+      executor_(ExecutorConfig{config.modeled_cores}),
+      sweep_wheel_(config.sweep_slot_s, config.sweep_slots) {
+  // Sessions are fused one-per-vehicle inside a batch that is already
+  // parallel across vehicles; nested pool fan-out would only fight it.
+  pipeline_config_.num_threads = 1;
+}
+
+std::uint32_t EdgeService::ShardOf(std::uint32_t vehicle) const {
+  // SplitMix64 finalizer: avalanche so consecutive vehicle ids spread
+  // across shards instead of striping.
+  std::uint64_t z = vehicle + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<std::uint32_t>(z % shard_population_.size());
+}
+
+void EdgeService::RegisterVehicle(std::uint32_t vehicle,
+                                  const pc::PointCloud* local_cloud,
+                                  const core::NavMetadata& nav) {
+  COOPER_CHECK(entries_.count(vehicle) == 0);
+  const std::uint32_t shard = ShardOf(vehicle);
+  ++shard_population_[shard];
+  // Split the shard's reassembly budget over its vehicles as of now.  The
+  // split is a registration-time snapshot (later registrations do not
+  // re-shrink existing sessions), which is why the harness registers the
+  // whole fleet before traffic starts.
+  core::CooperConfig cfg = pipeline_config_;
+  cfg.transport.max_reassembly_bytes =
+      config_.shard_reassembly_budget_bytes / shard_population_[shard];
+  Entry entry;
+  entry.session =
+      std::make_unique<core::CooperativeSession>(cfg, config_.session);
+  entry.local_cloud = local_cloud;
+  entry.nav = nav;
+  entry.state.shard = shard;
+  entries_.emplace(vehicle, std::move(entry));
+  sweep_wheel_.Arm(vehicle, config_.sweep_period_s);
+  ++stats_.vehicles;
+  COOPER_COUNT("serve.vehicles_registered");
+}
+
+void EdgeService::Emit(replay::ServeEventKind kind, double now_s,
+                       std::uint32_t vehicle, std::uint8_t level,
+                       std::uint64_t arg0, std::uint64_t arg1) {
+  if (!sink_) return;
+  replay::ServeEventRecord event;
+  event.kind = kind;
+  event.time_us = TimeUs(now_s);
+  event.vehicle = vehicle;
+  const auto it = entries_.find(vehicle);
+  event.shard = it != entries_.end() ? it->second.state.shard : 0;
+  event.level = level;
+  event.queue_depth = static_cast<std::uint32_t>(executor_.queue_depth());
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+  sink_(event);
+}
+
+void EdgeService::DeliverFrame(std::uint32_t vehicle, double now_s,
+                               const std::vector<std::uint8_t>& frame_bytes) {
+  const auto it = entries_.find(vehicle);
+  if (it == entries_.end()) return;
+  // Receive failures are the session's business (counted in its stats);
+  // the service only moves bytes.
+  (void)it->second.session->ReceiveFrame(frame_bytes, now_s);
+  ++stats_.frames_delivered;
+  COOPER_COUNT("serve.frames_delivered");
+}
+
+WindowPlan EdgeService::PlanWindow(
+    const std::vector<feat::CooperatorDemand>& demands, double now_s) {
+  WindowPlan plan =
+      admission_.PlanWindow(demands, executor_.queue_depth(), now_s);
+  for (const AdmissionDecision& dec : plan.decisions) {
+    if (!dec.admitted) {
+      Emit(replay::ServeEventKind::kReject, now_s, dec.sender_id, kLevelNone,
+           0, 0);
+    } else if (dec.downgraded) {
+      Emit(replay::ServeEventKind::kDowngrade, now_s, dec.sender_id,
+           LevelByte(dec.level), 0, 0);
+    } else {
+      Emit(replay::ServeEventKind::kAdmit, now_s, dec.sender_id,
+           LevelByte(dec.level), 0, 0);
+    }
+  }
+  return plan;
+}
+
+void EdgeService::SubmitFusion(std::uint32_t vehicle, double now_s) {
+  if (entries_.count(vehicle) == 0) return;
+  executor_.Submit(vehicle, now_s, now_s + config_.deadline_ms / 1000.0);
+  UpdateShardGauges();
+}
+
+std::vector<double> EdgeService::FlushFusions(double now_s) {
+  std::vector<ScheduledJob> scheduled;
+  std::vector<FusionJob> missed;
+  executor_.Flush(
+      now_s,
+      [this](const FusionJob& job) {
+        // Modeled service time: the fusion pass scales with the points the
+        // session must reconstruct and merge — the local scan once, plus
+        // roughly one scan's worth per fresh cooperator.
+        const Entry& entry = entries_.at(job.vehicle);
+        const double points =
+            static_cast<double>(entry.local_cloud->size()) *
+            (1.0 + static_cast<double>(entry.session->num_cooperators()));
+        return (config_.base_service_us + config_.per_point_us * points) /
+               1e6;
+      },
+      &scheduled, &missed);
+
+  // Misses first: they were decided before any scheduled job ran.
+  for (const FusionJob& job : missed) {
+    auto& state = entries_.at(job.vehicle).state;
+    ++state.misses;
+    ++stats_.deadline_missed;
+    COOPER_COUNT("serve.deadline_missed");
+    Emit(replay::ServeEventKind::kDeadlineMiss, now_s, job.vehicle, kLevelNone,
+         TimeUs(job.deadline_s), job.seq);
+  }
+
+  // Start events in schedule order, before any real work: the modeled
+  // timeline is the record, the real execution below is just labor.
+  for (const ScheduledJob& s : scheduled) {
+    Emit(replay::ServeEventKind::kJobStart, s.start_s, s.job.vehicle,
+         kLevelNone, TimeUs(s.finish_s), s.job.seq);
+  }
+
+  // Real fusions, batched across vehicles.  Jobs are grouped into one lane
+  // per vehicle — a lane runs its jobs sequentially in schedule order (a
+  // session is single-writer state), and lanes run concurrently (sessions
+  // are independent, disjoint result slots).  Lane decomposition and result
+  // order depend only on the schedule, so any thread count yields the same
+  // per-slot results; events are emitted afterwards in schedule order.
+  struct JobResult {
+    std::uint64_t digest = 0;
+    std::uint64_t fused_points = 0;
+  };
+  std::vector<JobResult> results(scheduled.size());
+  std::map<std::uint32_t, std::vector<std::size_t>> by_vehicle;
+  for (std::size_t i = 0; i < scheduled.size(); ++i) {
+    by_vehicle[scheduled[i].job.vehicle].push_back(i);
+  }
+  std::vector<const std::vector<std::size_t>*> lanes;
+  lanes.reserve(by_vehicle.size());
+  for (const auto& [vehicle_id, indices] : by_vehicle) {
+    lanes.push_back(&indices);
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  common::ParallelFor(
+      config_.threads, 0, lanes.size(), 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t lane = begin; lane < end; ++lane) {
+          for (const std::size_t i : *lanes[lane]) {
+            const ScheduledJob& s = scheduled[i];
+            Entry& entry = entries_.at(s.job.vehicle);
+            const core::CooperOutput out = entry.session->DetectCooperative(
+                *entry.local_cloud, entry.nav, s.job.due_s);
+            results[i].digest =
+                replay::DigestDetections(out.fused.detections);
+            results[i].fused_points = out.fused_cloud.size();
+          }
+        }
+      });
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  if (obs::Enabled() && !scheduled.empty()) {
+    obs::MetricsRegistry::Global()
+        .GetHistogram("serve.fusion_batch_ms")
+        .Record(wall_ms);
+  }
+
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(scheduled.size());
+  for (std::size_t i = 0; i < scheduled.size(); ++i) {
+    const ScheduledJob& s = scheduled[i];
+    auto& state = entries_.at(s.job.vehicle).state;
+    ++state.fusions;
+    state.last_digest = results[i].digest;
+    state.chained_digest = replay::DigestBytes(
+        &results[i].digest, sizeof results[i].digest, state.chained_digest);
+    ++stats_.fusions_completed;
+    COOPER_COUNT("serve.fusions_completed");
+    const double latency_ms = (s.finish_s - s.job.due_s) * 1000.0;
+    latencies_ms.push_back(latency_ms);
+    if (obs::Enabled()) {
+      obs::MetricsRegistry::Global()
+          .GetHistogram("serve.fusion_ms")
+          .Record(latency_ms);
+    }
+    Emit(replay::ServeEventKind::kJobComplete, s.finish_s, s.job.vehicle,
+         kLevelNone, results[i].digest, results[i].fused_points);
+  }
+  UpdateShardGauges();
+  return latencies_ms;
+}
+
+void EdgeService::PumpTimers(double now_s) {
+  sweep_wheel_.Advance(now_s, [&](std::uint64_t id) {
+    const auto it = entries_.find(static_cast<std::uint32_t>(id));
+    if (it == entries_.end()) return;
+    it->second.session->Sweep(now_s);
+    sweep_wheel_.Arm(id, now_s + config_.sweep_period_s);
+  });
+}
+
+void EdgeService::UpdateShardGauges() {
+  if (!obs::Enabled()) return;
+  std::vector<std::size_t> depth(shard_population_.size(), 0);
+  for (const FusionJob& job : executor_.queue()) {
+    const auto it = entries_.find(job.vehicle);
+    if (it != entries_.end()) ++depth[it->second.state.shard];
+  }
+  for (std::size_t k = 0; k < depth.size(); ++k) {
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.shard" + std::to_string(k) + ".queue_depth")
+        .Set(static_cast<double>(depth[k]));
+  }
+}
+
+const VehicleState* EdgeService::vehicle(std::uint32_t id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.state;
+}
+
+core::CooperativeSession* EdgeService::session(std::uint32_t id) {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.session.get();
+}
+
+std::vector<std::uint32_t> EdgeService::vehicles() const {
+  std::vector<std::uint32_t> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace cooper::serve

@@ -575,6 +575,97 @@ TEST(PlannerTest, AirtimeScalesWithBytesAndFloorsAtAccessLatency) {
   EXPECT_DOUBLE_EQ(two_kb - one_kb, one_kb - cfg.channel.access_latency_ms);
 }
 
+TEST(PlannerTest, ZeroBudgetDegradesEveryoneAndReportsOverBudget) {
+  PlannerConfig cfg = FastChannel();
+  cfg.budget_fraction = 0.0;  // adversarial: no airtime at all
+  const ExchangePlan plan = PlanExchange(
+      cfg, {Demand(1, DemandClass::kFullFrame, 4000, 800, 100),
+            Demand(2, DemandClass::kFrontSector, 4000, 800, 100),
+            Demand(3, DemandClass::kForwardLead, 4000, 800, 100)});
+  ASSERT_EQ(plan.entries.size(), 3u);
+  EXPECT_EQ(plan.budget_ms, 0.0);
+  // Nothing fits, so every cooperator bottoms out at features and the plan
+  // says so rather than looping or dropping entries.
+  EXPECT_TRUE(plan.over_budget);
+  for (const PlanEntry& e : plan.entries) {
+    EXPECT_EQ(e.level, ExchangeLevel::kVoxelFeatures);
+    EXPECT_EQ(e.bytes, 100u);
+  }
+  EXPECT_GT(plan.airtime_ms, plan.budget_ms);
+}
+
+TEST(PlannerTest, AllEqualSavingsDegradeHighestSendersFirst) {
+  // Eight identical full-frame cooperators; the budget fits five raw payloads
+  // plus three ROI payloads.  Every raw->ROI step sheds the same bytes, so
+  // the only thing picking who degrades is the sender-id tie-break: the
+  // degrade steps must land on the three *highest* ids, never on an
+  // arbitrary (e.g. heap-order) subset.
+  PlannerConfig cfg = FastChannel();
+  cfg.channel.data_rate_mbps = 0.08;
+  cfg.channel.access_latency_ms = 2.0;
+  cfg.frame_period_s = 1.0;
+  // Raw airtime ~113.1 ms each, ROI ~35.3 ms: 5 raw + 3 ROI ~671 ms.
+  cfg.budget_fraction = 0.68;
+  std::vector<CooperatorDemand> demands;
+  for (std::uint32_t id = 1; id <= 8; ++id) {
+    demands.push_back(Demand(id, DemandClass::kFullFrame, 1000, 300, 40));
+  }
+  const ExchangePlan plan = PlanExchange(cfg, demands);
+  ASSERT_EQ(plan.entries.size(), 8u);
+  EXPECT_EQ(plan.degrade_steps, 3u);
+  EXPECT_FALSE(plan.over_budget);
+  for (const PlanEntry& e : plan.entries) {
+    EXPECT_EQ(e.level, e.sender_id <= 5 ? ExchangeLevel::kRawCloud
+                                        : ExchangeLevel::kRoiCloud)
+        << "sender " << e.sender_id;
+  }
+}
+
+TEST(PlannerTest, HundredCooperatorsShuffledInputPlansIdentically) {
+  // Well past any fixed-size assumption (64 is the fleet cap elsewhere in the
+  // stack): 100 cooperators with varied sizes and demand classes, squeezed
+  // hard enough that most of them degrade.  The plan must be a pure function
+  // of the demand *set* — feeding a shuffled copy must reproduce every entry
+  // bit for bit, in ascending sender order.
+  PlannerConfig cfg = FastChannel();
+  cfg.channel.data_rate_mbps = 0.5;
+  cfg.budget_fraction = 0.6;
+  std::vector<CooperatorDemand> demands;
+  for (std::uint32_t id = 1; id <= 100; ++id) {
+    const DemandClass demand = id % 3 == 0 ? DemandClass::kFullFrame
+                             : id % 3 == 1 ? DemandClass::kFrontSector
+                                           : DemandClass::kForwardLead;
+    demands.push_back(Demand(id, demand, 800 + 37 * (id % 11),
+                             300 + 13 * (id % 7), 40 + (id % 5)));
+  }
+  std::vector<CooperatorDemand> shuffled = demands;
+  Rng rng(99);  // Fisher-Yates with the repo Rng: deterministic shuffle
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.Uniform(0.0, static_cast<double>(i)));
+    std::swap(shuffled[i - 1], shuffled[j < i ? j : i - 1]);
+  }
+  const ExchangePlan sorted_plan = PlanExchange(cfg, demands);
+  const ExchangePlan shuffled_plan = PlanExchange(cfg, shuffled);
+
+  ASSERT_EQ(sorted_plan.entries.size(), 100u);
+  ASSERT_EQ(shuffled_plan.entries.size(), 100u);
+  EXPECT_EQ(sorted_plan.degrade_steps, shuffled_plan.degrade_steps);
+  EXPECT_GT(sorted_plan.degrade_steps, 0u);  // the squeeze actually bites
+  EXPECT_EQ(sorted_plan.over_budget, shuffled_plan.over_budget);
+  EXPECT_EQ(sorted_plan.airtime_ms, shuffled_plan.airtime_ms);  // bit-equal
+  for (std::size_t i = 0; i < sorted_plan.entries.size(); ++i) {
+    const PlanEntry& a = sorted_plan.entries[i];
+    const PlanEntry& b = shuffled_plan.entries[i];
+    // Canonical ascending order regardless of input order.
+    EXPECT_EQ(a.sender_id, static_cast<std::uint32_t>(i + 1));
+    EXPECT_EQ(a.sender_id, b.sender_id);
+    EXPECT_EQ(a.level, b.level) << "sender " << a.sender_id;
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.airtime_ms, b.airtime_ms);  // bit-equal, not approximately
+  }
+}
+
 TEST(PlannerTest, DemandClassMirrorsRoiCategory) {
   EXPECT_EQ(core::DemandClassFor(core::RoiCategory::kFullFrame),
             DemandClass::kFullFrame);

@@ -373,8 +373,8 @@ TEST(FuzzTest, TraceVersionSkewRejected) {
 TEST(FuzzTest, TraceUnknownTagsAndLyingLengthsRejected) {
   const auto image = MakeTraceImage();
   const std::size_t record0 = replay::kTraceHeaderBytes;
-  {  // unknown tag (10 = one past kFeaturePackage, 0, 0xff)
-    for (const std::uint8_t tag : {0, 10, 255}) {
+  {  // unknown tag (11 = one past kServeEvent, 0, 0xff)
+    for (const std::uint8_t tag : {0, 11, 255}) {
       auto bad = image;
       bad[record0] = tag;
       const auto trace = replay::ParseTrace(bad);
@@ -400,6 +400,121 @@ TEST(FuzzTest, TraceUnknownTagsAndLyingLengthsRejected) {
     auto bad = image;
     bad[crc_at] ^= 0x10;
     EXPECT_EQ(replay::ParseTrace(bad).status().code(), StatusCode::kDataLoss);
+  }
+}
+
+// --- Serve-event records (kServeEvent) ---
+
+replay::ServeEventRecord MakeServeEvent() {
+  replay::ServeEventRecord e;
+  e.kind = replay::ServeEventKind::kJobComplete;
+  e.time_us = 123456789;
+  e.vehicle = 42;
+  e.shard = 3;
+  e.level = 1;
+  e.queue_depth = 17;
+  e.arg0 = 0xdeadbeefcafef00dull;
+  e.arg1 = 7;
+  return e;
+}
+
+std::vector<std::uint8_t> ServeEventPayload(
+    const replay::ServeEventRecord& e) {
+  replay::TraceWriter writer;
+  writer.AppendServeEvent(e);
+  replay::TraceReader reader(writer.bytes());
+  EXPECT_TRUE(reader.ReadHeader().ok());
+  auto record = reader.Next();
+  EXPECT_TRUE(record.ok());
+  return record->payload;
+}
+
+TEST(FuzzTest, ServeEventRoundTripsThroughRecordFraming) {
+  const auto payload = ServeEventPayload(MakeServeEvent());
+  ASSERT_EQ(payload.size(), replay::kServeEventBytes);
+  const auto back = replay::DecodeServeEvent(payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->kind, replay::ServeEventKind::kJobComplete);
+  EXPECT_EQ(back->time_us, 123456789u);
+  EXPECT_EQ(back->vehicle, 42u);
+  EXPECT_EQ(back->shard, 3u);
+  EXPECT_EQ(back->level, 1);
+  EXPECT_EQ(back->queue_depth, 17u);
+  EXPECT_EQ(back->arg0, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(back->arg1, 7u);
+}
+
+TEST(FuzzTest, ServeEventDecoderNeverCrashesOnMutations) {
+  const auto payload = ServeEventPayload(MakeServeEvent());
+  Rng rng(51);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto mutated = Mutate(payload, rng);
+    const auto decoded = replay::DecodeServeEvent(mutated);
+    if (!decoded.ok()) {
+      // Every rejection must be the clean DATA_LOSS contract.
+      EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+      continue;
+    }
+    // Anything accepted kept the fixed size and the field ranges.
+    const auto kind = static_cast<std::uint8_t>(decoded->kind);
+    EXPECT_GE(kind, 1);
+    EXPECT_LE(kind, 8);
+    EXPECT_LE(decoded->level, 3);
+  }
+}
+
+TEST(FuzzTest, ServeEventTruncationsAllRejected) {
+  // The payload is fixed-size: every strict prefix (and every extension) is
+  // a lying length and must fail cleanly.
+  const auto payload = ServeEventPayload(MakeServeEvent());
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(
+        payload.begin(), payload.begin() + static_cast<std::ptrdiff_t>(cut));
+    const auto decoded = replay::DecodeServeEvent(prefix);
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes accepted";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  }
+  auto extended = payload;
+  extended.push_back(0);
+  EXPECT_EQ(replay::DecodeServeEvent(extended).status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(FuzzTest, ServeEventFieldRangesEnforced) {
+  {  // kind outside [kSetup, kSummary]
+    for (const std::uint8_t kind : {0, 9, 200, 255}) {
+      auto payload = ServeEventPayload(MakeServeEvent());
+      payload[0] = kind;
+      const auto decoded = replay::DecodeServeEvent(payload);
+      ASSERT_FALSE(decoded.ok()) << "kind " << static_cast<int>(kind);
+      EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+    }
+  }
+  {  // level beyond the ladder + n/a sentinel
+    for (const std::uint8_t level : {4, 17, 255}) {
+      auto payload = ServeEventPayload(MakeServeEvent());
+      payload[17] = level;  // u8 kind | u64 time | u32 vehicle | u32 shard
+      const auto decoded = replay::DecodeServeEvent(payload);
+      ASSERT_FALSE(decoded.ok()) << "level " << static_cast<int>(level);
+      EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST(FuzzTest, ServeEventRecordCrcCorruptionRejected) {
+  // Flip every single byte of the framed record in turn: the reader must
+  // reject each corruption (tag, length, payload or CRC) as DATA_LOSS.
+  replay::TraceWriter writer;
+  writer.AppendServeEvent(MakeServeEvent());
+  const auto image = writer.bytes();
+  for (std::size_t at = replay::kTraceHeaderBytes; at < image.size(); ++at) {
+    auto bad = image;
+    bad[at] ^= 0x01;
+    replay::TraceReader reader(bad);
+    ASSERT_TRUE(reader.ReadHeader().ok());
+    const auto record = reader.Next();
+    ASSERT_FALSE(record.ok()) << "corrupt byte " << at << " accepted";
+    EXPECT_EQ(record.status().code(), StatusCode::kDataLoss);
   }
 }
 

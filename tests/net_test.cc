@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "common/rng.h"
 #include "net/dsrc.h"
 #include "net/serialize.h"
@@ -217,6 +220,47 @@ TEST(DsrcTest, DroppedMessageHasNoLatency) {
   const auto report = ch.Transmit(1000, rng);
   EXPECT_FALSE(report.delivered);
   EXPECT_DOUBLE_EQ(report.latency_ms, 0.0);
+}
+
+TEST(DsrcTest, SharedChannelCountersConsistentUnderConcurrentSenders) {
+  // One channel as the edge node's shared airtime budget: several sender
+  // threads (each with its own Rng, as the Transport contract requires)
+  // transmit concurrently, and afterwards the counters must balance exactly —
+  // no lost updates, airtime = goodput + dropped bytes.
+  DsrcChannel ch(DsrcConfig{27.0, 2.0, 0.25, 0.9});
+  constexpr int kSenders = 4;
+  constexpr int kPerSender = 5000;
+  constexpr std::size_t kBytes = 100;
+  std::vector<std::thread> senders;
+  senders.reserve(kSenders);
+  for (int s = 0; s < kSenders; ++s) {
+    senders.emplace_back([&ch, s] {
+      Rng rng(static_cast<std::uint64_t>(1000 + s));
+      for (int i = 0; i < kPerSender; ++i) ch.Transmit(kBytes, rng);
+    });
+  }
+  for (auto& t : senders) t.join();
+
+  const std::size_t total = kSenders * kPerSender;
+  EXPECT_EQ(ch.total_messages(), total);
+  EXPECT_EQ(ch.total_bytes_on_air(), total * kBytes);
+  EXPECT_EQ(ch.total_bytes_delivered(),
+            (total - ch.total_dropped()) * kBytes);
+  EXPECT_GT(ch.total_dropped(), 0u);
+  EXPECT_LT(ch.total_dropped(), total);
+}
+
+TEST(DsrcTest, CopyingChannelSnapshotsCounters) {
+  DsrcChannel ch(DsrcConfig{6.0, 2.0, 0.0, 0.9});
+  Rng rng(9);
+  ch.Transmit(500, rng);
+  const DsrcChannel copy(ch);
+  EXPECT_EQ(copy.total_messages(), 1u);
+  EXPECT_EQ(copy.total_bytes_on_air(), 500u);
+  ch.Transmit(500, rng);
+  // Copies diverge after the snapshot; the original keeps accumulating.
+  EXPECT_EQ(copy.total_messages(), 1u);
+  EXPECT_EQ(ch.total_messages(), 2u);
 }
 
 // --- Traffic accounting ---

@@ -294,6 +294,86 @@ TEST(ReassemblerTest, PendingCapacityBounded) {
   EXPECT_GT(reasm.stats().packages_expired, 0u);
 }
 
+TEST(ReassemblerTest, GlobalByteBudgetEnforcedAcrossSenders) {
+  TransportConfig config;
+  config.max_reassembly_bytes = 2500;  // room for ~2 partials of 1000 B
+  Reassembler reasm(config);
+  Frame f;
+  f.frag_count = 11;  // never completes: only 10 fragments ever sent
+  f.package_bytes = 11 * 100;
+  // Many senders, each legitimately under the per-sender bounds, together
+  // exceed the node budget.
+  for (std::uint32_t sender = 0; sender < 8; ++sender) {
+    f.sender_id = sender;
+    f.package_seq = 1;
+    for (std::uint16_t i = 0; i < 10; ++i) {
+      f.frag_index = i;
+      f.payload.assign(100, static_cast<std::uint8_t>(sender));
+      reasm.Offer(SerializeFrame(f), static_cast<double>(sender));
+      EXPECT_LE(reasm.buffered_bytes(), config.max_reassembly_bytes);
+    }
+  }
+  EXPECT_GT(reasm.stats().frames_evicted_global, 0u);
+  // Evicted partials also count as expired (they were given up on).
+  EXPECT_GT(reasm.stats().packages_expired, 0u);
+}
+
+TEST(ReassemblerTest, GlobalBudgetEvictsStalestFirst) {
+  TransportConfig config;
+  config.max_reassembly_bytes = 2100;
+  Reassembler reasm(config);
+  Frame f;
+  f.frag_count = 2;
+  f.package_bytes = 2 * 1000;
+  f.frag_index = 0;
+  // Two partials of 1000 B at t=0 and t=1, then a third at t=2 pushes the
+  // total to 3000 B: the stalest (sender 0) must be the one evicted.
+  for (std::uint32_t sender = 0; sender < 3; ++sender) {
+    f.sender_id = sender;
+    f.package_seq = 7;
+    f.payload.assign(1000, static_cast<std::uint8_t>(sender));
+    reasm.Offer(SerializeFrame(f), static_cast<double>(sender));
+  }
+  EXPECT_FALSE(reasm.HasPartial(0, 7));
+  EXPECT_TRUE(reasm.HasPartial(1, 7));
+  EXPECT_TRUE(reasm.HasPartial(2, 7));
+  EXPECT_EQ(reasm.stats().frames_evicted_global, 1u);
+  EXPECT_LE(reasm.buffered_bytes(), config.max_reassembly_bytes);
+}
+
+TEST(ReassemblerTest, BufferedBytesTrackCompletionAndExpiry) {
+  Reassembler reasm;
+  Frame f;
+  f.sender_id = 5;
+  f.package_seq = 1;
+  f.frag_count = 2;
+  f.package_bytes = 200;
+  f.frag_index = 0;
+  f.payload.assign(100, 0x11);
+  reasm.Offer(SerializeFrame(f), 0.0);
+  EXPECT_EQ(reasm.buffered_bytes(), 100u);
+  f.frag_index = 1;
+  f.payload.assign(100, 0x22);
+  const auto done = reasm.Offer(SerializeFrame(f), 1.0);
+  EXPECT_EQ(done.kind, Reassembler::Event::Kind::kPackageComplete);
+  EXPECT_EQ(reasm.buffered_bytes(), 0u);  // completion released the buffer
+
+  // A fresh partial that times out must release its bytes too.
+  f.package_seq = 2;
+  f.frag_index = 0;
+  reasm.Offer(SerializeFrame(f), 2.0);
+  EXPECT_EQ(reasm.buffered_bytes(), 100u);
+  reasm.ExpireStale(5000.0);
+  EXPECT_EQ(reasm.buffered_bytes(), 0u);
+
+  // And so must an explicit abandon.
+  f.package_seq = 3;
+  reasm.Offer(SerializeFrame(f), 5001.0);
+  EXPECT_EQ(reasm.buffered_bytes(), 100u);
+  reasm.Abandon(5, 3);
+  EXPECT_EQ(reasm.buffered_bytes(), 0u);
+}
+
 // --- Fault injector ---
 
 TEST(FaultInjectorTest, CleanProfilePassesThrough) {
@@ -366,6 +446,23 @@ TEST(TransportTest, CleanChannelDeliversFirstRound) {
   EXPECT_GT(delivery->latency_ms, 0.0);
   EXPECT_EQ(transport.stats().packages_delivered, 1u);
   EXPECT_EQ(transport.stats().frames_retransmitted, 0u);
+}
+
+TEST(TransportTest, SharedChannelAccumulatesAcrossTransports) {
+  // Two per-vehicle links attached to one edge-node channel: airtime from
+  // both sends lands on the same shared budget, not on per-link copies.
+  DsrcChannel shared{DsrcConfig{6.0, 2.0, 0.0, 0.9}};
+  Transport a(TransportConfig{}, &shared);
+  Transport b(TransportConfig{}, &shared);
+  EXPECT_EQ(&a.channel(), &b.channel());
+  Rng rng_a(31), rng_b(32), data_rng(33);
+  const auto pkg = RandomPackage(data_rng, 10000);
+  ASSERT_TRUE(a.SendPackage(pkg, 1, rng_a).ok());
+  const std::size_t after_a = shared.total_bytes_on_air();
+  EXPECT_GT(after_a, pkg.size());  // payload + frame overhead
+  ASSERT_TRUE(b.SendPackage(pkg, 2, rng_b).ok());
+  EXPECT_EQ(shared.total_bytes_on_air(), 2 * after_a);
+  EXPECT_EQ(shared.total_bytes_delivered(), shared.total_bytes_on_air());
 }
 
 TEST(TransportTest, LossyChannelRecoversViaRetransmission) {

@@ -1,0 +1,231 @@
+// cooper_serve_report — human-readable summary of a recorded edge-service
+// trace (the kServeEvent stream a serve::RunLoad capture produces).
+//
+//   cooper_serve_report TRACE
+//
+// Prints the run configuration (kConfig + kSetup scalars), event-kind and
+// exchange-level tallies, the busiest vehicles, deadline misses, and the
+// trace's conformance digest.  Read-only: verification (re-running the load
+// and diffing) lives in serve::VerifyLoadTrace and the bench's smoke mode.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "replay/trace.h"
+
+using namespace cooper;
+
+namespace {
+
+const char* KindName(replay::ServeEventKind kind) {
+  switch (kind) {
+    case replay::ServeEventKind::kSetup: return "setup";
+    case replay::ServeEventKind::kAdmit: return "admit";
+    case replay::ServeEventKind::kDowngrade: return "downgrade";
+    case replay::ServeEventKind::kReject: return "reject";
+    case replay::ServeEventKind::kJobStart: return "job_start";
+    case replay::ServeEventKind::kJobComplete: return "job_complete";
+    case replay::ServeEventKind::kDeadlineMiss: return "deadline_miss";
+    case replay::ServeEventKind::kSummary: return "summary";
+  }
+  return "?";
+}
+
+// Names for the kSetup scalar indices the load harness writes (see
+// serve/load.cc SetupScalars).  Indices are wire format; unknown ones print
+// raw.
+const char* SetupName(std::uint32_t index) {
+  static const char* kNames[] = {
+      "vehicles",        "cooperators",         "arrival_hz",
+      "horizon_s",       "jitter_s",            "flush_period_s",
+      "loss_prob",       "serve.shards",        "serve.deadline_ms",
+      "serve.max_queue", "serve.modeled_cores", "base_service_us",
+      "per_point_us",    "sweep_slot_s",        "sweep_slots",
+      "sweep_period_s",  "shard_budget_bytes",  "raw_fraction",
+      "feat_fraction",   "airtime_period_s",    "airtime_fraction",
+      "frame_period_s",  "budget_fraction",     "data_rate_mbps",
+      "access_ms",       "chan_loss_prob",      "usable_fraction",
+  };
+  constexpr std::size_t kCount = sizeof kNames / sizeof kNames[0];
+  return index < kCount ? kNames[index] : nullptr;
+}
+
+// Indices whose bits are a double's bit pattern (the rest are integers).
+bool SetupIsDouble(std::uint32_t index) {
+  switch (index) {
+    case 0: case 1: case 7: case 9: case 10: case 14: case 16:
+      return false;
+    default:
+      return true;
+  }
+}
+
+double BitsDouble(std::uint64_t bits) {
+  double v = 0.0;
+  static_assert(sizeof v == sizeof bits);
+  __builtin_memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+struct VehicleTally {
+  std::size_t fusions = 0;
+  std::size_t misses = 0;
+  std::size_t admits = 0;
+  std::size_t rejects = 0;
+  std::uint64_t last_digest = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: cooper_serve_report TRACE\n");
+    return 2;
+  }
+  const auto bytes = replay::ReadTraceFile(argv[1]);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "cooper_serve_report: %s\n",
+                 bytes.status().ToString().c_str());
+    return 1;
+  }
+  replay::TraceReader reader(*bytes);
+  const Status header = reader.ReadHeader();
+  if (!header.ok()) {
+    std::fprintf(stderr, "cooper_serve_report: %s\n",
+                 header.ToString().c_str());
+    return 1;
+  }
+
+  std::map<std::string, std::size_t> kind_counts;
+  std::size_t level_admits[3] = {0, 0, 0};  // raw / roi / features
+  std::map<std::uint32_t, VehicleTally> vehicles;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> setup;
+  bool have_summary = false;
+  replay::ServeEventRecord summary;
+  bool have_end = false;
+  replay::EndRecord end;
+  double last_time_s = 0.0;
+  std::size_t serve_events = 0;
+
+  while (!reader.AtEnd()) {
+    auto record = reader.Next();
+    if (!record.ok()) {
+      std::fprintf(stderr, "cooper_serve_report: %s\n",
+                   record.status().ToString().c_str());
+      return 1;
+    }
+    if (record->tag == replay::RecordTag::kConfig) {
+      auto config = replay::DecodeConfig(record->payload);
+      if (config.ok()) {
+        std::printf("run:        %s\n", config->name.c_str());
+        std::printf("sensor:     %d beams x %d steps\n", config->lidar.beams,
+                    config->lidar.azimuth_steps);
+        std::printf("threads:    %d\n", config->num_threads);
+        std::printf("seed:       %llu\n",
+                    static_cast<unsigned long long>(config->scan_seed));
+      }
+      continue;
+    }
+    if (record->tag == replay::RecordTag::kEnd) {
+      auto decoded = replay::DecodeEnd(record->payload);
+      if (decoded.ok()) {
+        end = *decoded;
+        have_end = true;
+      }
+      continue;
+    }
+    if (record->tag != replay::RecordTag::kServeEvent) continue;
+    auto event = replay::DecodeServeEvent(record->payload);
+    if (!event.ok()) {
+      std::fprintf(stderr, "cooper_serve_report: %s\n",
+                   event.status().ToString().c_str());
+      return 1;
+    }
+    ++serve_events;
+    ++kind_counts[KindName(event->kind)];
+    last_time_s = std::max(last_time_s, event->time_us / 1e6);
+    switch (event->kind) {
+      case replay::ServeEventKind::kSetup:
+        setup.emplace_back(event->vehicle, event->arg0);
+        break;
+      case replay::ServeEventKind::kAdmit:
+      case replay::ServeEventKind::kDowngrade:
+        if (event->level < 3) ++level_admits[event->level];
+        ++vehicles[event->vehicle].admits;
+        break;
+      case replay::ServeEventKind::kReject:
+        ++vehicles[event->vehicle].rejects;
+        break;
+      case replay::ServeEventKind::kJobComplete:
+        ++vehicles[event->vehicle].fusions;
+        vehicles[event->vehicle].last_digest = event->arg0;
+        break;
+      case replay::ServeEventKind::kDeadlineMiss:
+        ++vehicles[event->vehicle].misses;
+        break;
+      case replay::ServeEventKind::kSummary:
+        summary = *event;
+        have_summary = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::printf("\nconfig scalars (kSetup)\n");
+  for (const auto& [index, bits] : setup) {
+    const char* name = SetupName(index);
+    if (name == nullptr) {
+      std::printf("  [%2u]                 raw %llu\n", index,
+                  static_cast<unsigned long long>(bits));
+    } else if (SetupIsDouble(index)) {
+      std::printf("  %-20s %g\n", name, BitsDouble(bits));
+    } else {
+      std::printf("  %-20s %llu\n", name,
+                  static_cast<unsigned long long>(bits));
+    }
+  }
+
+  std::printf("\nevents (%zu total, %.3f s of virtual time)\n", serve_events,
+              last_time_s);
+  for (const auto& [name, count] : kind_counts) {
+    std::printf("  %-14s %6zu\n", name.c_str(), count);
+  }
+  std::printf("exchange levels admitted: raw %zu, roi %zu, features %zu\n",
+              level_admits[0], level_admits[1], level_admits[2]);
+
+  // Busiest vehicles (setup pseudo-events carry scalar indices in the
+  // vehicle field, but they never produce tallies, so the map is clean).
+  std::vector<std::pair<std::uint32_t, VehicleTally>> busy(vehicles.begin(),
+                                                           vehicles.end());
+  std::sort(busy.begin(), busy.end(), [](const auto& a, const auto& b) {
+    if (a.second.fusions != b.second.fusions) {
+      return a.second.fusions > b.second.fusions;
+    }
+    return a.first < b.first;
+  });
+  std::printf("\ntop vehicles (%zu total)\n", busy.size());
+  std::printf("  %8s %8s %8s %8s %8s  %s\n", "vehicle", "fusions", "misses",
+              "admits", "rejects", "last digest");
+  for (std::size_t i = 0; i < busy.size() && i < 5; ++i) {
+    const auto& [id, t] = busy[i];
+    std::printf("  %8u %8zu %8zu %8zu %8zu  %016llx\n", id, t.fusions,
+                t.misses, t.admits, t.rejects,
+                static_cast<unsigned long long>(t.last_digest));
+  }
+
+  if (have_summary) {
+    std::printf("\nsummary: %zu fusions, %zu deadline misses, final queue "
+                "depth %u\n",
+                static_cast<std::size_t>(summary.arg1 >> 32),
+                static_cast<std::size_t>(summary.arg1 & 0xffffffffu),
+                summary.queue_depth);
+  }
+  if (have_end) {
+    std::printf("conformance digest: %016llx\n",
+                static_cast<unsigned long long>(end.combined_digest));
+  }
+  return have_end ? 0 : 1;
+}
